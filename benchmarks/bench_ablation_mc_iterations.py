@@ -1,0 +1,50 @@
+"""Ablation: Monte Carlo iteration count vs margin of error.
+
+The paper justifies 1000 iterations with a 95% confidence margin of error of
+6.27% on the mean inferencing accuracy.  This bench measures the empirical
+margin of error of the accuracy estimate at several iteration counts and
+checks it shrinks as 1/sqrt(N), reproducing that methodological argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import margin_of_error, worst_case_margin_of_error
+from repro.onn import monte_carlo_accuracy
+from repro.utils.serialization import format_table
+from repro.variation import UncertaintyModel
+
+ITERATION_COUNTS = (10, 40, 160)
+SIGMA = 0.025
+
+
+def test_ablation_mc_iterations(benchmark, spnn_task):
+    model = UncertaintyModel.both(SIGMA)
+    features = spnn_task.test_features[:200]
+    labels = spnn_task.test_labels[:200]
+
+    def run():
+        margins = {}
+        for count in ITERATION_COUNTS:
+            samples = monte_carlo_accuracy(
+                spnn_task.spnn, features, labels, model, iterations=count, rng=0
+            )
+            margins[count] = margin_of_error(samples)
+        return margins
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"Ablation — empirical 95% margin of error of the mean accuracy (sigma = {SIGMA})")
+    rows = [
+        [count, moe, worst_case_margin_of_error(count)]
+        for count, moe in result.items()
+    ]
+    print(format_table(["iterations", "empirical MoE", "worst-case MoE"], rows))
+    print(
+        "paper: 1000 iterations -> maximum margin of error 6.27% "
+        f"(worst-case model here: {2 * 100 * worst_case_margin_of_error(1000):.2f}% full width)"
+    )
+
+    # Margin of error must shrink with the iteration count (~1/sqrt(N)).
+    assert result[ITERATION_COUNTS[-1]] < result[ITERATION_COUNTS[0]]

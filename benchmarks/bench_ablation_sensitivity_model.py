@@ -1,0 +1,36 @@
+"""Ablation: first-order sensitivity model (Eq. 4) vs exact re-evaluation.
+
+Fig. 2 uses the first-order expansion of the MZI transfer matrix.  This
+ablation quantifies how far the linearized deviation is from the exact one
+over the (theta, phi) grid, at the paper's K = 0.05 and at a larger K where
+the linearization visibly degrades.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import first_order_model_error
+from repro.utils.serialization import format_table
+
+
+def test_ablation_first_order_vs_exact(benchmark):
+    def run():
+        return {
+            "K=0.02": first_order_model_error(k=0.02, grid_points=48),
+            "K=0.05": first_order_model_error(k=0.05, grid_points=48),
+            "K=0.20": first_order_model_error(k=0.20, grid_points=48),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Ablation — max |first-order - exact| relative deviation per element")
+    rows = [[k] + [v[label] for label in ("T11", "T12", "T21", "T22")] for k, v in result.items()]
+    print(format_table(["K", "T11", "T12", "T21", "T22"], rows))
+
+    def worst(errors):
+        finite = [v for v in errors.values() if np.isfinite(v)]
+        return max(finite)
+
+    # The linearization error must grow with K (it is a first-order model).
+    assert worst(result["K=0.02"]) < worst(result["K=0.20"])

@@ -1,0 +1,27 @@
+"""Benchmark / reproduction harness for the §III-D baseline-accuracy numbers.
+
+The paper quotes 94.12% accuracy with full 28x28 FFT features and a 6.77%
+loss after compressing to the 4x4 center crop.  This bench trains both
+variants on the synthetic corpus and reports the pair (absolute values
+differ from the paper — see EXPERIMENTS.md — but the compression loss must
+stay modest).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import BaselineConfig, run_baseline
+
+
+def test_baseline_feature_compression(benchmark):
+    config = BaselineConfig(num_train=1200, num_test=400, epochs=30, seed=2021)
+    result = benchmark.pedantic(run_baseline, args=(config,), rounds=1, iterations=1)
+    print()
+    print(result.report())
+
+    # Shape checks: both pipelines learn well above chance and the 49x
+    # feature compression costs only a modest amount of accuracy (at this
+    # reduced training scale the compressed model can even come out ahead,
+    # which satisfies the paper's claim a fortiori).
+    assert result.full_feature_accuracy > 0.45
+    assert result.cropped_feature_accuracy > 0.45
+    assert result.compression_loss < 0.25

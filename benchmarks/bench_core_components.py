@@ -1,0 +1,54 @@
+"""Micro-benchmarks of the core computational kernels.
+
+These are plain performance benchmarks (not paper reproductions): the
+Clements decomposition of a 16x16 unitary, one perturbed mesh evaluation,
+and one Monte Carlo accuracy trial of the full SPNN — the three operations
+every experiment in the paper loops over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh import MZIMesh, clements_decompose
+from repro.utils import random_unitary
+from repro.variation import UncertaintyModel, sample_mesh_perturbation, sample_network_perturbation
+
+
+def test_clements_decompose_16(benchmark):
+    unitary = random_unitary(16, rng=0)
+    decomposition = benchmark(clements_decompose, unitary)
+    assert decomposition.num_mzis == 120
+
+
+def test_perturbed_mesh_matrix_16(benchmark):
+    mesh = MZIMesh.from_unitary(random_unitary(16, rng=1))
+    model = UncertaintyModel.both(0.05)
+    perturbation = sample_mesh_perturbation(mesh, model, rng=2)
+    matrix = benchmark(mesh.matrix, perturbation)
+    assert matrix.shape == (16, 16)
+
+
+def test_spnn_monte_carlo_trial(benchmark, spnn_task):
+    """One EXP 1 Monte Carlo iteration: sample a network perturbation + evaluate accuracy."""
+    model = UncertaintyModel.both(0.05)
+    spnn = spnn_task.spnn
+    features, labels = spnn_task.test_features, spnn_task.test_labels
+    counter = {"seed": 0}
+
+    def trial():
+        counter["seed"] += 1
+        perturbation = sample_network_perturbation(spnn.photonic_layers, model, counter["seed"])
+        return spnn.accuracy(features, labels, perturbations=perturbation)
+
+    accuracy = benchmark(trial)
+    assert 0.0 <= accuracy <= 1.0
+
+
+def test_hardware_inference_throughput(benchmark, spnn_task):
+    """Nominal hardware inference over the benchmark test set."""
+    spnn = spnn_task.spnn
+    features = spnn_task.test_features
+    log_probs = benchmark(spnn.forward_hardware, features)
+    assert log_probs.shape == (len(features), 10)
+    assert np.allclose(np.exp(log_probs).sum(axis=-1), 1.0)

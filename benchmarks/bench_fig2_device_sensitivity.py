@@ -1,0 +1,28 @@
+"""Benchmark / reproduction harness for Fig. 2 (device-level sensitivity).
+
+Regenerates the four |dT_ij|/|T_ij| surfaces over the (theta, phi) grid with
+K = 0.05 and reports the per-element peaks plus the paper's qualitative
+claim (deviation grows with the tuned angles).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ELEMENT_LABELS
+from repro.experiments import Fig2Config, run_fig2
+
+
+def test_fig2_device_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        run_fig2, args=(Fig2Config(grid_points=64, k=0.05),), rounds=1, iterations=1
+    )
+    print()
+    print(result.report())
+    # Paper shape checks: every element's sensitivity grows with (theta, phi).
+    assert all(result.monotonic[label] for label in ELEMENT_LABELS)
+    assert all(result.peak_deviation[label] > 0 for label in ELEMENT_LABELS)
+
+
+def test_fig2_grid_scaling(benchmark):
+    """Micro-benchmark: sensitivity-map computation cost at a finer grid."""
+    result = benchmark(run_fig2, Fig2Config(grid_points=128, k=0.05))
+    assert result.sensitivity.relative_deviation.shape == (128, 128, 2, 2)

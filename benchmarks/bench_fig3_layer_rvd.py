@@ -1,0 +1,29 @@
+"""Benchmark / reproduction harness for Fig. 3 (layer-level RVD).
+
+Regenerates the average-RVD-per-MZI series for random 5x5 unitaries with
+sigma_PhS = sigma_BeS = 0.05, one perturbed MZI at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import Fig3Config, run_fig3
+
+#: Reduced Monte Carlo iteration count (the paper uses 1000).
+ITERATIONS = 100
+
+
+def test_fig3_layer_rvd(benchmark):
+    config = Fig3Config(iterations=ITERATIONS, num_matrices=4, sigma=0.05, seed=42)
+    result = benchmark.pedantic(run_fig3, args=(config,), rounds=1, iterations=1)
+    print()
+    print(result.report())
+
+    table = result.rvd_table()
+    assert table.shape == (4, 10)
+    # Paper shape checks: impact differs across MZIs of the same unitary and
+    # the per-MZI pattern differs across unitaries.
+    assert np.all(result.spread_per_matrix() > 0.1)
+    patterns = [np.argsort(row) for row in table]
+    assert any(not np.array_equal(patterns[0], p) for p in patterns[1:])

@@ -1,0 +1,42 @@
+"""Benchmark / reproduction harness for Fig. 4 (EXP 1, global uncertainties).
+
+Regenerates the accuracy-vs-sigma series for the three uncertainty cases
+(PhS only, BeS only, both) and checks the paper's qualitative shape:
+steep collapse with sigma, saturation near random-guess accuracy, and
+phase-shifter uncertainties dominating beam-splitter ones.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import Exp1Config, run_exp1
+
+SIGMAS = (0.0, 0.01, 0.025, 0.05, 0.075, 0.1, 0.15)
+
+#: Reduced Monte Carlo iteration count (the paper uses 1000 per point).
+BENCH_MC_ITERATIONS = 25
+
+
+def test_fig4_exp1_global_uncertainties(benchmark, spnn_task):
+    config = Exp1Config(sigmas=SIGMAS, iterations=BENCH_MC_ITERATIONS, seed=7)
+    result = benchmark.pedantic(run_exp1, args=(config,), kwargs={"task": spnn_task}, rounds=1, iterations=1)
+    print()
+    print(result.report())
+
+    both = result.mean_accuracy("both")
+    phs = result.mean_accuracy("phs")
+    bes = result.mean_accuracy("bes")
+
+    # Shape check 1: nominal accuracy is recovered at sigma = 0.
+    assert both[0] == result.nominal_accuracy
+
+    # Shape check 2: accuracy collapses as sigma grows and saturates near the
+    # 10% random-guess level by the end of the sweep (paper: < 10% at ~0.075).
+    assert both[-1] < 0.2
+    assert result.saturation_sigma("both", threshold=0.2) is not None
+
+    # Shape check 3: severe loss at sigma = 0.05 (paper: 69.98% loss).
+    assert result.loss_at_sigma("both", 0.05) > 0.3
+
+    # Shape check 4: PhS uncertainties hurt more than BeS uncertainties.
+    mid = len(SIGMAS) // 2
+    assert phs[mid] < bes[mid]

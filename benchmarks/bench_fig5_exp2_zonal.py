@@ -1,0 +1,47 @@
+"""Benchmark / reproduction harness for Fig. 5 (EXP 2, zonal perturbations).
+
+Regenerates accuracy-loss heatmaps under 2x2-MZI zonal perturbations
+(zone sigma 0.1, background 0.05, Sigma stages error-free).  The full paper
+run covers all six unitary multipliers; the benchmark covers the first and
+last linear layers' multipliers to bound runtime — extend ``MESH_NAMES`` to
+all six names for the full figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import Exp2Config, run_exp2
+
+#: Unitary multipliers benchmarked by default (subset of the six in Fig. 5).
+MESH_NAMES = ["U_L0", "U_L2"]
+
+#: Reduced Monte Carlo iteration count (the paper uses 1000 per zone).
+ITERATIONS = 8
+
+
+def test_fig5_exp2_zonal_perturbations(benchmark, spnn_task):
+    config = Exp2Config(iterations=ITERATIONS, zone_sigma=0.10, background_sigma=0.05, seed=11)
+    result = benchmark.pedantic(
+        run_exp2,
+        args=(config,),
+        kwargs={"task": spnn_task, "mesh_names": MESH_NAMES},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.report())
+    for name, heatmap in result.heatmaps.items():
+        print(f"\n{name} accuracy-loss heatmap [%] (rows x cols of 2x2-MZI zones):")
+        with np.printoptions(precision=1, suppress=True):
+            print(100.0 * heatmap.accuracy_loss)
+
+    # Shape check 1: every zonal loss stays in the neighbourhood of the
+    # global-uncertainty loss (the paper's 69.98% reference line).
+    for heatmap in result.heatmaps.values():
+        finite = heatmap.finite_losses()
+        assert finite.size > 0
+        assert np.all(np.abs(finite - result.global_loss) < 0.4)
+
+    # Shape check 2: the impact is non-uniform across zones.
+    assert max(h.spread for h in result.heatmaps.values()) > 0.0

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every figure / headline number of the paper at a
+reduced-but-representative scale (fewer Monte Carlo iterations and a smaller
+synthetic test set than the paper's 1000 x 10000), so the whole suite runs
+in minutes on a laptop.  The experiment configs are the single place where
+the scale is set; crank them up to paper scale by editing the constants
+below or by running the CLI without ``--smoke``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.onn import SPNNArchitecture, SPNNTrainingConfig, build_trained_spnn
+
+#: Monte Carlo iterations used by the benchmark-scale experiments.
+BENCH_MC_ITERATIONS = 25
+
+#: Synthetic test-set size used by the benchmark-scale experiments.
+BENCH_NUM_TEST = 400
+
+
+@pytest.fixture(scope="session")
+def spnn_task():
+    """Trained + compiled paper-architecture SPNN shared by all benchmarks."""
+    config = SPNNTrainingConfig(
+        architecture=SPNNArchitecture(layer_dims=(16, 16, 16, 10)),
+        num_train=1500,
+        num_test=BENCH_NUM_TEST,
+        epochs=40,
+        seed=2021,
+    )
+    return build_trained_spnn(config)

@@ -1,0 +1,53 @@
+"""Device-level sensitivity sweep (Fig. 2): |dT_ij|/|T_ij| over (theta, phi).
+
+Computes the first-order relative deviation of the four MZI transfer-matrix
+elements under a common relative phase error K = 0.05 and prints a coarse
+ASCII rendering of each surface plus the per-element peaks — the content of
+the paper's Fig. 2 without needing a plotting backend.
+
+Run with:  python examples/device_sensitivity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ELEMENT_LABELS
+from repro.experiments import Fig2Config, run_fig2
+
+#: Characters used for the coarse ASCII heatmap, from low to high.
+SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(surface: np.ndarray, bins: int = 10) -> str:
+    finite = surface[np.isfinite(surface)]
+    low, high = finite.min(), np.quantile(finite, 0.98)
+    lines = []
+    for row in surface:
+        chars = []
+        for value in row:
+            if not np.isfinite(value):
+                chars.append("!")
+                continue
+            level = int(np.clip((value - low) / max(high - low, 1e-12) * (bins - 1), 0, bins - 1))
+            chars.append(SHADES[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    result = run_fig2(Fig2Config(grid_points=32, k=0.05))
+    print(result.report())
+    print("\nASCII surfaces (theta increases downwards, phi to the right; '!' marks |T_ij| = 0):")
+    for label in ELEMENT_LABELS:
+        surface = result.sensitivity.element_by_label(label)
+        print(f"\n--- {label}:  |d{label}|/|{label}|,  peak = {result.peak_deviation[label]:.2f} ---")
+        print(ascii_heatmap(surface))
+    print(
+        "\nTakeaway (paper Fig. 2): the relative deviation grows monotonically with the tuned\n"
+        "phase angles — MZIs programmed to large theta/phi are intrinsically more fragile."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: build an MZI mesh, perturb it, and measure the damage.
+
+This script walks through the paper's hierarchy on a tiny example:
+
+1. component level  — an imperfect phase shifter and beam splitter,
+2. device level     — the MZI transfer matrix and its sensitivity,
+3. layer level      — a 5x5 unitary compiled onto a Clements mesh,
+                      perturbed with Gaussian uncertainties, scored by RVD,
+4. system level     — pointers to the full SPNN experiments (see the other
+                      examples and the `spnn-repro` CLI).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import rvd
+from repro.mesh import MZIMesh
+from repro.photonics import MZI, BeamSplitter, PhaseShifter, mzi_element_relative_deviation
+from repro.utils import random_unitary
+from repro.variation import UncertaintyModel, sample_mesh_perturbation
+
+
+def component_level() -> None:
+    print("=== component level ===")
+    shifter = PhaseShifter(phase=np.pi / 2)
+    print(f"phase shifter tuned to pi/2 needs a heater drive of {shifter.drive_temperature:.2f} K")
+    imperfect = BeamSplitter.from_reflectance_error(0.02)
+    print(f"imperfect splitter: r = {imperfect.r00:.4f} (ideal 0.7071), power split {imperfect.splitting_ratio:.3f}")
+
+
+def device_level() -> None:
+    print("\n=== device level ===")
+    device = MZI.from_angles(theta=1.2, phi=0.7)
+    print("ideal MZI power transmission:\n", np.round(device.power_transmission(), 3))
+    faulty = device.with_variations(delta_theta=0.2, delta_phi=-0.1, delta_r_in=0.02, delta_r_out=-0.02)
+    print("faulty MZI power transmission:\n", np.round(faulty.power_transmission(), 3))
+    sensitivity = mzi_element_relative_deviation(1.2, 0.7, k=0.05)
+    print("relative element sensitivity |dT|/|T| at K=0.05:\n", np.round(sensitivity, 3))
+
+
+def layer_level() -> None:
+    print("\n=== layer level ===")
+    unitary = random_unitary(5, rng=42)
+    mesh = MZIMesh.from_unitary(unitary, scheme="clements")
+    print(f"compiled a 5x5 unitary onto {mesh.num_mzis} MZIs in {mesh.num_columns} columns")
+    print(f"nominal reconstruction error: {np.max(np.abs(mesh.ideal_matrix() - unitary)):.2e}")
+
+    model = UncertaintyModel.both(0.05)  # sigma_PhS = sigma_BeS = 0.05, as in Fig. 3
+    rvd_values = []
+    for seed in range(200):
+        perturbation = sample_mesh_perturbation(mesh, model, rng=seed)
+        rvd_values.append(rvd(mesh.matrix(perturbation), unitary))
+    print(f"mean RVD over 200 Monte Carlo draws at sigma = 0.05: {np.mean(rvd_values):.3f}")
+
+
+def system_level_pointer() -> None:
+    print("\n=== system level ===")
+    print("Train and study the full 16-16-16-10 SPNN with:")
+    print("  python examples/global_uncertainty_study.py      (Fig. 4 / EXP 1)")
+    print("  python examples/zonal_criticality_study.py       (Fig. 5 / EXP 2)")
+    print("  spnn-repro exp1 --smoke                           (CLI)")
+
+
+if __name__ == "__main__":
+    component_level()
+    device_level()
+    layer_level()
+    system_level_pointer()

@@ -1,0 +1,84 @@
+"""Extension study: explicit thermal crosstalk and spatially-correlated FPV.
+
+The paper folds both effects into independent Gaussian perturbations.  This
+example uses the library's explicit physical models to show (a) how much
+systematic phase error neighbouring heaters induce on a compiled mesh, and
+(b) how spatial correlation in fabrication-process variations changes the
+spread of the layer-level deviation (RVD) compared to the independent model.
+
+Run with:  python examples/thermal_crosstalk_and_correlated_fpv.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import rvd, summarize
+from repro.mesh import MZIMesh
+from repro.utils import random_unitary
+from repro.utils.serialization import format_table
+from repro.variation import (
+    CorrelatedFPVModel,
+    ThermalCrosstalkModel,
+    UncertaintyModel,
+    sample_mesh_perturbation,
+)
+
+
+def thermal_crosstalk_study(mesh: MZIMesh) -> None:
+    print("=== thermal crosstalk between neighbouring heaters ===")
+    rows = []
+    for coupling in (0.01, 0.03, 0.05):
+        model = ThermalCrosstalkModel(coupling=coupling)
+        stats = model.phase_error_statistics(mesh)
+        deviation = rvd(mesh.matrix(model.perturbation(mesh)), mesh.ideal_matrix())
+        rows.append([coupling, stats["mean"], stats["max"], deviation])
+    print(format_table(["coupling", "mean dphi [rad]", "max dphi [rad]", "RVD"], rows))
+    print("(compare with the ~0.21 rad random phase error of a mature process, paper §III-A)\n")
+
+
+def correlated_fpv_study(mesh: MZIMesh, samples: int = 150) -> None:
+    print("=== independent vs spatially-correlated fabrication variations ===")
+    uncertainty = UncertaintyModel.both(0.05)
+    reference = mesh.ideal_matrix()
+    rows = []
+    for label, correlation_length in (("independent", 1e-6), ("correlated (L=2)", 2.0), ("correlated (L=4)", 4.0)):
+        fpv = CorrelatedFPVModel(correlation_length=correlation_length)
+        values = [
+            rvd(mesh.matrix(fpv.sample_mesh_perturbation(mesh, uncertainty, rng=seed)), reference)
+            for seed in range(samples)
+        ]
+        summary = summarize(values)
+        rows.append([label, summary.mean, summary.std, summary.maximum])
+    print(format_table(["variation model", "mean RVD", "std RVD", "max RVD"], rows))
+    print(
+        "\nwith identical per-device sigmas, spatial correlation changes the spread of outcomes —\n"
+        "the tail of bad chips grows even though the average stays comparable."
+    )
+
+
+def independent_gaussian_reference(mesh: MZIMesh, samples: int = 150) -> None:
+    print("\n=== reference: the paper's independent Gaussian model ===")
+    uncertainty = UncertaintyModel.both(0.05)
+    reference = mesh.ideal_matrix()
+    values = [
+        rvd(mesh.matrix(sample_mesh_perturbation(mesh, uncertainty, rng=seed)), reference)
+        for seed in range(samples)
+    ]
+    summary = summarize(values)
+    print(
+        f"mean RVD {summary.mean:.3f} +/- {summary.margin_of_error:.3f} "
+        f"(95% CI over {samples} Monte Carlo draws)"
+    )
+
+
+def main() -> None:
+    mesh = MZIMesh.from_unitary(random_unitary(8, rng=7))
+    print(f"compiled an 8x8 unitary onto {mesh.num_mzis} MZIs ({mesh.num_columns} columns)\n")
+    thermal_crosstalk_study(mesh)
+    correlated_fpv_study(mesh)
+    independent_gaussian_reference(mesh)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+legacy editable installs (`pip install -e .`) in fully offline environments
+where PEP 660 editable wheels cannot be built.
+"""
+from setuptools import setup
+
+setup()

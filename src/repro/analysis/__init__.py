@@ -1,0 +1,54 @@
+"""Analysis layer: RVD, sensitivity maps, Monte Carlo engine, criticality ranking."""
+
+from .critical import (
+    ComponentCriticality,
+    CriticalityReport,
+    per_mzi_rvd_criticality,
+    score_components,
+)
+from .monte_carlo import MonteCarloResult, MonteCarloRunner
+from .rvd import mean_rvd, normalized_rvd, rvd, rvd_matrix
+from .sensitivity import (
+    ELEMENT_LABELS,
+    SensitivityMap,
+    device_sensitivity_map,
+    exact_relative_deviation,
+    first_order_model_error,
+)
+from .statistics import (
+    SummaryStatistics,
+    confidence_interval,
+    margin_of_error,
+    required_iterations,
+    summarize,
+    worst_case_margin_of_error,
+)
+from .yield_analysis import YieldEstimate, estimate_yield, max_tolerable_sigma, yield_vs_sigma
+
+__all__ = [
+    "rvd",
+    "rvd_matrix",
+    "mean_rvd",
+    "normalized_rvd",
+    "SensitivityMap",
+    "device_sensitivity_map",
+    "exact_relative_deviation",
+    "first_order_model_error",
+    "ELEMENT_LABELS",
+    "MonteCarloRunner",
+    "MonteCarloResult",
+    "SummaryStatistics",
+    "summarize",
+    "margin_of_error",
+    "worst_case_margin_of_error",
+    "confidence_interval",
+    "required_iterations",
+    "ComponentCriticality",
+    "CriticalityReport",
+    "per_mzi_rvd_criticality",
+    "score_components",
+    "YieldEstimate",
+    "estimate_yield",
+    "yield_vs_sigma",
+    "max_tolerable_sigma",
+]

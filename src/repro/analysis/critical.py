@@ -1,0 +1,127 @@
+"""Critical-component identification (the paper's design-time framework).
+
+The stated purpose of the paper's modeling framework is to identify, before
+fabrication, which MZIs / regions of an SPNN are *critical* — i.e. where
+random uncertainties cause disproportionate damage (§I, §III-C/D).  This
+module implements that identification at two granularities:
+
+* per-MZI criticality of a single unitary mesh, scored by the average RVD
+  when only that device is perturbed (the Fig. 3 study), and
+* per-zone criticality of a full SPNN, scored by the mean accuracy loss when
+  the zone's uncertainty is elevated (the Fig. 5 / EXP 2 study) — see
+  :mod:`repro.experiments.exp2_zonal` for the experiment wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..mesh.mesh import MZIMesh
+from ..utils.rng import RNGLike, spawn_rngs
+from ..variation.models import UncertaintyModel
+from ..variation.sampler import sample_single_mzi_perturbation
+from .rvd import rvd
+from .statistics import summarize
+
+
+@dataclass(frozen=True)
+class ComponentCriticality:
+    """Criticality score of one component (MZI or zone)."""
+
+    identifier: int
+    score: float
+    std: float
+    extra: tuple = ()
+
+    def __lt__(self, other: "ComponentCriticality") -> bool:  # pragma: no cover - trivial
+        return self.score < other.score
+
+
+@dataclass
+class CriticalityReport:
+    """Ranked criticality scores for the components of one mesh/network."""
+
+    scores: List[ComponentCriticality]
+    metric: str
+
+    def ranked(self, descending: bool = True) -> List[ComponentCriticality]:
+        """Components sorted by score (most critical first by default)."""
+        return sorted(self.scores, key=lambda c: c.score, reverse=descending)
+
+    def most_critical(self, count: int = 1) -> List[ComponentCriticality]:
+        return self.ranked()[: max(0, count)]
+
+    def least_critical(self, count: int = 1) -> List[ComponentCriticality]:
+        return self.ranked(descending=False)[: max(0, count)]
+
+    def as_array(self) -> np.ndarray:
+        """Scores ordered by component identifier (useful for plotting)."""
+        ordered = sorted(self.scores, key=lambda c: c.identifier)
+        return np.array([c.score for c in ordered], dtype=np.float64)
+
+    @property
+    def spread(self) -> float:
+        """Max minus min score — the paper's evidence that impact is non-uniform."""
+        values = self.as_array()
+        return float(values.max() - values.min()) if values.size else 0.0
+
+
+def per_mzi_rvd_criticality(
+    mesh: MZIMesh,
+    model: UncertaintyModel,
+    iterations: int = 1000,
+    rng: RNGLike = None,
+    rvd_eps: float = 0.0,
+) -> CriticalityReport:
+    """Average RVD of a mesh when each MZI is perturbed in isolation (Fig. 3).
+
+    For every MZI the mesh is re-evaluated ``iterations`` times with random
+    perturbations applied to that device only; the average RVD against the
+    nominal unitary is that device's criticality score.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    reference = mesh.ideal_matrix()
+    streams = spawn_rngs(rng, mesh.num_mzis)
+    scores: List[ComponentCriticality] = []
+    for mzi_index, stream in enumerate(streams):
+        samples = np.empty(iterations, dtype=np.float64)
+        for iteration in range(iterations):
+            perturbation = sample_single_mzi_perturbation(mesh, mzi_index, model, stream)
+            samples[iteration] = rvd(mesh.matrix(perturbation), reference, eps=rvd_eps)
+        summary = summarize(samples)
+        scores.append(
+            ComponentCriticality(identifier=mzi_index, score=summary.mean, std=summary.std)
+        )
+    return CriticalityReport(scores=scores, metric="mean_rvd")
+
+
+def score_components(
+    component_ids: Sequence[int],
+    metric_fn: Callable[[int, np.random.Generator], float],
+    iterations: int,
+    rng: RNGLike = None,
+    metric: str = "custom",
+) -> CriticalityReport:
+    """Generic criticality scoring loop.
+
+    ``metric_fn(component_id, generator)`` evaluates the impact metric for
+    one Monte Carlo draw targeting one component; the component score is the
+    mean over ``iterations`` draws.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    streams = spawn_rngs(rng, len(component_ids))
+    scores: List[ComponentCriticality] = []
+    for component_id, stream in zip(component_ids, streams):
+        samples = np.array(
+            [float(metric_fn(component_id, stream)) for _ in range(iterations)], dtype=np.float64
+        )
+        summary = summarize(samples)
+        scores.append(
+            ComponentCriticality(identifier=int(component_id), score=summary.mean, std=summary.std)
+        )
+    return CriticalityReport(scores=scores, metric=metric)

@@ -1,0 +1,153 @@
+"""Device-level sensitivity analysis of the MZI transfer matrix (Fig. 2).
+
+The paper evaluates how much each element of the MZI transfer matrix
+deviates — relative to its nominal magnitude — when the two phase angles
+share a common relative error ``K`` (Eqs. 3-4), sweeping ``theta`` and
+``phi`` over their tuning range.  The headline observation is that the
+relative deviation grows monotonically with the tuned angles, i.e. MZIs
+tuned to larger phases are intrinsically more sensitive.
+
+This module computes that (theta, phi) sensitivity map with both the
+paper's first-order model and an exact re-evaluation of the transfer
+matrix, the latter feeding the model-accuracy ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..photonics.mzi import (
+    mzi_element_relative_deviation,
+    mzi_first_order_deviation,
+    mzi_transfer,
+)
+
+#: Human-readable labels of the four transfer-matrix elements, in (row, col) order.
+ELEMENT_LABELS = ("T11", "T12", "T21", "T22")
+
+
+@dataclass
+class SensitivityMap:
+    """Relative-deviation surfaces over a (theta, phi) grid.
+
+    Attributes
+    ----------
+    thetas, phis:
+        1-D grids of the swept phase angles [rad].
+    relative_deviation:
+        Array of shape ``(len(thetas), len(phis), 2, 2)`` holding
+        ``|dT_ij| / |T_ij|``; ``nan`` marks points where the nominal element
+        magnitude vanishes.
+    k:
+        The common relative phase error used (0.05 in the paper).
+    """
+
+    thetas: np.ndarray
+    phis: np.ndarray
+    relative_deviation: np.ndarray
+    k: float
+
+    def element(self, row: int, col: int) -> np.ndarray:
+        """Deviation surface of one matrix element (``(theta, phi)`` grid)."""
+        return self.relative_deviation[:, :, row, col]
+
+    def element_by_label(self, label: str) -> np.ndarray:
+        """Deviation surface selected by its paper label (``"T11"`` ... ``"T22"``)."""
+        label = label.upper()
+        if label not in ELEMENT_LABELS:
+            raise KeyError(f"unknown element label {label!r}; expected one of {ELEMENT_LABELS}")
+        index = ELEMENT_LABELS.index(label)
+        return self.element(index // 2, index % 2)
+
+    def peak_deviation(self) -> Dict[str, float]:
+        """Maximum finite relative deviation of each element over the grid."""
+        peaks = {}
+        for index, label in enumerate(ELEMENT_LABELS):
+            surface = self.element(index // 2, index % 2)
+            finite = surface[np.isfinite(surface)]
+            peaks[label] = float(finite.max()) if finite.size else float("nan")
+        return peaks
+
+    def monotonic_along_axes(self, label: str, quantile: float = 0.9) -> bool:
+        """Check the paper's qualitative claim that deviation grows with theta and phi.
+
+        Compares the mean deviation in the top-``quantile`` corner of the
+        grid against the bottom corner; returns ``True`` when the corner at
+        large angles dominates.
+        """
+        surface = self.element_by_label(label)
+        finite = np.where(np.isfinite(surface), surface, np.nan)
+        split_t = int(len(self.thetas) * quantile)
+        split_p = int(len(self.phis) * quantile)
+        low = np.nanmean(finite[: max(1, len(self.thetas) - split_t), : max(1, len(self.phis) - split_p)])
+        high = np.nanmean(finite[split_t:, split_p:])
+        return bool(high > low)
+
+
+def device_sensitivity_map(
+    k: float = 0.05,
+    grid_points: int = 64,
+    theta_max: float = 2.0 * np.pi,
+    phi_max: float = 2.0 * np.pi,
+) -> SensitivityMap:
+    """Compute the Fig. 2 sensitivity surfaces with the first-order model.
+
+    Parameters
+    ----------
+    k:
+        Common relative error ``K`` on both phases (0.05 in the paper).
+    grid_points:
+        Number of grid samples per axis.
+    theta_max, phi_max:
+        Upper ends of the swept ranges (the paper sweeps the full
+        ``[0, 2*pi]`` tuning range).
+    """
+    if grid_points < 2:
+        raise ValueError(f"grid_points must be >= 2, got {grid_points}")
+    thetas = np.linspace(0.0, theta_max, grid_points)
+    phis = np.linspace(0.0, phi_max, grid_points)
+    theta_grid, phi_grid = np.meshgrid(thetas, phis, indexing="ij")
+    deviation = mzi_element_relative_deviation(theta_grid, phi_grid, k)
+    return SensitivityMap(thetas=thetas, phis=phis, relative_deviation=deviation, k=float(k))
+
+
+def exact_relative_deviation(theta, phi, k: float, eps: float = 1e-12) -> np.ndarray:
+    """Exact (non-linearized) version of ``|dT_ij| / |T_ij|`` for the ablation study.
+
+    Re-evaluates the transfer matrix at the perturbed angles
+    ``theta(1+K), phi(1+K)`` instead of using the first-order expansion.
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    nominal = mzi_transfer(theta, phi)
+    perturbed = mzi_transfer(theta * (1.0 + k), phi * (1.0 + k))
+    magnitude = np.abs(nominal)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.abs(perturbed - nominal) / magnitude
+    return np.where(magnitude < eps, np.nan, rel)
+
+
+def first_order_model_error(
+    k: float = 0.05,
+    grid_points: int = 32,
+) -> Dict[str, float]:
+    """Worst-case discrepancy between the first-order and exact deviation models.
+
+    Returns per-element maxima of ``|first_order - exact|`` over the grid —
+    the quantity reported by the sensitivity-model ablation bench.
+    """
+    thetas = np.linspace(0.0, 2.0 * np.pi, grid_points)
+    phis = np.linspace(0.0, 2.0 * np.pi, grid_points)
+    theta_grid, phi_grid = np.meshgrid(thetas, phis, indexing="ij")
+    first_order = mzi_element_relative_deviation(theta_grid, phi_grid, k)
+    exact = exact_relative_deviation(theta_grid, phi_grid, k)
+    errors: Dict[str, float] = {}
+    for index, label in enumerate(ELEMENT_LABELS):
+        row, col = index // 2, index % 2
+        diff = np.abs(first_order[..., row, col] - exact[..., row, col])
+        finite = diff[np.isfinite(diff)]
+        errors[label] = float(finite.max()) if finite.size else float("nan")
+    return errors

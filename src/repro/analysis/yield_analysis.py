@@ -1,0 +1,104 @@
+"""Yield analysis: turning Monte Carlo accuracy samples into design metrics.
+
+The paper motivates its framework by the need to "identify critical
+components during design time ... for improving the yield" (§I).  This
+module provides the missing last step: given Monte Carlo accuracy samples
+(from :func:`repro.onn.inference.monte_carlo_accuracy` or the EXP 1 runner),
+compute the *parametric yield* — the fraction of fabricated networks that
+would still meet an accuracy specification — and sweep it against the
+uncertainty level to find the maximum tolerable sigma for a target yield.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class YieldEstimate:
+    """Estimated yield at one uncertainty level.
+
+    Attributes
+    ----------
+    accuracy_threshold:
+        Minimum acceptable accuracy (the "spec").
+    yield_fraction:
+        Fraction of Monte Carlo samples meeting the spec.
+    mean_accuracy:
+        Mean accuracy of the samples (for context).
+    samples:
+        Number of Monte Carlo samples the estimate is based on.
+    """
+
+    accuracy_threshold: float
+    yield_fraction: float
+    mean_accuracy: float
+    samples: int
+
+    @property
+    def standard_error(self) -> float:
+        """Binomial standard error of the yield estimate."""
+        p, n = self.yield_fraction, self.samples
+        if n <= 1:
+            return float("inf")
+        return float(np.sqrt(p * (1.0 - p) / n))
+
+
+def estimate_yield(accuracies: Sequence[float], accuracy_threshold: float) -> YieldEstimate:
+    """Fraction of uncertainty realizations whose accuracy meets the spec.
+
+    Parameters
+    ----------
+    accuracies:
+        Monte Carlo accuracy samples in ``[0, 1]``.
+    accuracy_threshold:
+        Minimum acceptable accuracy in ``[0, 1]``.
+    """
+    samples = np.asarray(accuracies, dtype=np.float64)
+    if samples.ndim != 1 or samples.size == 0:
+        raise ValueError("accuracies must be a non-empty 1-D sequence")
+    if not 0.0 <= accuracy_threshold <= 1.0:
+        raise ValueError(f"accuracy_threshold must be in [0, 1], got {accuracy_threshold}")
+    meeting = float(np.mean(samples >= accuracy_threshold))
+    return YieldEstimate(
+        accuracy_threshold=float(accuracy_threshold),
+        yield_fraction=meeting,
+        mean_accuracy=float(samples.mean()),
+        samples=int(samples.size),
+    )
+
+
+def yield_vs_sigma(
+    accuracy_samples_per_sigma: Dict[float, Sequence[float]],
+    accuracy_threshold: float,
+) -> Dict[float, YieldEstimate]:
+    """Yield estimate for every uncertainty level in a sweep.
+
+    ``accuracy_samples_per_sigma`` maps the normalized sigma to the Monte
+    Carlo accuracy samples collected at that level (e.g. from an EXP 1 run:
+    ``{sigma: result.samples for sigma, result in zip(config.sigmas, results['both'])}``).
+    """
+    return {
+        float(sigma): estimate_yield(samples, accuracy_threshold)
+        for sigma, samples in accuracy_samples_per_sigma.items()
+    }
+
+
+def max_tolerable_sigma(
+    accuracy_samples_per_sigma: Dict[float, Sequence[float]],
+    accuracy_threshold: float,
+    target_yield: float = 0.9,
+) -> Optional[float]:
+    """Largest swept sigma whose estimated yield still meets ``target_yield``.
+
+    Returns ``None`` when no swept level (including the smallest) meets the
+    target — i.e. the design is not manufacturable at the required spec.
+    """
+    if not 0.0 < target_yield <= 1.0:
+        raise ValueError(f"target_yield must be in (0, 1], got {target_yield}")
+    estimates = yield_vs_sigma(accuracy_samples_per_sigma, accuracy_threshold)
+    passing = [sigma for sigma, estimate in estimates.items() if estimate.yield_fraction >= target_yield]
+    return max(passing) if passing else None

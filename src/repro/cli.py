@@ -1,0 +1,113 @@
+"""Command-line interface: ``spnn-repro <experiment> [options]``.
+
+Runs any of the paper's experiments from the shell and prints the same rows
+the paper reports.  Results can optionally be saved as JSON for archival.
+
+Examples
+--------
+::
+
+    spnn-repro list
+    spnn-repro fig2
+    spnn-repro fig3 --smoke
+    spnn-repro exp1 --smoke --output exp1.json
+    spnn-repro summary            # hardware inventory (1374 phase shifters)
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from typing import Optional, Sequence
+
+from .experiments.registry import build_registry, get_experiment, list_experiments
+from .onn.builder import SPNNTrainingConfig, build_trained_spnn
+from .utils.serialization import format_table, save_json, to_jsonable
+
+
+def _print_experiment_list() -> None:
+    rows = [[identifier, description] for identifier, description in sorted(list_experiments().items())]
+    print(format_table(["experiment", "description"], rows))
+
+
+def _run_summary(smoke: bool) -> dict:
+    """Train/compile the SPNN and print its hardware inventory."""
+    training = SPNNTrainingConfig(num_train=600, num_test=200, epochs=20) if smoke else SPNNTrainingConfig()
+    task = build_trained_spnn(training)
+    summary = task.spnn.hardware_summary()
+    summary["baseline_accuracy_percent"] = 100.0 * task.baseline_accuracy
+    rows = [[key, value] for key, value in summary.items()]
+    print("SPNN hardware inventory (paper: 687 MZIs, 1374 tunable phase shifters)")
+    print(format_table(["quantity", "value"], rows))
+    return summary
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spnn-repro",
+        description="Reproduce the experiments of 'Modeling Silicon-Photonic Neural Networks under Uncertainties' (DATE 2021).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig2, fig3, exp1, exp2, baseline), 'summary' or 'list'",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use the fast smoke configuration instead of the paper-scale one",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="override the number of Monte Carlo iterations (where applicable)",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="write the result (JSON) to this path",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``spnn-repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    identifier = args.experiment.lower()
+    if identifier == "list":
+        _print_experiment_list()
+        return 0
+    if identifier == "summary":
+        summary = _run_summary(args.smoke)
+        if args.output:
+            save_json(summary, args.output)
+        return 0
+
+    spec = get_experiment(identifier)
+    config = spec.smoke_config if args.smoke else spec.default_config
+    if args.iterations is not None and hasattr(config, "iterations"):
+        config = dataclasses.replace(config, iterations=args.iterations)
+
+    start = time.time()
+    result = spec.runner(config)
+    elapsed = time.time() - start
+
+    if hasattr(result, "report"):
+        print(result.report())
+    else:  # pragma: no cover - all current experiments define report()
+        print(result)
+    print(f"\n[{spec.identifier}] completed in {elapsed:.1f}s")
+
+    if args.output:
+        save_json(to_jsonable(result), args.output)
+        print(f"result written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Fourier-domain feature extraction for the SPNN input stage.
+
+The paper converts each 28x28 real-valued image into a complex-valued
+feature vector by taking the *shifted* 2-D FFT and keeping only a small
+region at the center of the frequency spectrum (a 4x4 crop giving 16
+complex features, §III-D).  This module implements that pipeline, plus the
+uncompressed 784-dimensional variant used for the baseline-accuracy number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .synthetic_mnist import Dataset
+
+
+def shifted_fft2(images: np.ndarray) -> np.ndarray:
+    """Centered 2-D FFT of a batch of images.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(n, h, w)`` or ``(h, w)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex spectrum with the DC component moved to the center
+        (``fftshift``), same shape as the input.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    single = images.ndim == 2
+    if single:
+        images = images[np.newaxis]
+    if images.ndim != 3:
+        raise ShapeError(f"images must have shape (n, h, w) or (h, w), got {images.shape}")
+    spectrum = np.fft.fftshift(np.fft.fft2(images), axes=(-2, -1))
+    return spectrum[0] if single else spectrum
+
+
+def center_crop(spectrum: np.ndarray, crop: int) -> np.ndarray:
+    """Extract the central ``crop x crop`` block of a (batched) spectrum."""
+    spectrum = np.asarray(spectrum)
+    single = spectrum.ndim == 2
+    if single:
+        spectrum = spectrum[np.newaxis]
+    if spectrum.ndim != 3:
+        raise ShapeError(f"spectrum must have shape (n, h, w) or (h, w), got {spectrum.shape}")
+    _, h, w = spectrum.shape
+    if crop < 1 or crop > h or crop > w:
+        raise ShapeError(f"crop must be in [1, {min(h, w)}], got {crop}")
+    top = (h - crop) // 2
+    left = (w - crop) // 2
+    block = spectrum[:, top : top + crop, left : left + crop]
+    return block[0] if single else block
+
+
+def fft_crop_features(images: np.ndarray, crop: int = 4, normalize: bool = True) -> np.ndarray:
+    """Full paper pipeline: shifted FFT -> ``crop x crop`` center -> flatten.
+
+    Parameters
+    ----------
+    images:
+        ``(n, h, w)`` batch of real images.
+    crop:
+        Side of the central frequency block (4 in the paper -> 16 complex
+        features).
+    normalize:
+        Divide by the number of image pixels so the feature magnitudes are
+        O(1) regardless of image size; this keeps the photonic input powers
+        in a physically sensible range and stabilizes training.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex array of shape ``(n, crop*crop)``.
+    """
+    spectrum = shifted_fft2(images)
+    block = center_crop(spectrum, crop)
+    single = block.ndim == 2
+    if single:
+        block = block[np.newaxis]
+    features = block.reshape(block.shape[0], -1)
+    if normalize:
+        images = np.asarray(images)
+        pixels = images.shape[-1] * images.shape[-2]
+        features = features / pixels
+    return features[0] if single else features
+
+
+def full_fft_features(images: np.ndarray, normalize: bool = True) -> np.ndarray:
+    """Uncompressed shifted-FFT features flattened to ``(n, h*w)`` complex."""
+    spectrum = shifted_fft2(images)
+    single = spectrum.ndim == 2
+    if single:
+        spectrum = spectrum[np.newaxis]
+    features = spectrum.reshape(spectrum.shape[0], -1)
+    if normalize:
+        images = np.asarray(images)
+        pixels = images.shape[-1] * images.shape[-2]
+        features = features / pixels
+    return features[0] if single else features
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Configuration of the SPNN input feature pipeline."""
+
+    crop: int = 4
+    normalize: bool = True
+
+    @property
+    def num_features(self) -> int:
+        return self.crop * self.crop
+
+
+class FFTFeatureExtractor:
+    """Callable object turning image datasets into complex feature matrices."""
+
+    def __init__(self, config: FeatureConfig | None = None):
+        self.config = config if config is not None else FeatureConfig()
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return fft_crop_features(images, crop=self.config.crop, normalize=self.config.normalize)
+
+    def transform_dataset(self, dataset: Dataset) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(features, labels)`` for a :class:`Dataset`."""
+        return self(dataset.images), dataset.labels.copy()

@@ -1,0 +1,76 @@
+"""Dataset splitting and batching helpers."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.rng import RNGLike, ensure_rng
+from .synthetic_mnist import Dataset
+
+
+def train_val_split(dataset: Dataset, val_fraction: float = 0.1, rng: RNGLike = None) -> Tuple[Dataset, Dataset]:
+    """Split a dataset into train/validation subsets.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    val_fraction:
+        Fraction of samples placed in the validation subset (0 < f < 1).
+    rng:
+        Seed or generator controlling the shuffle.
+    """
+    if not 0.0 < val_fraction < 1.0:
+        raise ConfigurationError(f"val_fraction must be in (0, 1), got {val_fraction}")
+    gen = ensure_rng(rng)
+    indices = np.arange(len(dataset))
+    gen.shuffle(indices)
+    val_size = max(1, int(round(len(dataset) * val_fraction)))
+    if val_size >= len(dataset):
+        raise ConfigurationError("validation split would consume the entire dataset")
+    val_idx = indices[:val_size]
+    train_idx = indices[val_size:]
+    return dataset.subset(train_idx), dataset.subset(val_idx)
+
+
+def stratified_split(dataset: Dataset, val_fraction: float = 0.1, rng: RNGLike = None) -> Tuple[Dataset, Dataset]:
+    """Class-stratified train/validation split (each class split separately)."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ConfigurationError(f"val_fraction must be in (0, 1), got {val_fraction}")
+    gen = ensure_rng(rng)
+    train_indices: list[int] = []
+    val_indices: list[int] = []
+    for label in np.unique(dataset.labels):
+        class_idx = np.flatnonzero(dataset.labels == label)
+        gen.shuffle(class_idx)
+        val_size = max(1, int(round(len(class_idx) * val_fraction))) if len(class_idx) > 1 else 0
+        val_indices.extend(class_idx[:val_size].tolist())
+        train_indices.extend(class_idx[val_size:].tolist())
+    if not train_indices or not val_indices:
+        raise ConfigurationError("stratified split produced an empty subset")
+    return dataset.subset(train_indices), dataset.subset(val_indices)
+
+
+def batch_iterator(
+    features: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    shuffle: bool = False,
+    rng: RNGLike = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(features, labels)`` batches; the last batch may be smaller."""
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    if len(features) != len(labels):
+        raise ConfigurationError(f"features ({len(features)}) and labels ({len(labels)}) lengths differ")
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    order = np.arange(len(features))
+    if shuffle:
+        ensure_rng(rng).shuffle(order)
+    for start in range(0, len(order), batch_size):
+        idx = order[start : start + batch_size]
+        yield features[idx], labels[idx]

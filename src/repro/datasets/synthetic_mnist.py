@@ -1,0 +1,265 @@
+"""Procedural synthetic handwritten-digit dataset (MNIST substitute).
+
+The paper evaluates its SPNN on MNIST.  This environment has no network
+access, so an equivalent corpus is generated procedurally: each digit class
+is defined by a stroke skeleton (polylines and ellipses in a normalized
+coordinate frame), rendered onto a 28x28 grid with per-sample random affine
+jitter, stroke-width variation, blur and pixel noise.  The result has the
+same shape, value range and class structure as MNIST, so every downstream
+code path of the reproduction — FFT feature extraction, complex-valued
+training, SVD-to-mesh compilation and Monte Carlo uncertainty analysis —
+is exercised identically.  The substitution is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from ..exceptions import ConfigurationError
+from ..utils.rng import RNGLike, ensure_rng
+
+#: Image side length, matching MNIST.
+IMAGE_SIZE = 28
+
+#: Number of digit classes.
+NUM_CLASSES = 10
+
+Point = Tuple[float, float]
+Stroke = List[Point]
+
+
+def _ellipse(cx: float, cy: float, rx: float, ry: float, start: float = 0.0, stop: float = 2 * np.pi, points: int = 40) -> Stroke:
+    """Polyline approximation of an ellipse arc in the unit square."""
+    angles = np.linspace(start, stop, points)
+    return [(cx + rx * np.cos(a), cy + ry * np.sin(a)) for a in angles]
+
+
+def _line(p0: Point, p1: Point, points: int = 12) -> Stroke:
+    """Polyline with ``points`` samples between two endpoints."""
+    ts = np.linspace(0.0, 1.0, points)
+    return [(p0[0] + t * (p1[0] - p0[0]), p0[1] + t * (p1[1] - p0[1])) for t in ts]
+
+
+def _digit_strokes() -> Dict[int, List[Stroke]]:
+    """Stroke skeletons for the ten digits in (x, y) with y increasing downward."""
+    strokes: Dict[int, List[Stroke]] = {
+        0: [_ellipse(0.5, 0.5, 0.28, 0.38)],
+        1: [_line((0.38, 0.3), (0.55, 0.15)), _line((0.55, 0.15), (0.55, 0.85))],
+        2: [
+            _ellipse(0.5, 0.33, 0.26, 0.2, start=np.pi, stop=2.35 * np.pi, points=30),
+            _line((0.72, 0.45), (0.28, 0.85)),
+            _line((0.28, 0.85), (0.75, 0.85)),
+        ],
+        3: [
+            _ellipse(0.48, 0.33, 0.24, 0.18, start=0.75 * np.pi, stop=2.4 * np.pi, points=30),
+            _ellipse(0.48, 0.67, 0.26, 0.2, start=1.6 * np.pi, stop=3.25 * np.pi, points=30),
+        ],
+        4: [
+            _line((0.62, 0.15), (0.3, 0.62)),
+            _line((0.3, 0.62), (0.78, 0.62)),
+            _line((0.62, 0.15), (0.62, 0.88)),
+        ],
+        5: [
+            _line((0.72, 0.15), (0.32, 0.15)),
+            _line((0.32, 0.15), (0.3, 0.48)),
+            _ellipse(0.5, 0.65, 0.24, 0.22, start=1.35 * np.pi, stop=2.85 * np.pi, points=30),
+        ],
+        6: [
+            _line((0.62, 0.13), (0.36, 0.5)),
+            _ellipse(0.5, 0.66, 0.22, 0.2),
+        ],
+        7: [
+            _line((0.28, 0.16), (0.74, 0.16)),
+            _line((0.74, 0.16), (0.42, 0.86)),
+        ],
+        8: [
+            _ellipse(0.5, 0.32, 0.2, 0.17),
+            _ellipse(0.5, 0.68, 0.24, 0.2),
+        ],
+        9: [
+            _ellipse(0.5, 0.34, 0.22, 0.2),
+            _line((0.7, 0.36), (0.62, 0.87)),
+        ],
+    }
+    return strokes
+
+
+#: Module-level cache of the digit skeletons.
+_DIGIT_STROKES = _digit_strokes()
+
+
+@dataclass(frozen=True)
+class DigitStyle:
+    """Per-sample rendering style parameters.
+
+    Attributes mirror common sources of intra-class variation in
+    handwritten digits: position, scale, slant, stroke thickness and blur.
+    """
+
+    dx: float = 0.0
+    dy: float = 0.0
+    scale: float = 1.0
+    rotation: float = 0.0
+    shear: float = 0.0
+    stroke_width: float = 1.4
+    blur: float = 0.6
+    noise: float = 0.02
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        """Apply the affine style transform to ``(n, 2)`` unit-square points."""
+        centered = points - 0.5
+        cos_r, sin_r = np.cos(self.rotation), np.sin(self.rotation)
+        rot = np.array([[cos_r, -sin_r], [sin_r, cos_r]])
+        shear = np.array([[1.0, self.shear], [0.0, 1.0]])
+        transformed = centered @ (rot @ shear).T * self.scale
+        return transformed + 0.5 + np.array([self.dx, self.dy])
+
+
+def random_style(rng: RNGLike = None, variability: float = 1.0) -> DigitStyle:
+    """Draw a random :class:`DigitStyle`.
+
+    ``variability`` scales every jitter amplitude; 0 gives the canonical
+    glyph, 1 the default MNIST-like spread.
+    """
+    gen = ensure_rng(rng)
+    v = float(variability)
+    return DigitStyle(
+        dx=float(gen.normal(0.0, 0.04 * v)),
+        dy=float(gen.normal(0.0, 0.04 * v)),
+        scale=float(1.0 + gen.normal(0.0, 0.08 * v)),
+        rotation=float(gen.normal(0.0, 0.12 * v)),
+        shear=float(gen.normal(0.0, 0.15 * v)),
+        stroke_width=float(np.clip(1.4 + gen.normal(0.0, 0.35 * v), 0.8, 2.6)),
+        blur=float(np.clip(0.6 + gen.normal(0.0, 0.15 * v), 0.3, 1.2)),
+        noise=float(np.clip(0.02 * v, 0.0, 0.08)),
+    )
+
+
+def render_digit(
+    digit: int,
+    style: DigitStyle | None = None,
+    rng: RNGLike = None,
+    image_size: int = IMAGE_SIZE,
+) -> np.ndarray:
+    """Render one digit as a ``(image_size, image_size)`` float image in [0, 1].
+
+    Parameters
+    ----------
+    digit:
+        Class label in ``0..9``.
+    style:
+        Rendering style; drawn randomly from ``rng`` when omitted.
+    rng:
+        Seed/generator used for the style and the additive pixel noise.
+    image_size:
+        Output resolution (28 matches MNIST).
+    """
+    if digit not in _DIGIT_STROKES:
+        raise ConfigurationError(f"digit must be in 0..9, got {digit}")
+    gen = ensure_rng(rng)
+    if style is None:
+        style = random_style(gen)
+
+    canvas = np.zeros((image_size, image_size), dtype=np.float64)
+    for stroke in _DIGIT_STROKES[digit]:
+        points = style.transform(np.asarray(stroke, dtype=np.float64))
+        # Densify the polyline so the rasterization has no gaps.
+        dense: List[np.ndarray] = []
+        for start, stop in zip(points[:-1], points[1:]):
+            seg_len = np.hypot(*(stop - start))
+            samples = max(int(seg_len * image_size * 2), 2)
+            ts = np.linspace(0.0, 1.0, samples)
+            dense.append(start[None, :] + ts[:, None] * (stop - start)[None, :])
+        for chunk in dense:
+            cols = chunk[:, 0] * (image_size - 1)
+            rows = chunk[:, 1] * (image_size - 1)
+            valid = (cols >= 0) & (cols <= image_size - 1) & (rows >= 0) & (rows <= image_size - 1)
+            cols, rows = cols[valid], rows[valid]
+            canvas[np.round(rows).astype(int), np.round(cols).astype(int)] = 1.0
+
+    # Thicken the strokes and soften edges.
+    canvas = gaussian_filter(canvas, sigma=style.stroke_width * 0.45)
+    if canvas.max() > 0:
+        canvas = canvas / canvas.max()
+    canvas = np.clip(canvas * 1.6, 0.0, 1.0)
+    canvas = gaussian_filter(canvas, sigma=style.blur * 0.5)
+    if canvas.max() > 0:
+        canvas = canvas / canvas.max()
+    if style.noise > 0:
+        canvas = np.clip(canvas + gen.normal(0.0, style.noise, canvas.shape), 0.0, 1.0)
+    return canvas
+
+
+@dataclass
+class Dataset:
+    """A simple in-memory image-classification dataset."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if len(self.images) != len(self.labels):
+            raise ConfigurationError(
+                f"images ({len(self.images)}) and labels ({len(self.labels)}) lengths differ"
+            )
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(self.images[indices], self.labels[indices])
+
+    def class_counts(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=NUM_CLASSES)
+
+
+def generate_dataset(
+    num_samples: int,
+    rng: RNGLike = None,
+    image_size: int = IMAGE_SIZE,
+    variability: float = 1.0,
+    balanced: bool = True,
+) -> Dataset:
+    """Generate ``num_samples`` synthetic digit images with labels.
+
+    With ``balanced=True`` the class counts differ by at most one; otherwise
+    labels are sampled uniformly at random.
+    """
+    if num_samples < 1:
+        raise ConfigurationError(f"num_samples must be >= 1, got {num_samples}")
+    gen = ensure_rng(rng)
+    if balanced:
+        labels = np.arange(num_samples) % NUM_CLASSES
+        gen.shuffle(labels)
+    else:
+        labels = gen.integers(0, NUM_CLASSES, size=num_samples)
+    images = np.zeros((num_samples, image_size, image_size), dtype=np.float64)
+    for i, label in enumerate(labels):
+        images[i] = render_digit(int(label), rng=gen, image_size=image_size, style=random_style(gen, variability))
+    return Dataset(images=images, labels=np.asarray(labels, dtype=np.int64))
+
+
+def load_synthetic_mnist(
+    num_train: int = 4000,
+    num_test: int = 1000,
+    seed: int = 2021,
+    image_size: int = IMAGE_SIZE,
+    variability: float = 1.0,
+) -> Tuple[Dataset, Dataset]:
+    """Return ``(train, test)`` synthetic-MNIST datasets.
+
+    The split is deterministic in ``seed`` and the train/test generators are
+    independent streams, so enlarging one split never changes the other.
+    """
+    parent = np.random.SeedSequence(seed)
+    train_seq, test_seq = parent.spawn(2)
+    train = generate_dataset(num_train, rng=np.random.default_rng(train_seq), image_size=image_size, variability=variability)
+    test = generate_dataset(num_test, rng=np.random.default_rng(test_seq), image_size=image_size, variability=variability)
+    return train, test

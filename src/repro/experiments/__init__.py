@@ -1,0 +1,41 @@
+"""Experiment runners reproducing every figure and headline number of the paper."""
+
+from .baseline_accuracy import BaselineConfig, BaselineResult, run_baseline
+from .exp1_global import (
+    DEFAULT_SIGMAS,
+    EXP1_CASES,
+    Exp1Config,
+    Exp1Result,
+    run_exp1,
+    uncertainty_model_for_case,
+)
+from .exp2_zonal import Exp2Config, Exp2Result, ZonalHeatmap, run_exp2
+from .fig2_device_sensitivity import Fig2Config, Fig2Result, run_fig2
+from .fig3_layer_rvd import Fig3Config, Fig3Result, run_fig3
+from .registry import ExperimentSpec, build_registry, get_experiment, list_experiments
+
+__all__ = [
+    "Fig2Config",
+    "Fig2Result",
+    "run_fig2",
+    "Fig3Config",
+    "Fig3Result",
+    "run_fig3",
+    "Exp1Config",
+    "Exp1Result",
+    "run_exp1",
+    "EXP1_CASES",
+    "DEFAULT_SIGMAS",
+    "uncertainty_model_for_case",
+    "Exp2Config",
+    "Exp2Result",
+    "ZonalHeatmap",
+    "run_exp2",
+    "BaselineConfig",
+    "BaselineResult",
+    "run_baseline",
+    "ExperimentSpec",
+    "build_registry",
+    "get_experiment",
+    "list_experiments",
+]

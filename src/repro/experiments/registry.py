@@ -1,0 +1,102 @@
+"""Registry mapping experiment identifiers to their runners.
+
+Gives the CLI (and tests) a single place to discover every figure/number
+reproduced from the paper, together with a fast "smoke" configuration used
+when a full-size run is not wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from ..exceptions import ExperimentError
+from ..onn.builder import SPNNTrainingConfig
+from .baseline_accuracy import BaselineConfig, run_baseline
+from .exp1_global import Exp1Config, run_exp1
+from .exp2_zonal import Exp2Config, run_exp2
+from .fig2_device_sensitivity import Fig2Config, run_fig2
+from .fig3_layer_rvd import Fig3Config, run_fig3
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible artifact of the paper."""
+
+    identifier: str
+    description: str
+    paper_reference: str
+    runner: Callable[..., Any]
+    default_config: Any
+    smoke_config: Any
+
+
+def _smoke_training() -> SPNNTrainingConfig:
+    """A small training setup for quick experiment smoke runs."""
+    return SPNNTrainingConfig(num_train=600, num_test=200, epochs=20)
+
+
+def build_registry() -> Dict[str, ExperimentSpec]:
+    """Construct the experiment registry (fresh config instances each call)."""
+    return {
+        "fig2": ExperimentSpec(
+            identifier="fig2",
+            description="Device-level MZI element sensitivity surfaces (|dT|/|T| over theta, phi)",
+            paper_reference="Fig. 2",
+            runner=run_fig2,
+            default_config=Fig2Config(),
+            smoke_config=Fig2Config(grid_points=16),
+        ),
+        "fig3": ExperimentSpec(
+            identifier="fig3",
+            description="Average RVD of 5x5 unitaries with one MZI perturbed at a time",
+            paper_reference="Fig. 3",
+            runner=run_fig3,
+            default_config=Fig3Config(),
+            smoke_config=Fig3Config(iterations=25, num_matrices=2),
+        ),
+        "exp1": ExperimentSpec(
+            identifier="exp1",
+            description="SPNN accuracy vs global uncertainty level (PhS / BeS / both)",
+            paper_reference="Fig. 4 (EXP 1)",
+            runner=run_exp1,
+            default_config=Exp1Config(),
+            smoke_config=Exp1Config(
+                sigmas=(0.0, 0.05, 0.1),
+                iterations=10,
+                training=_smoke_training(),
+            ),
+        ),
+        "exp2": ExperimentSpec(
+            identifier="exp2",
+            description="SPNN accuracy loss under zonal perturbations of the unitary multipliers",
+            paper_reference="Fig. 5 (EXP 2)",
+            runner=run_exp2,
+            default_config=Exp2Config(),
+            smoke_config=Exp2Config(iterations=5, training=_smoke_training()),
+        ),
+        "baseline": ExperimentSpec(
+            identifier="baseline",
+            description="Software baseline accuracy: full 28x28 FFT features vs 4x4 crop",
+            paper_reference="§III-D text (94.12% / 6.77% loss)",
+            runner=run_baseline,
+            default_config=BaselineConfig(),
+            smoke_config=BaselineConfig(num_train=400, num_test=150, epochs=10),
+        ),
+    }
+
+
+def get_experiment(identifier: str) -> ExperimentSpec:
+    """Look up one experiment by id, raising a helpful error for unknown ids."""
+    registry = build_registry()
+    key = identifier.lower()
+    if key not in registry:
+        raise ExperimentError(
+            f"unknown experiment {identifier!r}; available: {', '.join(sorted(registry))}"
+        )
+    return registry[key]
+
+
+def list_experiments() -> Dict[str, str]:
+    """Mapping of experiment id to description (for CLI listings)."""
+    return {spec.identifier: f"{spec.paper_reference}: {spec.description}" for spec in build_registry().values()}

@@ -1,0 +1,36 @@
+"""Unitary-mesh compilation: Clements/Reck decompositions, meshes, SVD layers."""
+
+from .clements import clements_decompose, clements_mzi_count
+from .decomposition import (
+    MeshDecomposition,
+    MZIConfig,
+    assign_columns,
+    factor_diag_times_mzi,
+    solve_left_nulling,
+    solve_right_nulling,
+    wrap_phase,
+)
+from .diagonal import DiagonalPerturbation, DiagonalStage
+from .mesh import MeshPerturbation, MZIMesh
+from .reck import reck_decompose, reck_mzi_count
+from .svd_layer import LayerPerturbation, PhotonicLinearLayer
+
+__all__ = [
+    "MZIConfig",
+    "MeshDecomposition",
+    "assign_columns",
+    "wrap_phase",
+    "solve_left_nulling",
+    "solve_right_nulling",
+    "factor_diag_times_mzi",
+    "clements_decompose",
+    "clements_mzi_count",
+    "reck_decompose",
+    "reck_mzi_count",
+    "MZIMesh",
+    "MeshPerturbation",
+    "DiagonalStage",
+    "DiagonalPerturbation",
+    "PhotonicLinearLayer",
+    "LayerPerturbation",
+]

@@ -1,0 +1,140 @@
+"""Clements rectangular decomposition of a unitary into an MZI mesh.
+
+Implements the algorithm of W. R. Clements et al., *"Optimal design for
+universal multiport interferometers"*, Optica 3(12), 2016 — the design the
+paper uses for all of its unitary multipliers (§II-B).  An ``N x N`` unitary
+is expressed with exactly ``N(N-1)/2`` MZIs arranged in a rectangle of ``N``
+columns, plus ``N`` output phase shifters.
+
+Algorithm outline
+-----------------
+Elements of ``U`` are nulled along anti-diagonals, alternating between
+right-multiplications by ``T^{-1}`` (even sweeps) and left-multiplications
+by ``T`` (odd sweeps), until only a diagonal ``D`` remains.  The
+left-applied inverses are then commuted through ``D`` using the identity
+``T^{-1} D = D' T'`` so that the final form is
+``U = D_out @ (product of MZI matrices)`` — i.e. a physical mesh followed by
+an output phase screen.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..exceptions import DecompositionError
+from ..photonics.mzi import mzi_transfer
+from ..utils.linalg import assert_unitary
+from .decomposition import (
+    MeshDecomposition,
+    MZIConfig,
+    assign_columns,
+    factor_diag_times_mzi,
+    solve_left_nulling,
+    solve_right_nulling,
+    wrap_phase,
+)
+
+
+def clements_decompose(unitary: np.ndarray, atol: float = 1e-8) -> MeshDecomposition:
+    """Decompose ``unitary`` into a rectangular Clements mesh.
+
+    Parameters
+    ----------
+    unitary:
+        The ``N x N`` unitary matrix to realize.
+    atol:
+        Unitarity tolerance for the input and the reconstruction check.
+
+    Returns
+    -------
+    MeshDecomposition
+        MZI settings in propagation order plus output phases; its
+        :meth:`~repro.mesh.decomposition.MeshDecomposition.reconstruct`
+        reproduces ``unitary`` to numerical precision.
+    """
+    unitary = assert_unitary(unitary, atol=atol, name="unitary")
+    n = unitary.shape[0]
+    work = unitary.astype(np.complex128).copy()
+
+    # Operations recorded during the nulling sweeps.
+    right_ops: List[Tuple[int, float, float]] = []  # (mode, theta, phi): applied as U @ T^{-1}
+    left_ops: List[Tuple[int, float, float]] = []  # (mode, theta, phi): applied as T @ U
+
+    for sweep in range(n - 1):
+        if sweep % 2 == 0:
+            # Null elements using right-multiplications by T^{-1}.
+            for j in range(sweep + 1):
+                mode = sweep - j
+                row = n - 1 - j
+                theta, phi = solve_right_nulling(work[row, mode], work[row, mode + 1])
+                t_inv = mzi_transfer(theta, phi).conj().T
+                work[:, mode : mode + 2] = work[:, mode : mode + 2] @ t_inv
+                right_ops.append((mode, theta, phi))
+        else:
+            # Null elements using left-multiplications by T.
+            for j in range(sweep + 1):
+                mode = n - 2 + j - sweep
+                col = j
+                theta, phi = solve_left_nulling(work[mode, col], work[mode + 1, col])
+                t_mat = mzi_transfer(theta, phi)
+                work[mode : mode + 2, :] = t_mat @ work[mode : mode + 2, :]
+                left_ops.append((mode, theta, phi))
+
+    # ``work`` should now be diagonal.
+    off_diagonal = work - np.diag(np.diagonal(work))
+    if np.max(np.abs(off_diagonal)) > 1e-7:
+        raise DecompositionError(
+            f"Clements nulling failed: residual off-diagonal magnitude "
+            f"{np.max(np.abs(off_diagonal)):.3e}"
+        )
+    diag = np.diagonal(work).copy()
+
+    # We now have:  D = L_p ... L_1 @ U @ T_1^{-1} ... T_k^{-1}
+    # hence         U = L_1^{-1} ... L_p^{-1} @ D @ T_k ... T_1.
+    # Commute every L_i^{-1} through the diagonal from the innermost outwards:
+    # L^{-1} @ D = D' @ T', which keeps the expression in the form
+    # (remaining L^{-1}s) @ D' @ (T' ... ) @ (T_k ... T_1).
+    commuted_ops: List[Tuple[int, float, float]] = []
+    for mode, theta, phi in reversed(left_ops):
+        t_inv = mzi_transfer(theta, phi).conj().T
+        block = t_inv @ np.diag(diag[mode : mode + 2])
+        a, b, new_theta, new_phi = factor_diag_times_mzi(block)
+        diag = diag.copy()
+        diag[mode] = a
+        diag[mode + 1] = b
+        commuted_ops.append((mode, new_theta, new_phi))
+
+    # In matrix-product order (left to right) the expression is now
+    #   U = diag @ C_p' @ ... @ C_1' @ T_k @ T_{k-1} ... @ T_1
+    # where C_i' is the commuted version of L_i and T_j the j-th right op.
+    # Propagation order (first device the light meets) is the reverse:
+    # T_1, T_2, ..., T_k, C_1', ..., C_p' — i.e. the right ops in application
+    # order followed by the commuted ops in the order they were generated
+    # (innermost left op first).
+    propagation: List[Tuple[int, float, float]] = list(right_ops) + list(commuted_ops)
+
+    modes = [op[0] for op in propagation]
+    columns = assign_columns(modes, n)
+    configs = [
+        MZIConfig(mode=mode, theta=theta, phi=phi, column=column, index=idx)
+        for idx, ((mode, theta, phi), column) in enumerate(zip(propagation, columns))
+    ]
+    output_phases = np.array([wrap_phase(angle) for angle in np.angle(diag)], dtype=np.float64)
+
+    decomposition = MeshDecomposition(n=n, configs=configs, output_phases=output_phases, scheme="clements")
+    reconstruction = decomposition.reconstruct()
+    if not np.allclose(reconstruction, unitary, atol=max(atol, 1e-7)):
+        raise DecompositionError(
+            "Clements decomposition failed the reconstruction check "
+            f"(max error {np.max(np.abs(reconstruction - unitary)):.3e})"
+        )
+    return decomposition
+
+
+def clements_mzi_count(n: int) -> int:
+    """Number of MZIs in an ``n``-mode Clements mesh (``n(n-1)/2``)."""
+    if n < 1:
+        raise DecompositionError(f"n must be >= 1, got {n}")
+    return n * (n - 1) // 2

@@ -1,0 +1,209 @@
+"""Shared data structures and primitives for unitary mesh decompositions.
+
+Both the Clements (rectangular) and Reck (triangular) decompositions express
+an ``N x N`` unitary as a product of 2x2 MZI transfer matrices acting on
+adjacent modes, followed by a column of output phase shifters::
+
+    U = diag(exp(i * output_phases)) @ B_q @ ... @ B_2 @ B_1
+
+where ``B_k`` is the paper's Eq.-(1) MZI matrix embedded on modes
+``(m_k, m_k + 1)`` and the indexing follows propagation order (``B_1`` is
+the first MZI the light encounters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DecompositionError
+from ..photonics.mzi import mzi_transfer
+from ..utils.linalg import apply_two_mode_left
+from ..utils.validation import as_complex_array
+
+#: Numerical tolerance below which a matrix element is treated as zero when
+#: solving the nulling conditions.
+NULLING_TOLERANCE = 1e-12
+
+
+def wrap_phase(angle: float) -> float:
+    """Wrap an angle into the canonical tuning range ``[0, 2*pi)``."""
+    return float(np.mod(angle, 2.0 * np.pi))
+
+
+@dataclass(frozen=True)
+class MZIConfig:
+    """Placement and tuning of one MZI inside a mesh.
+
+    Attributes
+    ----------
+    mode:
+        Upper mode index; the device couples modes ``mode`` and ``mode + 1``.
+    theta, phi:
+        Tuned phase angles [rad] in ``[0, 2*pi)``.
+    column:
+        Physical column in the mesh layout (0 = first column the light
+        meets).  Columns are assigned greedily in propagation order, which
+        reproduces the rectangular Clements / triangular Reck floorplans and
+        is what the zonal (EXP 2) analysis indexes into.
+    index:
+        Position in propagation order (0 = first MZI encountered).
+    """
+
+    mode: int
+    theta: float
+    phi: float
+    column: int
+    index: int
+
+    def transfer_matrix(self) -> np.ndarray:
+        """Ideal 2x2 transfer matrix of this MZI (paper Eq. 1)."""
+        return mzi_transfer(self.theta, self.phi)
+
+
+@dataclass
+class MeshDecomposition:
+    """Result of decomposing a unitary into MZIs plus output phases."""
+
+    n: int
+    configs: List[MZIConfig]
+    output_phases: np.ndarray
+    scheme: str = "clements"
+
+    def __post_init__(self) -> None:
+        self.output_phases = np.asarray(self.output_phases, dtype=np.float64)
+        if self.output_phases.shape != (self.n,):
+            raise DecompositionError(
+                f"output_phases must have shape ({self.n},), got {self.output_phases.shape}"
+            )
+
+    @property
+    def num_mzis(self) -> int:
+        return len(self.configs)
+
+    @property
+    def num_columns(self) -> int:
+        return 1 + max((c.column for c in self.configs), default=-1)
+
+    def thetas(self) -> np.ndarray:
+        return np.array([c.theta for c in self.configs], dtype=np.float64)
+
+    def phis(self) -> np.ndarray:
+        return np.array([c.phi for c in self.configs], dtype=np.float64)
+
+    def reconstruct(self) -> np.ndarray:
+        """Rebuild the unitary from the stored MZI settings and output phases."""
+        matrix = np.eye(self.n, dtype=np.complex128)
+        for config in self.configs:
+            matrix = apply_two_mode_left(matrix, config.mode, config.transfer_matrix())
+        return np.diag(np.exp(1j * self.output_phases)) @ matrix
+
+
+def assign_columns(modes: Sequence[int], n: int) -> List[int]:
+    """Greedy physical column assignment for MZIs listed in propagation order.
+
+    Each MZI occupies the earliest column in which both of its modes are
+    free; this reproduces the compact rectangular (Clements) or triangular
+    (Reck) floorplan used for the zone analysis.
+    """
+    next_free = [0] * n
+    columns: List[int] = []
+    for mode in modes:
+        if not 0 <= mode < n - 1:
+            raise DecompositionError(f"mode index {mode} out of range for n={n}")
+        column = max(next_free[mode], next_free[mode + 1])
+        columns.append(column)
+        next_free[mode] = column + 1
+        next_free[mode + 1] = column + 1
+    return columns
+
+
+# --------------------------------------------------------------------------- #
+# 2x2 nulling / refactoring primitives
+# --------------------------------------------------------------------------- #
+
+
+def solve_right_nulling(u_left: complex, u_right: complex) -> Tuple[float, float]:
+    """Angles ``(theta, phi)`` such that right-multiplying by ``T^{-1}`` on the
+    two columns holding ``(u_left, u_right)`` zeroes the left element.
+
+    Solves ``u_left * e^{-i phi} sin(theta/2) + u_right * cos(theta/2) = 0``.
+    """
+    if abs(u_left) < NULLING_TOLERANCE:
+        # Any rotation with sin(theta/2)=... ; theta = pi sends the right
+        # element into the left column only if it is also zero, so use the
+        # bar state when the left element is already (numerically) zero.
+        if abs(u_right) < NULLING_TOLERANCE:
+            return 0.0, 0.0
+        return np.pi, 0.0
+    ratio = -u_right / u_left
+    theta = 2.0 * np.arctan(abs(ratio))
+    phi = -np.angle(ratio)
+    return wrap_phase(theta), wrap_phase(phi)
+
+
+def solve_left_nulling(u_upper: complex, u_lower: complex) -> Tuple[float, float]:
+    """Angles ``(theta, phi)`` such that left-multiplying by ``T`` on the two
+    rows holding ``(u_upper, u_lower)`` zeroes the lower element.
+
+    Solves ``e^{i phi} cos(theta/2) u_upper - sin(theta/2) u_lower = 0``.
+    """
+    if abs(u_lower) < NULLING_TOLERANCE:
+        if abs(u_upper) < NULLING_TOLERANCE:
+            return 0.0, 0.0
+        return np.pi, 0.0
+    ratio = u_upper / u_lower
+    theta = 2.0 * np.arctan(abs(ratio))
+    phi = -np.angle(ratio)
+    return wrap_phase(theta), wrap_phase(phi)
+
+
+def factor_diag_times_mzi(block: np.ndarray) -> Tuple[complex, complex, float, float]:
+    """Factor a 2x2 unitary ``W`` as ``diag(a, b) @ T(theta, phi)``.
+
+    Used to commute left-side ``T^{-1}`` operations through the diagonal when
+    assembling the Clements decomposition.  Returns ``(a, b, theta, phi)``.
+
+    Raises
+    ------
+    DecompositionError
+        If the factorization does not reproduce ``W`` to numerical precision
+        (which would indicate a non-unitary input).
+    """
+    block = as_complex_array(block, "block")
+    if block.shape != (2, 2):
+        raise DecompositionError(f"block must be 2x2, got {block.shape}")
+    sin_half = min(abs(block[0, 0]), 1.0)
+    cos_half = min(abs(block[0, 1]), 1.0)
+    theta = 2.0 * np.arctan2(sin_half, cos_half)
+    half = np.exp(1j * theta / 2.0)
+    sin_half = np.sin(theta / 2.0)
+    cos_half = np.cos(theta / 2.0)
+
+    if sin_half > NULLING_TOLERANCE and cos_half > NULLING_TOLERANCE:
+        phi = np.angle(block[0, 0]) - np.angle(block[0, 1])
+        a = block[0, 1] / (1j * half * cos_half)
+        b = -block[1, 1] / (1j * half * sin_half)
+    elif sin_half <= NULLING_TOLERANCE:
+        # theta ~ 0: W is anti-diagonal-free; the first column vanishes.
+        phi = 0.0
+        a = block[0, 1] / (1j * half)
+        b = block[1, 0] / (1j * half)
+    else:
+        # theta ~ pi: W is diagonal.
+        phi = 0.0
+        a = block[0, 0] / (1j * half)
+        b = -block[1, 1] / (1j * half)
+
+    theta = wrap_phase(theta)
+    phi = wrap_phase(phi)
+    reconstructed = np.diag([a, b]) @ mzi_transfer(theta, phi)
+    unit_modulus = np.isclose(abs(a), 1.0, atol=1e-7) and np.isclose(abs(b), 1.0, atol=1e-7)
+    if not unit_modulus or not np.allclose(reconstructed, block, atol=1e-8):
+        raise DecompositionError(
+            "failed to factor 2x2 block as diag @ T_MZI; input is likely not unitary "
+            f"(max error {np.max(np.abs(reconstructed - block)):.3e}, |a|={abs(a):.6f}, |b|={abs(b):.6f})"
+        )
+    return complex(a), complex(b), theta, phi

@@ -1,0 +1,167 @@
+"""Photonic realization of the diagonal (singular-value) stage.
+
+The SVD of a weight matrix gives ``M = U @ Sigma @ V^H``.  The diagonal
+``Sigma`` is realized with one MZI per singular value used as a tunable
+attenuator — one input and one output of each MZI are terminated (paper
+Fig. 1) — followed by a global optical amplification ``beta`` that restores
+the scale lost by normalizing the singular values to at most 1 (§II-B).
+
+For a singular value ``s`` and gain ``beta``, the attenuator MZI is tuned so
+that its bar-path amplitude equals ``s / beta``::
+
+    |T00| = sin(theta / 2) = s / beta
+
+and the input phase shifter ``phi`` is set to cancel the residual phase of
+``T00`` so the realized diagonal entry is real and non-negative, matching
+the non-negative singular values produced by the SVD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..photonics.mzi import mzi_transfer_nonideal
+from .decomposition import wrap_phase
+
+
+@dataclass
+class DiagonalPerturbation:
+    """Per-attenuator perturbations for a :class:`DiagonalStage`.
+
+    Arrays are indexed by singular-value position.  ``None`` means no
+    perturbation of that parameter.
+    """
+
+    delta_theta: Optional[np.ndarray] = None
+    delta_phi: Optional[np.ndarray] = None
+    delta_r_in: Optional[np.ndarray] = None
+    delta_r_out: Optional[np.ndarray] = None
+
+    def validate(self, count: int) -> None:
+        for name in ("delta_theta", "delta_phi", "delta_r_in", "delta_r_out"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != (count,):
+                raise ShapeError(f"{name} must have shape ({count},), got {value.shape}")
+            setattr(self, name, value)
+
+
+class DiagonalStage:
+    """MZI-attenuator bank plus global gain implementing ``Sigma``.
+
+    Parameters
+    ----------
+    singular_values:
+        Non-negative singular values (length ``k = min(rows, cols)``).
+    shape:
+        Shape ``(rows, cols)`` of the rectangular ``Sigma`` matrix to embed
+        the attenuated values into; defaults to square ``(k, k)``.
+    gain:
+        Global field gain ``beta``.  Defaults to ``max(singular_values)``
+        (or 1 when all values are zero) so every normalized value is
+        realizable by a passive attenuator.
+    """
+
+    def __init__(
+        self,
+        singular_values: np.ndarray,
+        shape: Optional[tuple[int, int]] = None,
+        gain: Optional[float] = None,
+    ):
+        values = np.asarray(singular_values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ShapeError(f"singular_values must be 1-D, got shape {values.shape}")
+        if np.any(values < 0):
+            raise ConfigurationError("singular values must be non-negative")
+        self.singular_values = values.copy()
+        k = values.shape[0]
+        if shape is None:
+            shape = (k, k)
+        rows, cols = int(shape[0]), int(shape[1])
+        if min(rows, cols) != k:
+            raise ShapeError(
+                f"shape {shape} is incompatible with {k} singular values (min(shape) must equal k)"
+            )
+        self.shape = (rows, cols)
+
+        if gain is None:
+            max_value = float(values.max()) if k else 1.0
+            gain = max_value if max_value > 0 else 1.0
+        if gain <= 0:
+            raise ConfigurationError(f"gain must be positive, got {gain}")
+        self.gain = float(gain)
+
+        normalized = values / self.gain
+        if np.any(normalized > 1.0 + 1e-9):
+            raise ConfigurationError(
+                "normalized singular values exceed 1; increase the gain "
+                f"(max normalized value {normalized.max():.6f})"
+            )
+        normalized = np.clip(normalized, 0.0, 1.0)
+        # Attenuator tuning: sin(theta/2) = s / beta, phi cancels the phase
+        # i * exp(i * theta / 2) of the bar-path amplitude.
+        self.thetas = 2.0 * np.arcsin(normalized)
+        self.phis = np.array([wrap_phase(-0.5 * theta - 0.5 * np.pi) for theta in self.thetas])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_mzis(self) -> int:
+        return int(self.singular_values.shape[0])
+
+    @property
+    def num_phase_shifters(self) -> int:
+        return 2 * self.num_mzis
+
+    def normalized_values(self) -> np.ndarray:
+        """Singular values divided by the gain (the attenuator set points)."""
+        return self.singular_values / self.gain
+
+    # ------------------------------------------------------------------ #
+    def attenuations(self, perturbation: Optional[DiagonalPerturbation] = None) -> np.ndarray:
+        """Complex bar-path amplitudes realized by the attenuator MZIs.
+
+        With no perturbation these are the non-negative normalized singular
+        values; with perturbations they acquire both magnitude and phase
+        errors (the full complex ``T00`` of each faulty MZI is kept, since
+        the downstream mesh is coherent).
+        """
+        thetas = self.thetas
+        phis = self.phis
+        r_in = np.full(self.num_mzis, 1.0 / np.sqrt(2.0))
+        r_out = np.full(self.num_mzis, 1.0 / np.sqrt(2.0))
+        if perturbation is not None:
+            perturbation.validate(self.num_mzis)
+            if perturbation.delta_theta is not None:
+                thetas = thetas + perturbation.delta_theta
+            if perturbation.delta_phi is not None:
+                phis = phis + perturbation.delta_phi
+            if perturbation.delta_r_in is not None:
+                r_in = np.clip(r_in + perturbation.delta_r_in, 0.0, 1.0)
+            if perturbation.delta_r_out is not None:
+                r_out = np.clip(r_out + perturbation.delta_r_out, 0.0, 1.0)
+        if self.num_mzis == 0:
+            return np.zeros(0, dtype=np.complex128)
+        blocks = mzi_transfer_nonideal(thetas, phis, r_in, r2=r_out)
+        return blocks[..., 0, 0]
+
+    def matrix(self, perturbation: Optional[DiagonalPerturbation] = None) -> np.ndarray:
+        """Rectangular ``Sigma`` matrix (including the global gain ``beta``)."""
+        rows, cols = self.shape
+        sigma = np.zeros((rows, cols), dtype=np.complex128)
+        amplitudes = self.gain * self.attenuations(perturbation)
+        k = self.num_mzis
+        sigma[:k, :k] = np.diag(amplitudes)
+        return sigma
+
+    def ideal_matrix(self) -> np.ndarray:
+        """Nominal ``Sigma`` (equals ``diag(singular_values)`` up to numerics)."""
+        return self.matrix(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return f"DiagonalStage(k={self.num_mzis}, shape={self.shape}, gain={self.gain:.4f})"

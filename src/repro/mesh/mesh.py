@@ -1,0 +1,282 @@
+"""Programmable MZI mesh: nominal settings plus uncertainty injection.
+
+:class:`MZIMesh` is the layer-level object of the paper's hierarchy
+(§III-C): a physical arrangement of MZIs (each with two phase shifters and
+two beam splitters) that realizes a target unitary.  It knows the nominal
+tuning of every device and can evaluate the matrix it *actually* implements
+when per-device perturbations — phase errors and splitter imbalance — are
+applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ShapeError, VariationModelError
+from ..photonics import constants
+from ..photonics.mzi import mzi_transfer_nonideal
+from .clements import clements_decompose
+from .decomposition import MeshDecomposition, MZIConfig
+from .reck import reck_decompose
+
+
+@dataclass
+class MeshPerturbation:
+    """Per-device perturbations applied to a mesh.
+
+    All arrays are indexed by the mesh's MZI propagation index.  Missing
+    (``None``) fields mean "no perturbation" for that parameter.
+
+    Attributes
+    ----------
+    delta_theta, delta_phi:
+        Additive phase errors [rad] on the internal / input phase shifter of
+        each MZI.
+    delta_r_in, delta_r_out:
+        Additive reflectance errors on the first / second beam splitter of
+        each MZI (the deviation of ``r`` from its nominal ``1/sqrt(2)``).
+    delta_output_phase:
+        Additive phase errors [rad] on the output phase screen.
+    """
+
+    delta_theta: Optional[np.ndarray] = None
+    delta_phi: Optional[np.ndarray] = None
+    delta_r_in: Optional[np.ndarray] = None
+    delta_r_out: Optional[np.ndarray] = None
+    delta_output_phase: Optional[np.ndarray] = None
+
+    @classmethod
+    def none(cls, num_mzis: int, n_modes: int) -> "MeshPerturbation":
+        """An explicit all-zeros perturbation (useful as an accumulator)."""
+        return cls(
+            delta_theta=np.zeros(num_mzis),
+            delta_phi=np.zeros(num_mzis),
+            delta_r_in=np.zeros(num_mzis),
+            delta_r_out=np.zeros(num_mzis),
+            delta_output_phase=np.zeros(n_modes),
+        )
+
+    def validate(self, num_mzis: int, n_modes: int) -> None:
+        """Check array lengths against the mesh dimensions."""
+        for name, expected in (
+            ("delta_theta", num_mzis),
+            ("delta_phi", num_mzis),
+            ("delta_r_in", num_mzis),
+            ("delta_r_out", num_mzis),
+            ("delta_output_phase", n_modes),
+        ):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != (expected,):
+                raise ShapeError(f"{name} must have shape ({expected},), got {value.shape}")
+            setattr(self, name, value)
+
+    def masked(self, mzi_mask: np.ndarray) -> "MeshPerturbation":
+        """Return a copy where perturbations outside ``mzi_mask`` are zeroed.
+
+        ``mzi_mask`` is a boolean array over MZI indices; the output-phase
+        perturbation is preserved unchanged.  Used for zonal experiments.
+        """
+        mzi_mask = np.asarray(mzi_mask, dtype=bool)
+
+        def _mask(values: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            if values is None:
+                return None
+            if values.shape != mzi_mask.shape:
+                raise ShapeError(f"mask shape {mzi_mask.shape} does not match values {values.shape}")
+            return np.where(mzi_mask, values, 0.0)
+
+        return MeshPerturbation(
+            delta_theta=_mask(self.delta_theta),
+            delta_phi=_mask(self.delta_phi),
+            delta_r_in=_mask(self.delta_r_in),
+            delta_r_out=_mask(self.delta_r_out),
+            delta_output_phase=None if self.delta_output_phase is None else self.delta_output_phase.copy(),
+        )
+
+    def scaled(self, factor: float) -> "MeshPerturbation":
+        """Return a copy with every perturbation multiplied by ``factor``."""
+
+        def _scale(values: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            return None if values is None else factor * values
+
+        return MeshPerturbation(
+            delta_theta=_scale(self.delta_theta),
+            delta_phi=_scale(self.delta_phi),
+            delta_r_in=_scale(self.delta_r_in),
+            delta_r_out=_scale(self.delta_r_out),
+            delta_output_phase=_scale(self.delta_output_phase),
+        )
+
+
+class MZIMesh:
+    """A mesh of MZIs realizing (approximately) a target unitary matrix.
+
+    Parameters
+    ----------
+    decomposition:
+        Result of :func:`~repro.mesh.clements.clements_decompose` or
+        :func:`~repro.mesh.reck.reck_decompose` describing the nominal
+        device settings and physical layout.
+
+    Notes
+    -----
+    The mesh evaluates its transfer matrix by applying each MZI's 2x2 block
+    to the growing ``N x N`` matrix in propagation order, then the output
+    phase screen.  With no perturbation this reproduces the target unitary
+    to numerical precision; with perturbations it gives the *faulty* matrix
+    whose impact the paper studies.
+    """
+
+    def __init__(self, decomposition: MeshDecomposition):
+        self.decomposition = decomposition
+        self.n = decomposition.n
+        self.configs: List[MZIConfig] = list(decomposition.configs)
+        self.output_phases = np.asarray(decomposition.output_phases, dtype=np.float64).copy()
+        # Cached nominal parameter arrays (propagation order).
+        self._modes = np.array([c.mode for c in self.configs], dtype=np.int64)
+        self._columns = np.array([c.column for c in self.configs], dtype=np.int64)
+        self._thetas = np.array([c.theta for c in self.configs], dtype=np.float64)
+        self._phis = np.array([c.phi for c in self.configs], dtype=np.float64)
+        self._nominal_r = np.full(len(self.configs), constants.IDEAL_SPLITTER_AMPLITUDE)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_unitary(cls, unitary: np.ndarray, scheme: str = "clements", atol: float = 1e-8) -> "MZIMesh":
+        """Compile a unitary matrix into a mesh using the requested scheme."""
+        scheme = scheme.lower()
+        if scheme == "clements":
+            return cls(clements_decompose(unitary, atol=atol))
+        if scheme == "reck":
+            return cls(reck_decompose(unitary, atol=atol))
+        raise VariationModelError(f"unknown mesh scheme {scheme!r}; expected 'clements' or 'reck'")
+
+    # ------------------------------------------------------------------ #
+    # structural queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_mzis(self) -> int:
+        return len(self.configs)
+
+    @property
+    def num_phase_shifters(self) -> int:
+        """Tunable phase shifters inside MZIs (2 per device), excluding the output screen."""
+        return 2 * self.num_mzis
+
+    @property
+    def num_columns(self) -> int:
+        return int(self._columns.max()) + 1 if self.num_mzis else 0
+
+    @property
+    def num_rows(self) -> int:
+        """Number of MZI row positions (mode pairs), ``n - 1``."""
+        return self.n - 1
+
+    @property
+    def scheme(self) -> str:
+        return self.decomposition.scheme
+
+    def thetas(self) -> np.ndarray:
+        return self._thetas.copy()
+
+    def phis(self) -> np.ndarray:
+        return self._phis.copy()
+
+    def modes(self) -> np.ndarray:
+        return self._modes.copy()
+
+    def columns(self) -> np.ndarray:
+        return self._columns.copy()
+
+    def grid_positions(self) -> List[Tuple[int, int]]:
+        """``(column, row)`` grid coordinates of each MZI, in propagation order.
+
+        The row coordinate is the upper mode index of the device, so the
+        layout matches the mesh diagrams in the paper (Fig. 1 and Fig. 3).
+        """
+        return [(int(col), int(mode)) for col, mode in zip(self._columns, self._modes)]
+
+    def mzi_at(self, column: int, mode: int) -> Optional[int]:
+        """Propagation index of the MZI at grid position ``(column, mode)``, if any."""
+        matches = np.flatnonzero((self._columns == column) & (self._modes == mode))
+        return int(matches[0]) if matches.size else None
+
+    # ------------------------------------------------------------------ #
+    # matrix evaluation
+    # ------------------------------------------------------------------ #
+    def ideal_matrix(self) -> np.ndarray:
+        """The nominal (unperturbed) unitary implemented by the mesh."""
+        return self.matrix(None)
+
+    def matrix(self, perturbation: Optional[MeshPerturbation] = None) -> np.ndarray:
+        """Transfer matrix of the mesh under an optional perturbation.
+
+        Parameters
+        ----------
+        perturbation:
+            Per-device parameter deviations; ``None`` evaluates the nominal
+            mesh.
+
+        Returns
+        -------
+        numpy.ndarray
+            The ``n x n`` complex transfer matrix.  It is unitary in the
+            nominal case and (slightly) non-unitary only through asymmetric
+            splitter imperfections, matching the physics of lossless but
+            imbalanced couplers.
+        """
+        thetas = self._thetas
+        phis = self._phis
+        r_in = self._nominal_r
+        r_out = self._nominal_r
+        output_phases = self.output_phases
+
+        if perturbation is not None:
+            perturbation.validate(self.num_mzis, self.n)
+            if perturbation.delta_theta is not None:
+                thetas = thetas + perturbation.delta_theta
+            if perturbation.delta_phi is not None:
+                phis = phis + perturbation.delta_phi
+            if perturbation.delta_r_in is not None:
+                r_in = np.clip(r_in + perturbation.delta_r_in, 0.0, 1.0)
+            if perturbation.delta_r_out is not None:
+                r_out = np.clip(r_out + perturbation.delta_r_out, 0.0, 1.0)
+            if perturbation.delta_output_phase is not None:
+                output_phases = output_phases + perturbation.delta_output_phase
+
+        blocks = mzi_transfer_nonideal(thetas, phis, r_in, r2=r_out)
+        matrix = np.eye(self.n, dtype=np.complex128)
+        for index, mode in enumerate(self._modes):
+            rows = matrix[mode : mode + 2, :]
+            matrix[mode : mode + 2, :] = blocks[index] @ rows
+        return np.exp(1j * output_phases)[:, np.newaxis] * matrix
+
+    def perturbed_matrix(self, perturbation: MeshPerturbation) -> np.ndarray:
+        """Alias of :meth:`matrix` that makes call sites more readable."""
+        return self.matrix(perturbation)
+
+    # ------------------------------------------------------------------ #
+    # summaries
+    # ------------------------------------------------------------------ #
+    def phase_statistics(self) -> Dict[str, float]:
+        """Summary statistics of the tuned phases (used in reports/tests)."""
+        all_phases = np.concatenate([self._thetas, self._phis])
+        return {
+            "mean_theta": float(self._thetas.mean()) if self.num_mzis else 0.0,
+            "mean_phi": float(self._phis.mean()) if self.num_mzis else 0.0,
+            "max_phase": float(all_phases.max()) if self.num_mzis else 0.0,
+            "min_phase": float(all_phases.min()) if self.num_mzis else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return (
+            f"MZIMesh(n={self.n}, scheme={self.scheme!r}, num_mzis={self.num_mzis}, "
+            f"columns={self.num_columns})"
+        )

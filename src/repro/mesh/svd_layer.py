@@ -1,0 +1,152 @@
+"""SVD-based photonic linear layer: ``M = U @ Sigma @ V^H`` in hardware.
+
+This is the paper's construction of a fully connected layer (§II-B, Fig. 1):
+the complex weight matrix is factored with an SVD, the two unitary factors
+are compiled onto Clements MZI meshes, and the singular values are realized
+by an MZI-attenuator bank plus a global optical gain ``beta``.  The layer
+can evaluate the matrix it implements both nominally and under per-device
+uncertainties, which is what turns weight matrices into *faulty* weight
+matrices during the Monte Carlo experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..utils.linalg import svd_decompose
+from ..utils.validation import as_complex_array
+from .diagonal import DiagonalPerturbation, DiagonalStage
+from .mesh import MeshPerturbation, MZIMesh
+
+
+@dataclass
+class LayerPerturbation:
+    """Perturbations for all three stages of one photonic linear layer."""
+
+    u: Optional[MeshPerturbation] = None
+    v: Optional[MeshPerturbation] = None
+    sigma: Optional[DiagonalPerturbation] = None
+
+    @classmethod
+    def none(cls) -> "LayerPerturbation":
+        return cls()
+
+
+class PhotonicLinearLayer:
+    """Hardware realization of one complex fully connected layer.
+
+    Parameters
+    ----------
+    weight:
+        Complex weight matrix of shape ``(out_features, in_features)`` — the
+        software-trained weights to compile onto hardware.
+    scheme:
+        Mesh topology used for the unitary factors (``"clements"`` by
+        default, ``"reck"`` for the ablation baseline).
+
+    Notes
+    -----
+    The layer computes ``y = M @ x`` for column vectors, or equivalently
+    ``Y = X @ M.T`` for batches of row vectors, where ``M`` is the
+    (possibly perturbed) hardware matrix ``U @ Sigma @ V^H``.
+    """
+
+    def __init__(self, weight: np.ndarray, scheme: str = "clements"):
+        weight = as_complex_array(weight, "weight")
+        if weight.ndim != 2:
+            raise ShapeError(f"weight must be 2-D, got shape {weight.shape}")
+        self.weight = weight.copy()
+        self.out_features, self.in_features = weight.shape
+        self.scheme = scheme
+
+        u, s, vh = svd_decompose(weight)
+        self.mesh_u = MZIMesh.from_unitary(u, scheme=scheme)
+        self.mesh_v = MZIMesh.from_unitary(vh, scheme=scheme)
+        self.diagonal = DiagonalStage(s, shape=(self.out_features, self.in_features))
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def num_mzis(self) -> int:
+        """Total MZIs in the layer (two unitary meshes plus the Sigma bank)."""
+        return self.mesh_u.num_mzis + self.mesh_v.num_mzis + self.diagonal.num_mzis
+
+    @property
+    def num_phase_shifters(self) -> int:
+        """Total tunable phase shifters inside MZIs (2 per MZI)."""
+        return 2 * self.num_mzis
+
+    @property
+    def gain(self) -> float:
+        """The global optical amplification ``beta`` of the Sigma stage."""
+        return self.diagonal.gain
+
+    def hardware_summary(self) -> Dict[str, int]:
+        """Per-stage MZI counts (useful for reports and the paper's 1374 figure)."""
+        return {
+            "u_mzis": self.mesh_u.num_mzis,
+            "v_mzis": self.mesh_v.num_mzis,
+            "sigma_mzis": self.diagonal.num_mzis,
+            "total_mzis": self.num_mzis,
+            "phase_shifters": self.num_phase_shifters,
+        }
+
+    # ------------------------------------------------------------------ #
+    # matrix evaluation
+    # ------------------------------------------------------------------ #
+    def matrix(self, perturbation: Optional[LayerPerturbation] = None) -> np.ndarray:
+        """The complex matrix the hardware implements under a perturbation."""
+        if perturbation is None:
+            perturbation = LayerPerturbation.none()
+        u = self.mesh_u.matrix(perturbation.u)
+        v = self.mesh_v.matrix(perturbation.v)
+        sigma = self.diagonal.matrix(perturbation.sigma)
+        return u @ sigma @ v
+
+    def ideal_matrix(self) -> np.ndarray:
+        """Nominal hardware matrix (equals ``weight`` to numerical precision)."""
+        return self.matrix(None)
+
+    def reconstruction_error(self) -> float:
+        """Max absolute difference between the nominal hardware matrix and the weights."""
+        return float(np.max(np.abs(self.ideal_matrix() - self.weight)))
+
+    # ------------------------------------------------------------------ #
+    # application
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray, perturbation: Optional[LayerPerturbation] = None) -> np.ndarray:
+        """Apply the (possibly perturbed) layer to a batch of complex inputs.
+
+        Parameters
+        ----------
+        inputs:
+            Array of shape ``(batch, in_features)`` or ``(in_features,)``.
+        perturbation:
+            Optional per-device uncertainty realization.
+        """
+        inputs = as_complex_array(inputs, "inputs")
+        matrix = self.matrix(perturbation)
+        if inputs.ndim == 1:
+            if inputs.shape[0] != self.in_features:
+                raise ShapeError(f"expected input length {self.in_features}, got {inputs.shape[0]}")
+            return matrix @ inputs
+        if inputs.ndim == 2:
+            if inputs.shape[1] != self.in_features:
+                raise ShapeError(
+                    f"expected inputs of shape (batch, {self.in_features}), got {inputs.shape}"
+                )
+            return inputs @ matrix.T
+        raise ShapeError(f"inputs must be 1-D or 2-D, got shape {inputs.shape}")
+
+    __call__ = forward
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return (
+            f"PhotonicLinearLayer(out={self.out_features}, in={self.in_features}, "
+            f"scheme={self.scheme!r}, mzis={self.num_mzis})"
+        )

@@ -1,0 +1,52 @@
+"""Neural-network substrate: modules, layers, activations, losses, optimizers."""
+
+from .activations import (
+    LogSoftmax,
+    Modulus,
+    ModulusSoftplus,
+    ModulusSquared,
+    ReLU,
+    Softplus,
+    Tanh,
+)
+from .layers import ComplexLinear, RealLinear
+from .losses import CrossEntropyLoss, MSELoss, NLLLoss
+from .metrics import (
+    RunningAverage,
+    TrainingHistory,
+    confusion_matrix,
+    per_class_accuracy,
+    top1_accuracy,
+)
+from .module import Module, Parameter, Sequential
+from .optim import SGD, Adam, Optimizer
+from .trainer import Trainer, TrainerConfig, iterate_minibatches
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ComplexLinear",
+    "RealLinear",
+    "ModulusSoftplus",
+    "ModulusSquared",
+    "Modulus",
+    "LogSoftmax",
+    "Softplus",
+    "ReLU",
+    "Tanh",
+    "CrossEntropyLoss",
+    "NLLLoss",
+    "MSELoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "TrainerConfig",
+    "iterate_minibatches",
+    "top1_accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "RunningAverage",
+    "TrainingHistory",
+]

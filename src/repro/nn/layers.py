@@ -1,0 +1,119 @@
+"""Linear layers (real and complex) used to build the SPNN software model.
+
+The paper's SPNN stacks fully connected layers with complex-valued weights;
+the complex weight matrix is later decomposed with an SVD and compiled onto
+MZI meshes (paper §II-B).  :class:`ComplexLinear` is the software-side
+counterpart of one photonic linear layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd.tensor import Tensor, as_tensor
+from ..utils.rng import RNGLike, ensure_rng
+from .module import Module, Parameter
+
+
+class ComplexLinear(Module):
+    """Fully connected layer ``y = x @ W^T + b`` with complex weights.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Layer dimensions.  The photonic realization uses an
+        ``out_features x in_features`` weight matrix decomposed as
+        ``U diag(s) V^H``.
+    bias:
+        Whether to include an additive complex bias.  The paper's photonic
+        layers are purely multiplicative, so the SPNN model uses
+        ``bias=False`` by default; the option is kept for software-only
+        experiments.
+    rng:
+        Seed or generator for weight initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = False,
+        rng: RNGLike = None,
+    ):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError(f"layer dimensions must be >= 1, got {in_features} -> {out_features}")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        gen = ensure_rng(rng)
+        # Complex Glorot-style initialization: variance 1/(fan_in + fan_out)
+        # split evenly between real and imaginary parts.
+        scale = np.sqrt(1.0 / (in_features + out_features))
+        weight = scale * (
+            gen.standard_normal((out_features, in_features))
+            + 1j * gen.standard_normal((out_features, in_features))
+        ) / np.sqrt(2.0)
+        self.weight = Parameter(weight)
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(np.zeros(out_features, dtype=np.complex128))
+        else:
+            self.bias = None
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def weight_matrix(self) -> np.ndarray:
+        """Return a copy of the complex weight matrix (``out x in``)."""
+        return self.weight.data.copy()
+
+    def set_weight_matrix(self, matrix: np.ndarray) -> None:
+        """Overwrite the weight matrix (used when loading calibrated weights)."""
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.shape != (self.out_features, self.in_features):
+            raise ValueError(
+                f"weight must have shape {(self.out_features, self.in_features)}, got {matrix.shape}"
+            )
+        self.weight.data = matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return f"ComplexLinear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class RealLinear(Module):
+    """Fully connected layer with real weights (used by baseline models)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: RNGLike = None,
+    ):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError(f"layer dimensions must be >= 1, got {in_features} -> {out_features}")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        gen = ensure_rng(rng)
+        scale = np.sqrt(2.0 / (in_features + out_features))
+        self.weight = Parameter(scale * gen.standard_normal((out_features, in_features)))
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(np.zeros(out_features, dtype=np.float64))
+        else:
+            self.bias = None
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return f"RealLinear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"

@@ -1,0 +1,151 @@
+"""Module/Parameter abstractions for the neural-network substrate.
+
+A deliberately small subset of the familiar ``torch.nn`` API: modules own
+parameters (complex or real :class:`~repro.autograd.tensor.Tensor` objects
+with ``requires_grad=True``), can be nested, and expose ``state_dict`` /
+``load_state_dict`` so a trained software model can be persisted and later
+compiled onto photonic hardware.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from ..autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a trainable parameter."""
+
+    def __init__(self, data, requires_grad: bool = True):
+        super().__init__(data, requires_grad=requires_grad)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are discovered automatically for optimization and
+    serialization.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # attribute registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # forward
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError("Module subclasses must implement forward()")
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # parameter traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every trainable parameter in the module tree."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs including ``self``."""
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of real-valued degrees of freedom.
+
+        Complex parameters count twice (real and imaginary parts), matching
+        how the optimizer actually updates them.
+        """
+        total = 0
+        for param in self.parameters():
+            total += param.size * (2 if param.is_complex else 1)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # train / eval switches
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", bool(mode))
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat mapping of parameter names to array copies."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values from :meth:`state_dict` output."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(f"state_dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            if name in state:
+                value = np.asarray(state[name])
+                if value.shape != param.shape:
+                    raise ValueError(f"parameter {name!r}: shape {value.shape} does not match {param.shape}")
+                param.data = value.astype(param.data.dtype)
+
+
+class Sequential(Module):
+    """Compose modules so that each one feeds the next."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._ordered = []
+        for index, module in enumerate(modules):
+            setattr(self, f"layer{index}", module)
+            self._ordered.append(module)
+
+    def forward(self, x):
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]

@@ -1,0 +1,131 @@
+"""Optimizers for the neural-network substrate.
+
+Both optimizers treat complex parameters as pairs of real parameters, which
+is consistent with the Wirtinger gradient convention of
+:mod:`repro.autograd` — the stored gradient of a complex tensor is exactly
+``dL/dRe + i dL/dIm`` so the update rules below are ordinary SGD/Adam on the
+underlying real degrees of freedom.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..autograd.tensor import Tensor
+from ..exceptions import TrainingError
+
+
+class Optimizer:
+    """Base class holding a parameter list and a ``zero_grad`` helper."""
+
+    def __init__(self, parameters: Iterable[Tensor]):
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise TrainingError("optimizer received an empty parameter list")
+        for param in self.parameters:
+            if not isinstance(param, Tensor):
+                raise TrainingError(f"optimizer parameters must be Tensors, got {type(param)!r}")
+            if not param.requires_grad:
+                raise TrainingError("optimizer received a parameter with requires_grad=False")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters)
+        if lr <= 0:
+            raise TrainingError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise TrainingError(f"weight decay must be non-negative, got {weight_decay}")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) with complex-parameter support.
+
+    The second moment uses ``|grad|^2`` so complex parameters receive a
+    per-entry adaptive step size identical to running Adam on the stacked
+    real/imaginary representation with tied scaling.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters)
+        if lr <= 0:
+            raise TrainingError(f"learning rate must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise TrainingError(f"betas must be in [0, 1), got {betas}")
+        if eps <= 0:
+            raise TrainingError(f"eps must be positive, got {eps}")
+        if weight_decay < 0:
+            raise TrainingError(f"weight decay must be non-negative, got {weight_decay}")
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros(p.shape, dtype=np.float64) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * np.abs(grad) ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,167 @@
+"""Mini-batch training loop for the SPNN software model.
+
+The paper trains the complex-valued network in software (with a
+cross-entropy loss) and then maps the trained weight matrices onto MZI
+meshes.  :class:`Trainer` performs that software training step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..autograd.tensor import Tensor
+from ..exceptions import TrainingError
+from ..utils.rng import RNGLike, ensure_rng
+from .losses import CrossEntropyLoss
+from .metrics import RunningAverage, TrainingHistory, top1_accuracy
+from .module import Module
+from .optim import Optimizer
+
+
+def iterate_minibatches(
+    features: np.ndarray,
+    targets: np.ndarray,
+    batch_size: int,
+    shuffle: bool = True,
+    rng: RNGLike = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(batch_features, batch_targets)`` minibatches.
+
+    The final partial batch is always yielded so every sample is seen once
+    per epoch.
+    """
+    features = np.asarray(features)
+    targets = np.asarray(targets)
+    if len(features) != len(targets):
+        raise TrainingError(f"features ({len(features)}) and targets ({len(targets)}) lengths differ")
+    if len(features) == 0:
+        raise TrainingError("cannot iterate over an empty dataset")
+    if batch_size < 1:
+        raise TrainingError(f"batch_size must be >= 1, got {batch_size}")
+    indices = np.arange(len(features))
+    if shuffle:
+        ensure_rng(rng).shuffle(indices)
+    for start in range(0, len(indices), batch_size):
+        batch = indices[start : start + batch_size]
+        yield features[batch], targets[batch]
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters for :class:`Trainer`."""
+
+    epochs: int = 10
+    batch_size: int = 64
+    shuffle: bool = True
+    log_every: int = 0  # 0 disables progress printing
+    clip_grad_norm: Optional[float] = None
+
+
+class Trainer:
+    """Trains a :class:`Module` classifier with an :class:`Optimizer`.
+
+    Parameters
+    ----------
+    model:
+        The network; its output must be log-probabilities or logits
+        compatible with ``loss_fn``.
+    optimizer:
+        Optimizer instance bound to ``model.parameters()``.
+    loss_fn:
+        Loss module/callable taking ``(outputs, targets)``.  Defaults to
+        cross-entropy over log-probabilities (the paper's setup, where the
+        model ends with LogSoftMax).
+    config:
+        Loop hyper-parameters.
+    rng:
+        Seed controlling batch shuffling.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss_fn: Optional[Callable] = None,
+        config: Optional[TrainerConfig] = None,
+        rng: RNGLike = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn if loss_fn is not None else CrossEntropyLoss(from_log_probs=True)
+        self.config = config if config is not None else TrainerConfig()
+        self.rng = ensure_rng(rng)
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------ #
+    def _clip_gradients(self) -> None:
+        max_norm = self.config.clip_grad_norm
+        if max_norm is None:
+            return
+        total = 0.0
+        for param in self.optimizer.parameters:
+            if param.grad is not None:
+                total += float(np.sum(np.abs(param.grad) ** 2))
+        norm = np.sqrt(total)
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for param in self.optimizer.parameters:
+                if param.grad is not None:
+                    param.grad = param.grad * scale
+
+    def train_epoch(self, features: np.ndarray, targets: np.ndarray) -> Tuple[float, float]:
+        """Run one epoch; returns ``(mean_loss, mean_accuracy)``."""
+        self.model.train()
+        loss_avg = RunningAverage()
+        acc_avg = RunningAverage()
+        for batch_x, batch_y in iterate_minibatches(
+            features, targets, self.config.batch_size, shuffle=self.config.shuffle, rng=self.rng
+        ):
+            self.optimizer.zero_grad()
+            outputs = self.model(Tensor(batch_x))
+            loss = self.loss_fn(outputs, batch_y)
+            loss.backward()
+            self._clip_gradients()
+            self.optimizer.step()
+            loss_avg.update(float(np.real(loss.item())), weight=len(batch_y))
+            acc_avg.update(top1_accuracy(outputs, batch_y), weight=len(batch_y))
+        return loss_avg.value, acc_avg.value
+
+    def evaluate(self, features: np.ndarray, targets: np.ndarray, batch_size: Optional[int] = None) -> Tuple[float, float]:
+        """Return ``(mean_loss, accuracy)`` on a held-out set (no updates)."""
+        self.model.eval()
+        batch_size = batch_size or self.config.batch_size
+        loss_avg = RunningAverage()
+        acc_avg = RunningAverage()
+        for batch_x, batch_y in iterate_minibatches(features, targets, batch_size, shuffle=False):
+            outputs = self.model(Tensor(batch_x))
+            loss = self.loss_fn(outputs, batch_y)
+            loss_avg.update(float(np.real(loss.item())), weight=len(batch_y))
+            acc_avg.update(top1_accuracy(outputs, batch_y), weight=len(batch_y))
+        return loss_avg.value, acc_avg.value
+
+    def fit(
+        self,
+        train_features: np.ndarray,
+        train_targets: np.ndarray,
+        val_features: Optional[np.ndarray] = None,
+        val_targets: Optional[np.ndarray] = None,
+    ) -> TrainingHistory:
+        """Train for ``config.epochs`` epochs and return the history."""
+        for epoch in range(self.config.epochs):
+            train_loss, train_acc = self.train_epoch(train_features, train_targets)
+            if val_features is not None and val_targets is not None:
+                val_loss, val_acc = self.evaluate(val_features, val_targets)
+            else:
+                val_loss, val_acc = None, None
+            self.history.record(train_loss, train_acc, val_loss, val_acc)
+            if self.config.log_every and (epoch + 1) % self.config.log_every == 0:
+                message = f"epoch {epoch + 1:3d}: train loss {train_loss:.4f}, train acc {train_acc:.3f}"
+                if val_acc is not None:
+                    message += f", val acc {val_acc:.3f}"
+                print(message)
+            if not np.isfinite(train_loss):
+                raise TrainingError(f"training diverged at epoch {epoch + 1} (loss={train_loss})")
+        return self.history

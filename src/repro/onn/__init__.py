@@ -1,0 +1,29 @@
+"""System-level SPNN: architecture, builder pipeline and inference helpers."""
+
+from .builder import (
+    SPNNTask,
+    SPNNTrainingConfig,
+    build_software_model,
+    build_trained_spnn,
+    extract_weights,
+    spnn_from_model,
+    train_software_model,
+)
+from .inference import hardware_accuracy, monte_carlo_accuracy, predict_batched
+from .spnn import SPNN, NetworkPerturbation, SPNNArchitecture
+
+__all__ = [
+    "SPNN",
+    "SPNNArchitecture",
+    "NetworkPerturbation",
+    "SPNNTask",
+    "SPNNTrainingConfig",
+    "build_software_model",
+    "train_software_model",
+    "extract_weights",
+    "spnn_from_model",
+    "build_trained_spnn",
+    "hardware_accuracy",
+    "monte_carlo_accuracy",
+    "predict_batched",
+]

@@ -1,0 +1,85 @@
+"""Batched hardware-inference helpers for Monte Carlo accuracy studies."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..utils.rng import RNGLike, ensure_rng, spawn_rngs
+from ..variation.models import UncertaintyModel
+from ..variation.sampler import sample_network_perturbation
+from .spnn import SPNN, NetworkPerturbation
+
+
+def hardware_accuracy(
+    spnn: SPNN,
+    features: np.ndarray,
+    labels: np.ndarray,
+    perturbations: Optional[NetworkPerturbation] = None,
+) -> float:
+    """Accuracy of the (optionally perturbed) hardware on a test set."""
+    return spnn.accuracy(features, labels, perturbations=perturbations, use_hardware=True)
+
+
+def monte_carlo_accuracy(
+    spnn: SPNN,
+    features: np.ndarray,
+    labels: np.ndarray,
+    model: UncertaintyModel,
+    iterations: int,
+    rng: RNGLike = None,
+    perturbation_factory: Optional[Callable[[np.random.Generator], NetworkPerturbation]] = None,
+) -> np.ndarray:
+    """Accuracy samples over ``iterations`` uncertainty realizations.
+
+    Parameters
+    ----------
+    spnn:
+        Compiled network under test.
+    features, labels:
+        Evaluation set (the paper uses the full MNIST test set).
+    model:
+        Component uncertainty model used by the default sampler.
+    iterations:
+        Number of Monte Carlo iterations (1000 in the paper).
+    rng:
+        Seed; each iteration receives an independent child stream.
+    perturbation_factory:
+        Optional custom sampler ``generator -> NetworkPerturbation``
+        (used by the zonal experiments); defaults to the global Gaussian
+        sampler with ``model``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Accuracy per iteration, shape ``(iterations,)``.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    generators = spawn_rngs(rng, iterations)
+    accuracies = np.empty(iterations, dtype=np.float64)
+    for index, generator in enumerate(generators):
+        if perturbation_factory is not None:
+            perturbation = perturbation_factory(generator)
+        else:
+            perturbation = sample_network_perturbation(spnn.photonic_layers, model, generator)
+        accuracies[index] = spnn.accuracy(features, labels, perturbations=perturbation, use_hardware=True)
+    return accuracies
+
+
+def predict_batched(
+    spnn: SPNN,
+    features: np.ndarray,
+    perturbations: Optional[NetworkPerturbation] = None,
+    batch_size: int = 2048,
+) -> np.ndarray:
+    """Class predictions computed in batches (bounds peak memory on large sets)."""
+    features = np.asarray(features)
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    outputs: List[np.ndarray] = []
+    for start in range(0, len(features), batch_size):
+        chunk = features[start : start + batch_size]
+        outputs.append(spnn.predict(chunk, perturbations=perturbations, use_hardware=True))
+    return np.concatenate(outputs) if outputs else np.zeros(0, dtype=np.int64)

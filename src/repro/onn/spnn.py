@@ -1,0 +1,295 @@
+"""System-level SPNN model: trained software network + photonic hardware twin.
+
+The paper's SPNN (§III-D) is a fully connected feedforward network with two
+hidden layers of 16 complex-valued neurons:
+
+* input features: 16 complex values (4x4 center crop of the shifted FFT),
+* linear layers of sizes 16x16, 16x16 and 16x10, each realized in hardware
+  as ``U @ Sigma @ V^H`` MZI meshes (Clements design) with a gain stage,
+* the non-linear Softplus applied to the modulus after each hidden linear
+  layer,
+* a squared-modulus intensity measurement after the output layer, followed
+  by LogSoftMax.
+
+:class:`SPNN` owns both views of this network: the *software* view (the
+complex weight matrices, as trained) and the *hardware* view (the compiled
+meshes), and evaluates inference through either one — with or without
+uncertainty realizations — so that the accuracy impact of variations can be
+measured exactly as in the paper's EXP 1 / EXP 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..mesh.svd_layer import LayerPerturbation, PhotonicLinearLayer
+from ..utils.validation import as_complex_array
+
+#: Network perturbation: one entry per linear layer (None = that layer ideal).
+NetworkPerturbation = List[Optional[LayerPerturbation]]
+
+
+@dataclass(frozen=True)
+class SPNNArchitecture:
+    """Architecture of the paper's SPNN.
+
+    Parameters
+    ----------
+    layer_dims:
+        Neuron counts per layer including input and output, e.g.
+        ``(16, 16, 16, 10)`` for the paper's two-hidden-layer network.
+    softplus_beta:
+        Sharpness of the modulus-Softplus activation.
+    scheme:
+        Mesh topology used when compiling to hardware.
+    """
+
+    layer_dims: Tuple[int, ...] = (16, 16, 16, 10)
+    softplus_beta: float = 1.0
+    scheme: str = "clements"
+
+    def __post_init__(self) -> None:
+        if len(self.layer_dims) < 2:
+            raise ConfigurationError("layer_dims must contain at least input and output sizes")
+        if any(d < 1 for d in self.layer_dims):
+            raise ConfigurationError(f"all layer dimensions must be >= 1, got {self.layer_dims}")
+        if self.softplus_beta <= 0:
+            raise ConfigurationError(f"softplus_beta must be positive, got {self.softplus_beta}")
+
+    @property
+    def num_linear_layers(self) -> int:
+        return len(self.layer_dims) - 1
+
+    @property
+    def input_size(self) -> int:
+        return self.layer_dims[0]
+
+    @property
+    def output_size(self) -> int:
+        return self.layer_dims[-1]
+
+    def weight_shapes(self) -> List[Tuple[int, int]]:
+        """``(out, in)`` shapes of every linear layer."""
+        return [
+            (self.layer_dims[i + 1], self.layer_dims[i]) for i in range(self.num_linear_layers)
+        ]
+
+
+# --------------------------------------------------------------------------- #
+# numerically stable real helpers (pure NumPy inference path)
+# --------------------------------------------------------------------------- #
+
+
+def _softplus(x: np.ndarray, beta: float = 1.0, threshold: float = 30.0) -> np.ndarray:
+    scaled = beta * x
+    return np.where(scaled > threshold, x, np.log1p(np.exp(np.minimum(scaled, threshold))) / beta)
+
+
+def _log_softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
+
+
+class SPNN:
+    """Silicon-photonic neural network: weights plus compiled MZI hardware.
+
+    Parameters
+    ----------
+    weights:
+        Complex weight matrices, one per linear layer, each of shape
+        ``(out, in)`` and consistent with ``architecture.layer_dims``.
+    architecture:
+        Network architecture description.
+    compile_hardware:
+        When ``True`` (default) the weight matrices are immediately
+        decomposed onto MZI meshes.  Pass ``False`` to delay compilation
+        (e.g. while the software model is still being trained) and call
+        :meth:`compile` later.
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[np.ndarray],
+        architecture: SPNNArchitecture = SPNNArchitecture(),
+        compile_hardware: bool = True,
+    ):
+        expected_shapes = architecture.weight_shapes()
+        if len(weights) != len(expected_shapes):
+            raise ConfigurationError(
+                f"expected {len(expected_shapes)} weight matrices, got {len(weights)}"
+            )
+        self.architecture = architecture
+        self.weights: List[np.ndarray] = []
+        for index, (weight, shape) in enumerate(zip(weights, expected_shapes)):
+            weight = as_complex_array(weight, f"weights[{index}]")
+            if weight.shape != shape:
+                raise ShapeError(
+                    f"weights[{index}] must have shape {shape}, got {weight.shape}"
+                )
+            self.weights.append(weight.copy())
+        self.photonic_layers: List[PhotonicLinearLayer] = []
+        if compile_hardware:
+            self.compile()
+
+    # ------------------------------------------------------------------ #
+    # hardware compilation
+    # ------------------------------------------------------------------ #
+    def compile(self) -> "SPNN":
+        """Decompose every weight matrix onto MZI meshes (idempotent)."""
+        self.photonic_layers = [
+            PhotonicLinearLayer(weight, scheme=self.architecture.scheme) for weight in self.weights
+        ]
+        return self
+
+    @property
+    def is_compiled(self) -> bool:
+        return len(self.photonic_layers) == len(self.weights)
+
+    def _require_compiled(self) -> None:
+        if not self.is_compiled:
+            raise ConfigurationError("SPNN hardware is not compiled; call compile() first")
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def num_linear_layers(self) -> int:
+        return len(self.weights)
+
+    def hardware_summary(self) -> Dict[str, int]:
+        """MZI and phase-shifter counts across the whole network.
+
+        For the paper's (16, 16, 16, 10) architecture this reports 687 MZIs
+        and 1374 tunable phase shifters, matching the number quoted in the
+        abstract.
+        """
+        self._require_compiled()
+        total_mzis = sum(layer.num_mzis for layer in self.photonic_layers)
+        per_layer = [layer.hardware_summary() for layer in self.photonic_layers]
+        return {
+            "num_linear_layers": self.num_linear_layers,
+            "total_mzis": total_mzis,
+            "total_phase_shifters": 2 * total_mzis,
+            "unitary_mzis": sum(p["u_mzis"] + p["v_mzis"] for p in per_layer),
+            "sigma_mzis": sum(p["sigma_mzis"] for p in per_layer),
+        }
+
+    def unitary_meshes(self) -> List[Tuple[str, "object"]]:
+        """The six unitary multipliers with their paper-style names.
+
+        Returns pairs like ``("U_L0", mesh)`` / ``("VH_L0", mesh)`` in layer
+        order — the objects indexed by the EXP 2 heatmaps (Fig. 5a-f).
+        """
+        self._require_compiled()
+        named = []
+        for index, layer in enumerate(self.photonic_layers):
+            named.append((f"U_L{index}", layer.mesh_u))
+            named.append((f"VH_L{index}", layer.mesh_v))
+        return named
+
+    # ------------------------------------------------------------------ #
+    # inference: software (ideal weights)
+    # ------------------------------------------------------------------ #
+    def forward_software(self, features: np.ndarray) -> np.ndarray:
+        """Log-probabilities using the ideal (trained) weight matrices."""
+        return self._forward_with_matrices(features, self.weights)
+
+    # ------------------------------------------------------------------ #
+    # inference: hardware (compiled meshes, optional uncertainties)
+    # ------------------------------------------------------------------ #
+    def hardware_matrices(
+        self, perturbations: Optional[NetworkPerturbation] = None
+    ) -> List[np.ndarray]:
+        """The matrices the hardware implements under a perturbation realization."""
+        self._require_compiled()
+        if perturbations is None:
+            perturbations = [None] * self.num_linear_layers
+        if len(perturbations) != self.num_linear_layers:
+            raise ConfigurationError(
+                f"expected {self.num_linear_layers} layer perturbations, got {len(perturbations)}"
+            )
+        return [
+            layer.matrix(perturbation)
+            for layer, perturbation in zip(self.photonic_layers, perturbations)
+        ]
+
+    def forward_hardware(
+        self,
+        features: np.ndarray,
+        perturbations: Optional[NetworkPerturbation] = None,
+    ) -> np.ndarray:
+        """Log-probabilities using the compiled hardware (optionally perturbed)."""
+        matrices = self.hardware_matrices(perturbations)
+        return self._forward_with_matrices(features, matrices)
+
+    # ------------------------------------------------------------------ #
+    # shared forward pass
+    # ------------------------------------------------------------------ #
+    def _forward_with_matrices(self, features: np.ndarray, matrices: Sequence[np.ndarray]) -> np.ndarray:
+        features = as_complex_array(features, "features")
+        single = features.ndim == 1
+        if single:
+            features = features[np.newaxis, :]
+        if features.ndim != 2 or features.shape[1] != self.architecture.input_size:
+            raise ShapeError(
+                f"features must have shape (batch, {self.architecture.input_size}), got {features.shape}"
+            )
+        activations = features
+        last = len(matrices) - 1
+        for index, matrix in enumerate(matrices):
+            activations = activations @ matrix.T
+            if index != last:
+                activations = _softplus(np.abs(activations), beta=self.architecture.softplus_beta)
+                activations = activations.astype(np.complex128)
+        intensities = np.abs(activations) ** 2
+        log_probs = _log_softmax(intensities)
+        return log_probs[0] if single else log_probs
+
+    # ------------------------------------------------------------------ #
+    # prediction / accuracy helpers
+    # ------------------------------------------------------------------ #
+    def predict(
+        self,
+        features: np.ndarray,
+        perturbations: Optional[NetworkPerturbation] = None,
+        use_hardware: bool = True,
+    ) -> np.ndarray:
+        """Predicted class indices."""
+        if use_hardware:
+            log_probs = self.forward_hardware(features, perturbations)
+        else:
+            log_probs = self.forward_software(features)
+        return np.argmax(np.atleast_2d(log_probs), axis=-1)
+
+    def accuracy(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        perturbations: Optional[NetworkPerturbation] = None,
+        use_hardware: bool = True,
+    ) -> float:
+        """Classification accuracy on ``(features, labels)``."""
+        labels = np.asarray(labels, dtype=np.int64)
+        predictions = self.predict(features, perturbations, use_hardware=use_hardware)
+        if predictions.shape != labels.shape:
+            raise ShapeError(
+                f"predictions shape {predictions.shape} does not match labels {labels.shape}"
+            )
+        if labels.size == 0:
+            raise ConfigurationError("cannot compute accuracy on an empty dataset")
+        return float(np.mean(predictions == labels))
+
+    def hardware_fidelity(self) -> float:
+        """Max |difference| between nominal hardware matrices and the weights."""
+        self._require_compiled()
+        return max(layer.reconstruction_error() for layer in self.photonic_layers)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return (
+            f"SPNN(layer_dims={self.architecture.layer_dims}, "
+            f"compiled={self.is_compiled})"
+        )

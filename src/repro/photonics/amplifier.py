@@ -1,0 +1,90 @@
+"""Optical gain / attenuation elements for the diagonal (Sigma) stage.
+
+Arbitrary diagonal matrices cannot be realized with passive, lossless MZIs
+alone: each MZI attenuator reaches at most unity transmission.  The paper
+(§II-B, Fig. 1) therefore normalizes the singular values to at most 1 and
+restores the overall scale with a global optical amplification stage
+``beta`` (a semiconductor optical amplifier per output, ref. [6]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OpticalAmplifier:
+    """A flat (wavelength-independent) field-gain element.
+
+    Parameters
+    ----------
+    gain:
+        Field gain ``beta`` (power gain is ``beta**2``).  Must be positive;
+        values below 1 describe attenuation.
+    """
+
+    gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise ConfigurationError(f"gain must be positive, got {self.gain}")
+
+    @property
+    def power_gain(self) -> float:
+        return float(self.gain**2)
+
+    @property
+    def gain_db(self) -> float:
+        """Power gain in decibels."""
+        return float(20.0 * np.log10(self.gain))
+
+    def transfer(self, field):
+        """Apply the gain to a field amplitude (scalar or array)."""
+        return self.gain * np.asarray(field)
+
+    def transfer_matrix(self, n: int) -> np.ndarray:
+        """``n x n`` diagonal matrix ``beta * I`` (gain applied on every output)."""
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        return self.gain * np.eye(n, dtype=np.complex128)
+
+
+@dataclass(frozen=True)
+class GainStage:
+    """Per-output amplifier bank (the ``beta`` layer of the paper's Fig. 1)."""
+
+    gains: tuple
+
+    def __post_init__(self) -> None:
+        gains = tuple(float(g) for g in self.gains)
+        if not gains:
+            raise ConfigurationError("GainStage requires at least one output gain")
+        if any(g <= 0 for g in gains):
+            raise ConfigurationError(f"all gains must be positive, got {gains}")
+        object.__setattr__(self, "gains", gains)
+
+    @classmethod
+    def uniform(cls, gain: float, n: int) -> "GainStage":
+        """A stage applying the same gain to all ``n`` outputs."""
+        return cls(gains=tuple([float(gain)] * int(n)))
+
+    @property
+    def size(self) -> int:
+        return len(self.gains)
+
+    def transfer_matrix(self) -> np.ndarray:
+        """Diagonal complex matrix of the per-output field gains."""
+        return np.diag(np.asarray(self.gains, dtype=np.complex128))
+
+    def apply(self, fields: np.ndarray) -> np.ndarray:
+        """Apply the gains to a batch of field vectors (last axis = outputs)."""
+        fields = np.asarray(fields)
+        if fields.shape[-1] != self.size:
+            raise ConfigurationError(
+                f"field vector length {fields.shape[-1]} does not match stage size {self.size}"
+            )
+        return fields * np.asarray(self.gains)

@@ -1,0 +1,132 @@
+"""2x2 beam-splitter (directional-coupler) model (paper §II-A, §III-A).
+
+A lossless beam splitter transmits a fraction of the input field and couples
+the rest to the other output with a 90-degree phase shift (paper Eq. (2))::
+
+    [E0_out]   [ r00   i*t10 ] [E0_in]
+    [E1_out] = [ i*t01  r11  ] [E1_in]
+
+with ``r00^2 + t01^2 = 1`` and ``r11^2 + t10^2 = 1``.  For the symmetric
+ideal 50:50 splitter ``r = t = 1/sqrt(2)``.  Beam splitters are passive:
+once fabricated, their splitting ratio cannot be retuned, so
+fabrication-induced deviations in ``r``/``t`` are permanent uncertainties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..exceptions import VariationModelError
+from . import constants
+
+
+@dataclass(frozen=True)
+class BeamSplitter:
+    """A lossless, possibly asymmetric 2x2 beam splitter.
+
+    Parameters
+    ----------
+    r00, r11:
+        Reflectance amplitudes of the two bar paths.
+    t01, t10:
+        Transmittance amplitudes of the two cross paths.  When omitted they
+        are derived from the corresponding reflectances through the lossless
+        conditions ``r00^2 + t01^2 = 1`` and ``r11^2 + t10^2 = 1``.
+    """
+
+    r00: float = constants.IDEAL_SPLITTER_AMPLITUDE
+    r11: float = constants.IDEAL_SPLITTER_AMPLITUDE
+    t01: float | None = None
+    t10: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("r00", "r11"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise VariationModelError(f"{name} must be in [0, 1], got {value}")
+        if self.t01 is None:
+            object.__setattr__(self, "t01", float(np.sqrt(max(0.0, 1.0 - self.r00**2))))
+        if self.t10 is None:
+            object.__setattr__(self, "t10", float(np.sqrt(max(0.0, 1.0 - self.r11**2))))
+        for name in ("t01", "t10"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise VariationModelError(f"{name} must be in [0, 1], got {value}")
+        if not np.isclose(self.r00**2 + self.t01**2, 1.0, atol=1e-9):
+            raise VariationModelError(
+                f"lossless condition violated: r00^2 + t01^2 = {self.r00**2 + self.t01**2:.6f}"
+            )
+        if not np.isclose(self.r11**2 + self.t10**2, 1.0, atol=1e-9):
+            raise VariationModelError(
+                f"lossless condition violated: r11^2 + t10^2 = {self.r11**2 + self.t10**2:.6f}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def ideal(cls) -> "BeamSplitter":
+        """The ideal symmetric 50:50 splitter (r = t = 1/sqrt(2))."""
+        return cls()
+
+    @classmethod
+    def symmetric(cls, reflectance: float) -> "BeamSplitter":
+        """A symmetric splitter with equal reflectances ``r00 = r11``."""
+        return cls(r00=float(reflectance), r11=float(reflectance))
+
+    @classmethod
+    def from_reflectance_error(cls, delta_r: float) -> "BeamSplitter":
+        """A symmetric splitter whose reflectance deviates by ``delta_r`` from ideal.
+
+        The deviated value is clipped to the physical range [0, 1]; the
+        transmittance follows from the lossless condition, matching how the
+        paper perturbs ``r`` with Gaussian noise around ``1/sqrt(2)``.
+        """
+        r = float(np.clip(constants.IDEAL_SPLITTER_AMPLITUDE + delta_r, 0.0, 1.0))
+        return cls.symmetric(r)
+
+    # ------------------------------------------------------------------ #
+    # physics
+    # ------------------------------------------------------------------ #
+    def transfer_matrix(self) -> np.ndarray:
+        """2x2 field transfer matrix of the paper's Eq. (2)."""
+        return np.array(
+            [
+                [self.r00, 1j * self.t10],
+                [1j * self.t01, self.r11],
+            ],
+            dtype=np.complex128,
+        )
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when both paths share the same reflectance/transmittance."""
+        return bool(np.isclose(self.r00, self.r11) and np.isclose(self.t01, self.t10))
+
+    @property
+    def is_ideal(self, atol: float = 1e-12) -> bool:
+        """True for an ideal 50:50 splitter."""
+        return bool(
+            np.isclose(self.r00, constants.IDEAL_SPLITTER_AMPLITUDE, atol=atol)
+            and np.isclose(self.r11, constants.IDEAL_SPLITTER_AMPLITUDE, atol=atol)
+        )
+
+    @property
+    def splitting_ratio(self) -> float:
+        """Power splitting ratio ``r00^2`` (0.5 for the ideal splitter)."""
+        return float(self.r00**2)
+
+    def power_conservation_error(self) -> float:
+        """Max deviation of ``B^H B`` from identity (0 for a symmetric lossless splitter)."""
+        matrix = self.transfer_matrix()
+        return float(np.max(np.abs(matrix.conj().T @ matrix - np.eye(2))))
+
+    def with_variation(self, delta_r00: float, delta_r11: float | None = None) -> "BeamSplitter":
+        """Return a splitter whose reflectances are perturbed (FPV injection)."""
+        if delta_r11 is None:
+            delta_r11 = delta_r00
+        r00 = float(np.clip(self.r00 + delta_r00, 0.0, 1.0))
+        r11 = float(np.clip(self.r11 + delta_r11, 0.0, 1.0))
+        return BeamSplitter(r00=r00, r11=r11)

@@ -1,0 +1,39 @@
+"""Physical constants and default device parameters for the photonic models.
+
+Values follow the paper (§III-A) and its references: operation at the
+1550 nm telecom wavelength, silicon thermo-optic coefficient
+``dn/dT ~ 1.8e-4 K^-1`` at 300 K.
+"""
+
+from __future__ import annotations
+
+#: Operating wavelength [m] (1550 nm, paper §III-A).
+DEFAULT_WAVELENGTH = 1550e-9
+
+#: Thermo-optic coefficient of silicon at 1550 nm and 300 K [1/K] (paper §III-A).
+SILICON_THERMO_OPTIC_COEFFICIENT = 1.8e-4
+
+#: Nominal operating temperature [K].
+DEFAULT_TEMPERATURE = 300.0
+
+#: Default thermo-optic phase-shifter length [m].  A few tens of microns is a
+#: typical heater length on the SOI platform (Jacques et al., 2019 — paper [10]).
+DEFAULT_PHASE_SHIFTER_LENGTH = 100e-6
+
+#: Ideal 50:50 beam-splitter transmittance/reflectance amplitude (1/sqrt(2)).
+IDEAL_SPLITTER_AMPLITUDE = 0.7071067811865476
+
+#: Phase-angle standard error reported for mature fabrication processes
+#: [radians] (Flamini et al. 2017 — paper [4], quoted in §III-A as ~0.21 rad).
+MATURE_PROCESS_PHASE_ERROR = 0.21
+
+#: The same error expressed as a fraction of the full 2*pi phase range
+#: (0.21 / 2*pi ~ 3.34%, paper §III-A).
+MATURE_PROCESS_PHASE_ERROR_FRACTION = 0.0334
+
+#: Typical relative error expected in beam-splitter r/t parameters (1-2%,
+#: paper §III-A citing [4]).
+TYPICAL_SPLITTER_ERROR_FRACTION = 0.02
+
+#: Number of classes / random-guess accuracy for the MNIST task (paper §III-D).
+RANDOM_GUESS_ACCURACY = 0.10

@@ -1,0 +1,131 @@
+"""Thermo-optic phase-shifter model (paper §II-A, §III-A).
+
+A phase shifter applies a configurable phase ``phi`` to the optical field in
+one waveguide arm.  In the thermo-optic implementation the phase is set by a
+micro-heater: the temperature change ``dT`` modifies the silicon refractive
+index through the thermo-optic coefficient, giving::
+
+    d_phi = (2 * pi * l / lambda0) * (dn/dT) * dT
+
+Fabrication-process variations perturb the heater/waveguide length ``l`` and
+thermal crosstalk perturbs ``dT``; both appear to the network as phase-angle
+errors, which is exactly how the paper injects uncertainty (Gaussian noise
+on the tuned phase angles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..utils.validation import check_positive
+from . import constants
+
+
+def phase_from_temperature(
+    delta_temperature: float,
+    length: float = constants.DEFAULT_PHASE_SHIFTER_LENGTH,
+    wavelength: float = constants.DEFAULT_WAVELENGTH,
+    thermo_optic_coefficient: float = constants.SILICON_THERMO_OPTIC_COEFFICIENT,
+) -> float:
+    """Phase change [rad] produced by a heater temperature change [K].
+
+    Implements the paper's expression ``d_phi = (2*pi*l/lambda0) (dn/dT) dT``.
+    """
+    check_positive(length, "length")
+    check_positive(wavelength, "wavelength")
+    check_positive(thermo_optic_coefficient, "thermo_optic_coefficient")
+    return (2.0 * np.pi * length / wavelength) * thermo_optic_coefficient * float(delta_temperature)
+
+
+def temperature_for_phase(
+    phase: float,
+    length: float = constants.DEFAULT_PHASE_SHIFTER_LENGTH,
+    wavelength: float = constants.DEFAULT_WAVELENGTH,
+    thermo_optic_coefficient: float = constants.SILICON_THERMO_OPTIC_COEFFICIENT,
+) -> float:
+    """Heater temperature change [K] required to reach ``phase`` [rad].
+
+    Inverse of :func:`phase_from_temperature`; used by the thermal-crosstalk
+    model to convert tuned phases into heater drive temperatures.
+    """
+    check_positive(length, "length")
+    check_positive(wavelength, "wavelength")
+    check_positive(thermo_optic_coefficient, "thermo_optic_coefficient")
+    return float(phase) * wavelength / (2.0 * np.pi * length * thermo_optic_coefficient)
+
+
+@dataclass(frozen=True)
+class PhaseShifter:
+    """A single thermo-optic phase shifter.
+
+    Parameters
+    ----------
+    phase:
+        Tuned (programmed) phase [rad].
+    length:
+        Physical heater/waveguide length [m]; FPVs act on this value.
+    wavelength:
+        Operating wavelength [m].
+    thermo_optic_coefficient:
+        dn/dT of the waveguide core material [1/K].
+    """
+
+    phase: float = 0.0
+    length: float = constants.DEFAULT_PHASE_SHIFTER_LENGTH
+    wavelength: float = constants.DEFAULT_WAVELENGTH
+    thermo_optic_coefficient: float = constants.SILICON_THERMO_OPTIC_COEFFICIENT
+
+    def __post_init__(self) -> None:
+        check_positive(self.length, "length")
+        check_positive(self.wavelength, "wavelength")
+        check_positive(self.thermo_optic_coefficient, "thermo_optic_coefficient")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def transfer(self) -> complex:
+        """Scalar field transfer function ``exp(i * phase)``."""
+        return complex(np.exp(1j * self.phase))
+
+    def transfer_matrix(self) -> np.ndarray:
+        """2x2 transfer matrix of a phase shifter on the *upper* arm.
+
+        Matches ``U_PhS`` in the paper's Eq. (1): ``diag(e^{i phase}, 1)``.
+        """
+        return np.array([[np.exp(1j * self.phase), 0.0], [0.0, 1.0]], dtype=np.complex128)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def drive_temperature(self) -> float:
+        """Heater temperature change [K] needed to produce ``phase``."""
+        return temperature_for_phase(
+            self.phase, self.length, self.wavelength, self.thermo_optic_coefficient
+        )
+
+    def with_phase(self, phase: float) -> "PhaseShifter":
+        """Return a copy tuned to a new phase."""
+        return replace(self, phase=float(phase))
+
+    def with_phase_error(self, delta_phase: float) -> "PhaseShifter":
+        """Return a copy with an additive phase error (uncertainty injection)."""
+        return replace(self, phase=self.phase + float(delta_phase))
+
+    def with_length_variation(self, relative_error: float) -> "PhaseShifter":
+        """Return a copy whose length deviates by ``relative_error`` (FPV).
+
+        The *tuned* drive temperature is kept, so the realized phase scales
+        with the length ratio — a length error therefore shows up as a phase
+        error, exactly the FPV mechanism described in §III-A.
+        """
+        new_length = self.length * (1.0 + float(relative_error))
+        check_positive(new_length, "perturbed length")
+        realized_phase = self.phase * (new_length / self.length)
+        return replace(self, length=new_length, phase=realized_phase)
+
+    def with_temperature_crosstalk(self, delta_temperature: float) -> "PhaseShifter":
+        """Return a copy heated by a neighbouring actuator (thermal crosstalk)."""
+        extra_phase = phase_from_temperature(
+            delta_temperature, self.length, self.wavelength, self.thermo_optic_coefficient
+        )
+        return self.with_phase_error(extra_phase)

@@ -1,0 +1,97 @@
+"""Light-weight argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+
+def as_complex_array(value, name: str = "array") -> np.ndarray:
+    """Convert ``value`` to a ``complex128`` NumPy array.
+
+    Raises
+    ------
+    ShapeError
+        If the value cannot be interpreted as a numeric array.
+    """
+    try:
+        arr = np.asarray(value, dtype=np.complex128)
+    except (TypeError, ValueError) as exc:
+        raise ShapeError(f"{name} cannot be converted to a complex array: {exc}") from exc
+    return arr
+
+
+def as_float_array(value, name: str = "array") -> np.ndarray:
+    """Convert ``value`` to a ``float64`` NumPy array."""
+    try:
+        arr = np.asarray(value, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ShapeError(f"{name} cannot be converted to a float array: {exc}") from exc
+    return arr
+
+
+def check_square_matrix(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Ensure ``matrix`` is a 2-D square array and return it."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ShapeError(f"{name} must be a square 2-D matrix, got shape {matrix.shape}")
+    return matrix
+
+
+def check_matrix_shape(matrix: np.ndarray, shape: Sequence[int], name: str = "matrix") -> np.ndarray:
+    """Ensure ``matrix`` has exactly ``shape``."""
+    matrix = np.asarray(matrix)
+    if tuple(matrix.shape) != tuple(shape):
+        raise ShapeError(f"{name} must have shape {tuple(shape)}, got {matrix.shape}")
+    return matrix
+
+
+def check_positive(value: float, name: str = "value", allow_zero: bool = False) -> float:
+    """Ensure a scalar is positive (or non-negative when ``allow_zero``)."""
+    value = float(value)
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_in_range(value: float, low: float, high: float, name: str = "value") -> float:
+    """Ensure ``low <= value <= high``."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_probability_vector(vector: np.ndarray, name: str = "probabilities", atol: float = 1e-6) -> np.ndarray:
+    """Ensure a vector is a valid probability distribution."""
+    vector = as_float_array(vector, name)
+    if vector.ndim != 1:
+        raise ShapeError(f"{name} must be 1-D, got shape {vector.shape}")
+    if np.any(vector < -atol):
+        raise ValueError(f"{name} contains negative entries")
+    if not np.isclose(vector.sum(), 1.0, atol=atol):
+        raise ValueError(f"{name} must sum to 1, got {vector.sum()}")
+    return vector
+
+
+def check_index(index: int, size: int, name: str = "index") -> int:
+    """Ensure ``0 <= index < size`` and return ``index`` as ``int``."""
+    index = int(index)
+    if not 0 <= index < size:
+        raise IndexError(f"{name} must be in [0, {size}), got {index}")
+    return index
+
+
+def check_lengths_match(*sequences: Iterable, names: Sequence[str] | None = None) -> None:
+    """Ensure all sequences have the same length."""
+    lengths = [len(list(s)) if not hasattr(s, "__len__") else len(s) for s in sequences]
+    if len(set(lengths)) > 1:
+        labels = names if names is not None else [f"arg{i}" for i in range(len(sequences))]
+        detail = ", ".join(f"{label}={length}" for label, length in zip(labels, lengths))
+        raise ShapeError(f"sequence lengths differ: {detail}")

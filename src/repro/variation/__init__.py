@@ -1,0 +1,26 @@
+"""Uncertainty models and samplers: Gaussian FPV, zonal maps, thermal crosstalk."""
+
+from .fpv import CorrelatedFPVModel
+from .models import UncertaintyModel
+from .sampler import (
+    sample_diagonal_perturbation,
+    sample_layer_perturbation,
+    sample_mesh_perturbation,
+    sample_network_perturbation,
+    sample_single_mzi_perturbation,
+)
+from .thermal import ThermalCrosstalkModel
+from .zones import Zone, ZoneGrid
+
+__all__ = [
+    "UncertaintyModel",
+    "sample_mesh_perturbation",
+    "sample_single_mzi_perturbation",
+    "sample_diagonal_perturbation",
+    "sample_layer_perturbation",
+    "sample_network_perturbation",
+    "Zone",
+    "ZoneGrid",
+    "ThermalCrosstalkModel",
+    "CorrelatedFPVModel",
+]

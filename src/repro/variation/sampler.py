@@ -1,0 +1,146 @@
+"""Sampling of uncertainty realizations for meshes, layers and networks.
+
+The functions here draw one Monte Carlo realization of the Gaussian
+uncertainty model (paper §III-A) for:
+
+* a single :class:`~repro.mesh.mesh.MZIMesh` (layer-level studies, Fig. 3),
+* a full :class:`~repro.mesh.svd_layer.PhotonicLinearLayer`
+  (two unitary meshes + the Sigma attenuator bank), and
+* a list of layers, i.e. the whole SPNN (system-level studies, Figs. 4-5).
+
+Zonal experiments (EXP 2) use :func:`sample_mesh_perturbation` with a
+per-MZI sigma override produced by :mod:`repro.variation.zones`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..mesh.diagonal import DiagonalPerturbation
+from ..mesh.mesh import MeshPerturbation, MZIMesh
+from ..mesh.svd_layer import LayerPerturbation, PhotonicLinearLayer
+from ..utils.rng import RNGLike, ensure_rng
+from .models import UncertaintyModel
+
+
+def _phase_sigmas(model: UncertaintyModel, count: int, override: Optional[np.ndarray]) -> np.ndarray:
+    if override is not None:
+        override = np.asarray(override, dtype=np.float64)
+        return override * 2.0 * np.pi if model.perturb_phases else np.zeros(count)
+    return np.full(count, model.phase_std)
+
+
+def _splitter_sigmas(model: UncertaintyModel, count: int, override: Optional[np.ndarray]) -> np.ndarray:
+    if override is not None:
+        override = np.asarray(override, dtype=np.float64)
+        return override / np.sqrt(2.0) if model.perturb_splitters else np.zeros(count)
+    return np.full(count, model.splitter_std)
+
+
+def sample_mesh_perturbation(
+    mesh: MZIMesh,
+    model: UncertaintyModel,
+    rng: RNGLike = None,
+    sigma_phs_per_mzi: Optional[np.ndarray] = None,
+    sigma_bes_per_mzi: Optional[np.ndarray] = None,
+) -> MeshPerturbation:
+    """Draw one uncertainty realization for a unitary mesh.
+
+    Parameters
+    ----------
+    mesh:
+        The mesh whose devices are perturbed.
+    model:
+        Component-level uncertainty model (which families, what sigmas).
+    rng:
+        Seed or generator.
+    sigma_phs_per_mzi, sigma_bes_per_mzi:
+        Optional per-MZI *normalized* sigma overrides (length
+        ``mesh.num_mzis``).  Used by zonal experiments where different
+        regions of the mesh have different uncertainty levels.
+    """
+    gen = ensure_rng(rng)
+    count = mesh.num_mzis
+    phase_sigma = _phase_sigmas(model, count, sigma_phs_per_mzi)
+    splitter_sigma = _splitter_sigmas(model, count, sigma_bes_per_mzi)
+
+    delta_theta = gen.normal(0.0, 1.0, count) * phase_sigma
+    delta_phi = gen.normal(0.0, 1.0, count) * phase_sigma
+    delta_r_in = gen.normal(0.0, 1.0, count) * splitter_sigma
+    delta_r_out = gen.normal(0.0, 1.0, count) * splitter_sigma
+    delta_output = (
+        gen.normal(0.0, model.phase_std, mesh.n) if model.perturb_output_phases else None
+    )
+    return MeshPerturbation(
+        delta_theta=delta_theta,
+        delta_phi=delta_phi,
+        delta_r_in=delta_r_in,
+        delta_r_out=delta_r_out,
+        delta_output_phase=delta_output,
+    )
+
+
+def sample_single_mzi_perturbation(
+    mesh: MZIMesh,
+    mzi_index: int,
+    model: UncertaintyModel,
+    rng: RNGLike = None,
+) -> MeshPerturbation:
+    """Perturb only one MZI of a mesh (the Fig. 3 layer-level study)."""
+    gen = ensure_rng(rng)
+    count = mesh.num_mzis
+    if not 0 <= mzi_index < count:
+        raise IndexError(f"mzi_index must be in [0, {count}), got {mzi_index}")
+    perturbation = MeshPerturbation.none(count, mesh.n)
+    if model.perturb_phases:
+        perturbation.delta_theta[mzi_index] = gen.normal(0.0, model.phase_std)
+        perturbation.delta_phi[mzi_index] = gen.normal(0.0, model.phase_std)
+    if model.perturb_splitters:
+        perturbation.delta_r_in[mzi_index] = gen.normal(0.0, model.splitter_std)
+        perturbation.delta_r_out[mzi_index] = gen.normal(0.0, model.splitter_std)
+    return perturbation
+
+
+def sample_diagonal_perturbation(
+    num_mzis: int,
+    model: UncertaintyModel,
+    rng: RNGLike = None,
+) -> Optional[DiagonalPerturbation]:
+    """Draw one uncertainty realization for a Sigma attenuator bank."""
+    if not model.perturb_sigma_stage or num_mzis == 0:
+        return None
+    gen = ensure_rng(rng)
+    phase_sigma = model.phase_std
+    splitter_sigma = model.splitter_std
+    return DiagonalPerturbation(
+        delta_theta=gen.normal(0.0, phase_sigma, num_mzis) if phase_sigma else np.zeros(num_mzis),
+        delta_phi=gen.normal(0.0, phase_sigma, num_mzis) if phase_sigma else np.zeros(num_mzis),
+        delta_r_in=gen.normal(0.0, splitter_sigma, num_mzis) if splitter_sigma else np.zeros(num_mzis),
+        delta_r_out=gen.normal(0.0, splitter_sigma, num_mzis) if splitter_sigma else np.zeros(num_mzis),
+    )
+
+
+def sample_layer_perturbation(
+    layer: PhotonicLinearLayer,
+    model: UncertaintyModel,
+    rng: RNGLike = None,
+) -> LayerPerturbation:
+    """Draw one uncertainty realization for a full photonic linear layer."""
+    gen = ensure_rng(rng)
+    return LayerPerturbation(
+        u=sample_mesh_perturbation(layer.mesh_u, model, gen),
+        v=sample_mesh_perturbation(layer.mesh_v, model, gen),
+        sigma=sample_diagonal_perturbation(layer.diagonal.num_mzis, model, gen),
+    )
+
+
+def sample_network_perturbation(
+    layers: Sequence[PhotonicLinearLayer],
+    model: UncertaintyModel,
+    rng: RNGLike = None,
+) -> List[LayerPerturbation]:
+    """Draw one uncertainty realization for every layer of an SPNN."""
+    gen = ensure_rng(rng)
+    return [sample_layer_perturbation(layer, model, gen) for layer in layers]

@@ -1,0 +1,137 @@
+"""Zonal partitioning of MZI meshes for localized-uncertainty studies (EXP 2).
+
+The paper divides each unitary multiplier into zones of 2x2 MZIs on the
+physical (column, row) grid; one selected zone receives elevated
+uncertainties (``sigma = 0.1``) while the rest of the network stays at the
+background level (``sigma = 0.05``).  :class:`ZoneGrid` produces the zone
+membership masks and per-MZI sigma maps needed to reproduce that setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..mesh.mesh import MZIMesh
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A rectangular zone of MZIs on the mesh grid.
+
+    Attributes
+    ----------
+    row_index, col_index:
+        Zone coordinates (in zone units, not MZI units).
+    mzi_indices:
+        Propagation indices of the MZIs that fall inside the zone.
+    """
+
+    row_index: int
+    col_index: int
+    mzi_indices: Tuple[int, ...]
+
+    @property
+    def num_mzis(self) -> int:
+        return len(self.mzi_indices)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.mzi_indices
+
+
+class ZoneGrid:
+    """Partition of a mesh's physical layout into rectangular zones.
+
+    Parameters
+    ----------
+    mesh:
+        The mesh to partition.
+    zone_rows, zone_cols:
+        Zone extent in MZI grid units; the paper uses 2x2 zones.
+    """
+
+    def __init__(self, mesh: MZIMesh, zone_rows: int = 2, zone_cols: int = 2):
+        if zone_rows < 1 or zone_cols < 1:
+            raise ConfigurationError(f"zone dimensions must be >= 1, got {zone_rows}x{zone_cols}")
+        self.mesh = mesh
+        self.zone_rows = int(zone_rows)
+        self.zone_cols = int(zone_cols)
+        columns = mesh.columns()
+        rows = mesh.modes()
+        self.num_zone_rows = int(np.ceil(mesh.num_rows / zone_rows)) if mesh.num_mzis else 0
+        self.num_zone_cols = int(np.ceil(mesh.num_columns / zone_cols)) if mesh.num_mzis else 0
+        self._zones: List[Zone] = []
+        for zr in range(self.num_zone_rows):
+            for zc in range(self.num_zone_cols):
+                members = np.flatnonzero(
+                    (rows // zone_rows == zr) & (columns // zone_cols == zc)
+                )
+                self._zones.append(Zone(row_index=zr, col_index=zc, mzi_indices=tuple(int(i) for i in members)))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_zones(self) -> int:
+        return len(self._zones)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(zone_rows, zone_cols)`` shape of the zone grid."""
+        return (self.num_zone_rows, self.num_zone_cols)
+
+    def zones(self, include_empty: bool = False) -> List[Zone]:
+        """All zones, optionally dropping zones with no MZIs."""
+        if include_empty:
+            return list(self._zones)
+        return [zone for zone in self._zones if not zone.is_empty]
+
+    def __iter__(self) -> Iterator[Zone]:
+        return iter(self.zones())
+
+    def zone_at(self, row_index: int, col_index: int) -> Zone:
+        """Zone at zone-grid coordinates ``(row_index, col_index)``."""
+        for zone in self._zones:
+            if zone.row_index == row_index and zone.col_index == col_index:
+                return zone
+        raise ConfigurationError(f"no zone at ({row_index}, {col_index})")
+
+    def zone_of_mzi(self, mzi_index: int) -> Zone:
+        """Zone containing the MZI with the given propagation index."""
+        for zone in self._zones:
+            if mzi_index in zone.mzi_indices:
+                return zone
+        raise ConfigurationError(f"MZI index {mzi_index} not found in any zone")
+
+    # ------------------------------------------------------------------ #
+    def mask_for_zone(self, zone: Zone) -> np.ndarray:
+        """Boolean mask (over MZI indices) selecting the zone's devices."""
+        mask = np.zeros(self.mesh.num_mzis, dtype=bool)
+        mask[list(zone.mzi_indices)] = True
+        return mask
+
+    def sigma_map(
+        self,
+        zone: Zone,
+        zone_sigma: float,
+        background_sigma: float,
+    ) -> np.ndarray:
+        """Per-MZI normalized sigma array: ``zone_sigma`` inside, background outside.
+
+        This is the EXP 2 configuration: the selected zone gets the elevated
+        uncertainty while every other MZI keeps the background level.
+        """
+        if zone_sigma < 0 or background_sigma < 0:
+            raise ConfigurationError("sigmas must be non-negative")
+        sigmas = np.full(self.mesh.num_mzis, float(background_sigma))
+        sigmas[list(zone.mzi_indices)] = float(zone_sigma)
+        return sigmas
+
+    def occupancy_matrix(self) -> np.ndarray:
+        """Zone-grid matrix of MZI counts (rows x cols), for reporting."""
+        matrix = np.zeros(self.shape, dtype=np.int64)
+        for zone in self._zones:
+            matrix[zone.row_index, zone.col_index] = zone.num_mzis
+        return matrix

@@ -1,0 +1,119 @@
+"""Tests for the RVD figure of merit and Monte Carlo statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    confidence_interval,
+    margin_of_error,
+    mean_rvd,
+    normalized_rvd,
+    required_iterations,
+    rvd,
+    rvd_matrix,
+    summarize,
+    worst_case_margin_of_error,
+)
+from repro.exceptions import ShapeError
+from repro.utils import random_unitary
+
+
+class TestRVD:
+    def test_zero_for_identical_matrices(self):
+        u = random_unitary(5, rng=0)
+        assert rvd(u, u) == 0.0
+
+    def test_positive_for_different_matrices(self):
+        a, b = random_unitary(4, rng=1), random_unitary(4, rng=2)
+        assert rvd(a, b) > 0.0
+
+    def test_manual_example(self):
+        reference = np.array([[1.0, 2.0], [4.0, 5.0]], dtype=complex)
+        actual = reference + np.array([[0.1, 0.2], [0.4, 0.5]])
+        # every element deviates by 10% of its magnitude -> RVD = 4 * 0.1
+        assert rvd(actual, reference) == pytest.approx(0.4)
+
+    def test_scales_linearly_with_small_deviation(self):
+        reference = random_unitary(4, rng=3)
+        delta = 1e-3 * random_unitary(4, rng=4)
+        small = rvd(reference + delta, reference)
+        large = rvd(reference + 2 * delta, reference)
+        assert large == pytest.approx(2 * small, rel=1e-9)
+
+    def test_zero_reference_element_raises_without_eps(self):
+        reference = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=complex)
+        with pytest.raises(ZeroDivisionError):
+            rvd(reference + 0.1, reference)
+        assert np.isfinite(rvd(reference + 0.1, reference, eps=1e-9))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            rvd(np.eye(2), np.eye(3))
+
+    def test_rvd_matrix_elementwise(self):
+        reference = np.full((2, 2), 2.0, dtype=complex)
+        actual = reference + 0.2
+        assert np.allclose(rvd_matrix(actual, reference), 0.1)
+
+    def test_mean_rvd(self):
+        reference = random_unitary(3, rng=5)
+        actuals = [reference, reference]
+        assert mean_rvd(actuals, reference) == 0.0
+        with pytest.raises(ValueError):
+            mean_rvd([], reference)
+
+    def test_normalized_rvd(self):
+        reference = np.full((2, 2), 1.0, dtype=complex)
+        actual = reference + 0.1
+        assert normalized_rvd(actual, reference) == pytest.approx(0.1)
+
+
+class TestStatistics:
+    def test_margin_of_error_decreases_with_samples(self):
+        gen = np.random.default_rng(0)
+        small = margin_of_error(gen.normal(0, 1, 50))
+        large = margin_of_error(gen.normal(0, 1, 5000))
+        assert large < small
+
+    def test_margin_of_error_single_sample_infinite(self):
+        assert margin_of_error([1.0]) == float("inf")
+
+    def test_margin_of_error_validation(self):
+        with pytest.raises(ValueError):
+            margin_of_error([])
+        with pytest.raises(ValueError):
+            margin_of_error([1.0, 2.0], confidence=1.5)
+
+    def test_worst_case_margin_matches_paper_scale(self):
+        """1000 iterations -> worst-case 95% margin ~3.1%, i.e. a ~6.2%-wide interval.
+
+        This is the paper's justification for using 1000 Monte Carlo
+        iterations (maximum margin of error 6.27%).
+        """
+        moe = worst_case_margin_of_error(1000)
+        assert moe == pytest.approx(0.031, abs=0.002)
+        assert 2 * moe * 100 == pytest.approx(6.27, abs=0.3)
+
+    def test_required_iterations_roundtrip(self):
+        iterations = required_iterations(0.031)
+        assert 900 <= iterations <= 1100
+
+    def test_confidence_interval_contains_mean(self):
+        samples = np.random.default_rng(1).normal(5.0, 1.0, 500)
+        low, high = confidence_interval(samples)
+        assert low < samples.mean() < high
+
+    def test_summarize_fields(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        summary = summarize(samples)
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.count == 4
+        low, high = summary.confidence_interval
+        assert low < summary.mean < high
+
+    def test_summarize_validation(self):
+        with pytest.raises(ValueError):
+            summarize(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            required_iterations(0.0)

@@ -1,0 +1,79 @@
+"""Tests for the yield-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.yield_analysis import estimate_yield, max_tolerable_sigma, yield_vs_sigma
+
+
+def test_estimate_yield_basic_fraction():
+    estimate = estimate_yield([0.9, 0.8, 0.4, 0.95], accuracy_threshold=0.75)
+    assert estimate.yield_fraction == pytest.approx(0.75)
+    assert estimate.mean_accuracy == pytest.approx(np.mean([0.9, 0.8, 0.4, 0.95]))
+    assert estimate.samples == 4
+
+
+def test_estimate_yield_all_or_nothing():
+    assert estimate_yield([0.9, 0.95], 0.5).yield_fraction == 1.0
+    assert estimate_yield([0.1, 0.2], 0.5).yield_fraction == 0.0
+
+
+def test_estimate_yield_threshold_inclusive():
+    assert estimate_yield([0.8], 0.8).yield_fraction == 1.0
+
+
+def test_estimate_yield_standard_error():
+    estimate = estimate_yield([1.0, 0.0, 1.0, 0.0], 0.5)
+    assert estimate.standard_error == pytest.approx(np.sqrt(0.5 * 0.5 / 4))
+    single = estimate_yield([1.0], 0.5)
+    assert single.standard_error == float("inf")
+
+
+def test_estimate_yield_validation():
+    with pytest.raises(ValueError):
+        estimate_yield([], 0.5)
+    with pytest.raises(ValueError):
+        estimate_yield([0.5], 1.5)
+    with pytest.raises(ValueError):
+        estimate_yield(np.zeros((2, 2)), 0.5)
+
+
+def test_yield_vs_sigma_monotone_example():
+    sweep = {
+        0.0: [0.95, 0.96, 0.97],
+        0.05: [0.9, 0.4, 0.5],
+        0.1: [0.1, 0.12, 0.11],
+    }
+    estimates = yield_vs_sigma(sweep, accuracy_threshold=0.8)
+    assert estimates[0.0].yield_fraction == 1.0
+    assert estimates[0.05].yield_fraction == pytest.approx(1 / 3)
+    assert estimates[0.1].yield_fraction == 0.0
+
+
+def test_max_tolerable_sigma():
+    sweep = {
+        0.0: [0.95, 0.96],
+        0.025: [0.9, 0.92],
+        0.05: [0.5, 0.85],
+        0.1: [0.1, 0.2],
+    }
+    assert max_tolerable_sigma(sweep, accuracy_threshold=0.8, target_yield=0.9) == 0.025
+    assert max_tolerable_sigma(sweep, accuracy_threshold=0.8, target_yield=0.4) == 0.05
+    assert max_tolerable_sigma(sweep, accuracy_threshold=0.99, target_yield=0.9) is None
+    with pytest.raises(ValueError):
+        max_tolerable_sigma(sweep, 0.8, target_yield=0.0)
+
+
+def test_yield_from_exp1_style_samples(small_task):
+    """End-to-end: yield of the trained SPNN at a mild vs severe sigma."""
+    from repro.onn import monte_carlo_accuracy
+    from repro.variation import UncertaintyModel
+
+    features, labels = small_task.test_features[:80], small_task.test_labels[:80]
+    mild = monte_carlo_accuracy(small_task.spnn, features, labels, UncertaintyModel.both(0.005), iterations=5, rng=0)
+    severe = monte_carlo_accuracy(small_task.spnn, features, labels, UncertaintyModel.both(0.1), iterations=5, rng=0)
+    threshold = small_task.baseline_accuracy - 0.25
+    mild_yield = estimate_yield(mild, threshold).yield_fraction
+    severe_yield = estimate_yield(severe, threshold).yield_fraction
+    assert mild_yield >= severe_yield
+    assert severe_yield <= 0.5

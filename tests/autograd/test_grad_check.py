@@ -1,0 +1,52 @@
+"""Tests for the numerical gradient checker itself."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, numerical_gradient
+
+
+def test_numerical_gradient_simple_quadratic():
+    x = Tensor([2.0, -1.0], requires_grad=True)
+    grad = numerical_gradient(lambda t: (t * t).sum(), [x], 0)
+    assert np.allclose(grad, [4.0, -2.0], atol=1e-5)
+
+
+def test_numerical_gradient_complex_abs2():
+    z = Tensor([1 + 2j], requires_grad=True)
+    grad = numerical_gradient(lambda t: t.abs2().sum(), [z], 0)
+    # d|z|^2/dx + i d|z|^2/dy = 2x + 2iy = 2z
+    assert np.allclose(grad, [2 + 4j], atol=1e-5)
+
+
+def test_numerical_gradient_rejects_non_scalar():
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    with pytest.raises(ValueError):
+        numerical_gradient(lambda t: t * 2, [x], 0)
+
+
+def test_check_gradients_passes_for_correct_op():
+    x = Tensor([0.3, -0.7], requires_grad=True)
+    assert check_gradients(lambda t: (t.exp()).sum(), [x])
+
+
+def test_check_gradients_detects_wrong_gradient():
+    """A deliberately broken op must be caught by the checker."""
+
+    def broken_square(t: Tensor) -> Tensor:
+        out_data = t.data**2
+
+        def backward(grad):
+            return (grad * 3.0 * t.data,)  # wrong: should be 2 * t
+
+        return Tensor._make(out_data, (t,), backward, "broken_square").sum()
+
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    with pytest.raises(AssertionError):
+        check_gradients(broken_square, [x])
+
+
+def test_check_gradients_skips_non_grad_inputs():
+    x = Tensor([1.0], requires_grad=True)
+    c = Tensor([2.0], requires_grad=False)
+    assert check_gradients(lambda a, b: (a * b).sum(), [x, c])

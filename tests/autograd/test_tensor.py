@@ -1,0 +1,164 @@
+"""Tests for the Tensor class: construction, arithmetic, shape ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, as_tensor
+from repro.exceptions import AutogradError
+
+
+class TestConstruction:
+    def test_real_promotion(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float64 and not t.is_complex
+
+    def test_complex_promotion(self):
+        t = Tensor([1 + 1j])
+        assert t.dtype == np.complex128 and t.is_complex
+
+    def test_from_tensor_shares_nothing_structural(self):
+        base = Tensor([1.0, 2.0], requires_grad=True)
+        copy = Tensor(base)
+        assert not copy.requires_grad
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_shape_size_ndim(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.shape == (2, 3) and t.size == 6 and t.ndim == 2
+
+    def test_item_and_len(self):
+        assert Tensor([[3.5]]).item() == 3.5
+        assert len(Tensor([1, 2, 3])) == 3
+
+    def test_detach(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad and np.allclose(d.data, t.data)
+
+
+class TestArithmeticValues:
+    def test_add_sub_mul_div(self):
+        a, b = Tensor([2.0, 4.0]), Tensor([1.0, 2.0])
+        assert np.allclose((a + b).data, [3, 6])
+        assert np.allclose((a - b).data, [1, 2])
+        assert np.allclose((a * b).data, [2, 8])
+        assert np.allclose((a / b).data, [2, 2])
+
+    def test_reflected_ops(self):
+        a = Tensor([2.0])
+        assert np.allclose((1.0 + a).data, [3.0])
+        assert np.allclose((1.0 - a).data, [-1.0])
+        assert np.allclose((3.0 * a).data, [6.0])
+        assert np.allclose((4.0 / a).data, [2.0])
+
+    def test_matmul_value(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        b = Tensor(np.arange(12, dtype=float).reshape(3, 4))
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_matmul_vector_cases(self):
+        m = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        v = Tensor(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose((m @ v).data, m.data @ v.data)
+        assert np.allclose((v @ m.transpose()).data, v.data @ m.data.T)
+
+    def test_pow(self):
+        a = Tensor([2.0, 3.0])
+        assert np.allclose((a**2).data, [4, 9])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(AutogradError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_neg(self):
+        assert np.allclose((-Tensor([1.0, -2.0])).data, [-1, 2])
+
+    def test_broadcast_add(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.array([1.0, 2.0, 3.0]))
+        assert (a + b).shape == (2, 3)
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        t = Tensor(np.arange(6, dtype=float))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_and_T(self):
+        t = Tensor(np.zeros((2, 5)))
+        assert t.transpose().shape == (5, 2)
+        assert t.T.shape == (5, 2)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(10, dtype=float))
+        assert np.allclose(t[2:5].data, [2, 3, 4])
+
+    def test_sum_mean(self):
+        t = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert t.sum().item() == 15
+        assert t.mean().item() == pytest.approx(2.5)
+        assert np.allclose(t.sum(axis=0).data, [3, 5, 7])
+        assert np.allclose(t.mean(axis=1).data, [1.0, 4.0])
+
+    def test_stack(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        stacked = Tensor.stack([a, b])
+        assert stacked.shape == (2, 2)
+
+    def test_zeros_ones(self):
+        assert np.all(Tensor.zeros((2, 2)).data == 0)
+        assert np.all(Tensor.ones((2, 2)).data == 1)
+
+
+class TestComplexOps:
+    def test_conj_real_imag_values(self):
+        z = Tensor([1 + 2j, 3 - 4j])
+        assert np.allclose(z.conj().data, [1 - 2j, 3 + 4j])
+        assert np.allclose(z.real().data, [1, 3])
+        assert np.allclose(z.imag().data, [2, -4])
+
+    def test_abs_and_abs2(self):
+        z = Tensor([3 + 4j])
+        assert z.abs().item() == pytest.approx(5.0)
+        assert z.abs2().item() == pytest.approx(25.0)
+        assert not z.abs().is_complex and not z.abs2().is_complex
+
+    def test_angle(self):
+        z = Tensor([1j])
+        assert z.angle().item() == pytest.approx(np.pi / 2)
+
+    def test_exp_log(self):
+        t = Tensor([0.0, 1.0])
+        assert np.allclose(t.exp().data, np.exp([0.0, 1.0]))
+        assert np.allclose(Tensor([1.0, np.e]).log().data, [0.0, 1.0])
+
+    def test_sqrt(self):
+        assert np.allclose(Tensor([4.0, 9.0]).sqrt().data, [2, 3])
+
+
+class TestBackwardErrors:
+    def test_backward_requires_grad(self):
+        with pytest.raises(AutogradError):
+            Tensor([1.0]).backward()
+
+    def test_backward_non_scalar_needs_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(AutogradError):
+            (t * 2).backward()
+
+    def test_backward_grad_shape_mismatch(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = t * 2
+        with pytest.raises(AutogradError):
+            out.backward(np.ones(3))
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 3).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None

@@ -1,0 +1,100 @@
+"""Tests for the shifted-FFT feature pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FeatureConfig,
+    FFTFeatureExtractor,
+    center_crop,
+    fft_crop_features,
+    full_fft_features,
+    generate_dataset,
+    shifted_fft2,
+)
+from repro.exceptions import ShapeError
+
+
+class TestShiftedFFT:
+    def test_dc_component_is_centered(self):
+        """A constant image concentrates all energy at the center after fftshift."""
+        image = np.ones((8, 8))
+        spectrum = shifted_fft2(image)
+        center = np.unravel_index(np.argmax(np.abs(spectrum)), spectrum.shape)
+        assert center == (4, 4)
+
+    def test_batch_and_single_shapes(self):
+        batch = np.random.default_rng(0).random((3, 8, 8))
+        assert shifted_fft2(batch).shape == (3, 8, 8)
+        assert shifted_fft2(batch[0]).shape == (8, 8)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ShapeError):
+            shifted_fft2(np.zeros((2, 2, 2, 2)))
+
+    def test_parseval_energy_preserved(self):
+        image = np.random.default_rng(1).random((8, 8))
+        spectrum = shifted_fft2(image)
+        assert np.sum(np.abs(spectrum) ** 2) / 64 == pytest.approx(np.sum(image**2))
+
+
+class TestCenterCrop:
+    def test_crop_shape(self):
+        spectrum = np.arange(64).reshape(8, 8)
+        assert center_crop(spectrum, 4).shape == (4, 4)
+        assert center_crop(np.stack([spectrum] * 2), 4).shape == (2, 4, 4)
+
+    def test_crop_contains_center(self):
+        image = np.ones((8, 8))
+        spectrum = shifted_fft2(image)
+        block = center_crop(spectrum, 2)
+        assert np.abs(block).max() == pytest.approx(64.0)
+
+    def test_rejects_invalid_crop(self):
+        with pytest.raises(ShapeError):
+            center_crop(np.zeros((8, 8)), 0)
+        with pytest.raises(ShapeError):
+            center_crop(np.zeros((8, 8)), 9)
+
+
+class TestFeaturePipelines:
+    def test_fft_crop_features_shape_and_dtype(self):
+        data = generate_dataset(6, rng=0)
+        features = fft_crop_features(data.images, crop=4)
+        assert features.shape == (6, 16)
+        assert features.dtype == np.complex128
+
+    def test_normalization_bounds_magnitudes(self):
+        data = generate_dataset(4, rng=1)
+        normalized = fft_crop_features(data.images, crop=4, normalize=True)
+        raw = fft_crop_features(data.images, crop=4, normalize=False)
+        assert np.abs(normalized).max() <= 1.0 + 1e-9
+        assert np.allclose(raw, normalized * 28 * 28)
+
+    def test_full_fft_features_shape(self):
+        data = generate_dataset(3, rng=2)
+        assert full_fft_features(data.images).shape == (3, 784)
+
+    def test_single_image_input(self):
+        data = generate_dataset(1, rng=3)
+        assert fft_crop_features(data.images[0], crop=4).shape == (16,)
+        assert full_fft_features(data.images[0]).shape == (784,)
+
+    def test_features_distinguish_classes(self):
+        """FFT-crop features must carry class information (not collapse to a constant)."""
+        data = generate_dataset(40, rng=4)
+        features = fft_crop_features(data.images, crop=4)
+        class_means = [
+            np.abs(features[data.labels == c]).mean(axis=0)
+            for c in np.unique(data.labels)
+        ]
+        spread = np.std(np.stack(class_means), axis=0).sum()
+        assert spread > 0.01
+
+    def test_extractor_object(self):
+        extractor = FFTFeatureExtractor(FeatureConfig(crop=3))
+        assert extractor.config.num_features == 9
+        data = generate_dataset(5, rng=5)
+        features, labels = extractor.transform_dataset(data)
+        assert features.shape == (5, 9)
+        assert np.array_equal(labels, data.labels)

@@ -1,0 +1,58 @@
+"""Tests for dataset splitting and batching."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import batch_iterator, generate_dataset, stratified_split, train_val_split
+from repro.exceptions import ConfigurationError
+
+
+def test_train_val_split_sizes():
+    data = generate_dataset(50, rng=0)
+    train, val = train_val_split(data, val_fraction=0.2, rng=0)
+    assert len(train) == 40 and len(val) == 10
+
+
+def test_train_val_split_disjoint_and_complete():
+    data = generate_dataset(30, rng=1)
+    data.images[:, 0, 0] = np.arange(30)  # tag every sample uniquely
+    train, val = train_val_split(data, val_fraction=0.3, rng=0)
+    tags = np.concatenate([train.images[:, 0, 0], val.images[:, 0, 0]])
+    assert sorted(tags.tolist()) == list(range(30))
+
+
+def test_train_val_split_invalid_fraction():
+    data = generate_dataset(10, rng=2)
+    with pytest.raises(ConfigurationError):
+        train_val_split(data, val_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        train_val_split(data, val_fraction=1.0)
+
+
+def test_stratified_split_keeps_all_classes():
+    data = generate_dataset(60, rng=3)
+    train, val = stratified_split(data, val_fraction=0.2, rng=0)
+    assert set(np.unique(val.labels)) == set(np.unique(data.labels))
+    assert len(train) + len(val) == 60
+
+
+def test_batch_iterator_batches_and_last_partial():
+    x = np.arange(10).reshape(10, 1)
+    y = np.arange(10)
+    batches = list(batch_iterator(x, y, batch_size=4))
+    assert [len(b[1]) for b in batches] == [4, 4, 2]
+
+
+def test_batch_iterator_shuffle_deterministic():
+    x = np.arange(10).reshape(10, 1)
+    y = np.arange(10)
+    a = [b[1].tolist() for b in batch_iterator(x, y, 3, shuffle=True, rng=5)]
+    b = [b[1].tolist() for b in batch_iterator(x, y, 3, shuffle=True, rng=5)]
+    assert a == b
+
+
+def test_batch_iterator_errors():
+    with pytest.raises(ConfigurationError):
+        list(batch_iterator(np.zeros((3, 1)), np.zeros(2), 1))
+    with pytest.raises(ConfigurationError):
+        list(batch_iterator(np.zeros((3, 1)), np.zeros(3), 0))

@@ -1,0 +1,64 @@
+"""Tests for the baseline-accuracy experiment and the experiment registry."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    BaselineConfig,
+    build_registry,
+    get_experiment,
+    list_experiments,
+    run_baseline,
+)
+
+
+class TestBaseline:
+    @pytest.fixture(scope="class")
+    def baseline_result(self):
+        return run_baseline(BaselineConfig(num_train=250, num_test=120, epochs=12, seed=5))
+
+    def test_accuracies_in_range(self, baseline_result):
+        assert 0.0 <= baseline_result.full_feature_accuracy <= 1.0
+        assert 0.0 <= baseline_result.cropped_feature_accuracy <= 1.0
+
+    def test_models_learn_above_chance(self, baseline_result):
+        assert baseline_result.full_feature_accuracy > 0.3
+        assert baseline_result.cropped_feature_accuracy > 0.3
+
+    def test_paper_shape_compression_loss_is_modest(self, baseline_result):
+        """§III-D: the 4x4 FFT crop costs some accuracy but far from all of it."""
+        assert baseline_result.compression_loss < 0.4
+
+    def test_report_mentions_paper_values(self, baseline_result):
+        report = baseline_result.report()
+        assert "94.12" in report and "6.77" in report
+
+
+class TestRegistry:
+    def test_contains_every_paper_artifact(self):
+        registry = build_registry()
+        assert set(registry) == {"fig2", "fig3", "exp1", "exp2", "baseline"}
+
+    def test_specs_are_complete(self):
+        for spec in build_registry().values():
+            assert spec.description and spec.paper_reference
+            assert callable(spec.runner)
+            assert spec.default_config is not None and spec.smoke_config is not None
+
+    def test_get_experiment_case_insensitive(self):
+        assert get_experiment("FIG2").identifier == "fig2"
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig9")
+
+    def test_list_experiments_descriptions(self):
+        listing = list_experiments()
+        assert "Fig. 4" in listing["exp1"]
+        assert len(listing) == 5
+
+    def test_smoke_configs_are_cheaper(self):
+        registry = build_registry()
+        assert registry["fig2"].smoke_config.grid_points < registry["fig2"].default_config.grid_points
+        assert registry["exp1"].smoke_config.iterations < registry["exp1"].default_config.iterations
+        assert registry["fig3"].smoke_config.iterations < registry["fig3"].default_config.iterations

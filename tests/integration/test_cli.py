@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for identifier in ("fig2", "fig3", "exp1", "exp2", "baseline"):
+        assert identifier in out
+
+
+def test_fig2_runs_and_writes_output(tmp_path, capsys):
+    output = tmp_path / "fig2.json"
+    assert main(["fig2", "--smoke", "--output", str(output)]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 2" in out
+    payload = json.loads(output.read_text())
+    assert "peak_deviation" in payload
+
+
+def test_fig3_iterations_override(capsys):
+    assert main(["fig3", "--smoke", "--iterations", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 3" in out
+
+
+def test_unknown_experiment_raises():
+    from repro.exceptions import ExperimentError
+
+    with pytest.raises(ExperimentError):
+        main(["fig99"])
+
+
+def test_parser_flags():
+    parser = build_parser()
+    args = parser.parse_args(["exp1", "--smoke", "--iterations", "7"])
+    assert args.experiment == "exp1" and args.smoke and args.iterations == 7

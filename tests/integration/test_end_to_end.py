@@ -1,0 +1,103 @@
+"""Integration tests: the full paper pipeline wired together."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import rvd
+from repro.datasets import fft_crop_features, generate_dataset
+from repro.mesh import MZIMesh, PhotonicLinearLayer
+from repro.onn import SPNNArchitecture, build_software_model, extract_weights, spnn_from_model
+from repro.utils import random_unitary
+from repro.variation import (
+    ThermalCrosstalkModel,
+    UncertaintyModel,
+    ZoneGrid,
+    sample_mesh_perturbation,
+    sample_network_perturbation,
+)
+
+
+class TestWeightsToHardwarePipeline:
+    def test_untrained_model_compiles_and_agrees_with_software(self):
+        """Software model -> weights -> SVD -> Clements meshes -> identical inference."""
+        arch = SPNNArchitecture(layer_dims=(16, 16, 16, 10))
+        model = build_software_model(arch, rng=0)
+        spnn = spnn_from_model(model, arch)
+        data = generate_dataset(20, rng=0)
+        features = fft_crop_features(data.images, crop=4)
+        soft = spnn.forward_software(features)
+        hard = spnn.forward_hardware(features)
+        assert np.allclose(soft, hard, atol=1e-6)
+
+    def test_weights_roundtrip_through_photonic_layer(self):
+        arch = SPNNArchitecture(layer_dims=(16, 16, 16, 10))
+        model = build_software_model(arch, rng=1)
+        for weight in extract_weights(model):
+            layer = PhotonicLinearLayer(weight)
+            assert layer.reconstruction_error() < 1e-7
+
+
+class TestTrainedSystemUnderUncertainty(object):
+    def test_accuracy_degrades_monotonically_on_average(self, small_task):
+        """System-level sanity: larger sigma -> lower mean accuracy (EXP 1 shape)."""
+        spnn = small_task.spnn
+        features, labels = small_task.test_features, small_task.test_labels
+        means = []
+        for sigma in (0.0, 0.02, 0.08):
+            if sigma == 0.0:
+                means.append(spnn.accuracy(features, labels))
+                continue
+            model = UncertaintyModel.both(sigma)
+            accs = [
+                spnn.accuracy(
+                    features,
+                    labels,
+                    perturbations=sample_network_perturbation(spnn.photonic_layers, model, rng=seed),
+                )
+                for seed in range(4)
+            ]
+            means.append(float(np.mean(accs)))
+        assert means[0] > means[1] > means[2]
+
+    def test_zonal_perturbation_touches_only_target_zone(self, small_task):
+        """EXP 2 plumbing: a zone sigma map perturbs only the zone's devices."""
+        mesh = dict(small_task.spnn.unitary_meshes())["U_L0"]
+        grid = ZoneGrid(mesh, 2, 2)
+        zone = grid.zones()[0]
+        sigma_map = grid.sigma_map(zone, zone_sigma=0.2, background_sigma=0.0)
+        model = UncertaintyModel.both(0.05)
+        perturbation = sample_mesh_perturbation(
+            mesh, model, rng=0, sigma_phs_per_mzi=sigma_map, sigma_bes_per_mzi=sigma_map
+        )
+        mask = grid.mask_for_zone(zone)
+        assert np.allclose(perturbation.delta_theta[~mask], 0.0)
+        assert not np.allclose(perturbation.delta_theta[mask], 0.0)
+
+
+class TestLayerLevelConsistency:
+    def test_rvd_grows_with_uncertainty_level(self):
+        """Layer-level sanity (Fig. 3 direction): more uncertainty -> larger RVD."""
+        mesh = MZIMesh.from_unitary(random_unitary(5, rng=5))
+        reference = mesh.ideal_matrix()
+
+        def mean_rvd_at(sigma):
+            model = UncertaintyModel.both(sigma)
+            values = [
+                rvd(mesh.matrix(sample_mesh_perturbation(mesh, model, rng=seed)), reference)
+                for seed in range(10)
+            ]
+            return np.mean(values)
+
+        assert mean_rvd_at(0.02) < mean_rvd_at(0.08)
+
+    def test_thermal_crosstalk_composes_with_random_variations(self):
+        mesh = MZIMesh.from_unitary(random_unitary(6, rng=6))
+        crosstalk = ThermalCrosstalkModel(coupling=0.03).perturbation(mesh)
+        random_part = sample_mesh_perturbation(mesh, UncertaintyModel.both(0.02), rng=0)
+        combined_theta = crosstalk.delta_theta + random_part.delta_theta
+        from repro.mesh import MeshPerturbation
+
+        combined = MeshPerturbation(delta_theta=combined_theta, delta_phi=crosstalk.delta_phi)
+        perturbed = mesh.matrix(combined)
+        assert perturbed.shape == (6, 6)
+        assert rvd(perturbed, mesh.ideal_matrix()) > 0.0

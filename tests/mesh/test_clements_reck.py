@@ -1,0 +1,88 @@
+"""Tests for the Clements and Reck mesh decompositions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NotUnitaryError
+from repro.mesh import clements_decompose, clements_mzi_count, reck_decompose, reck_mzi_count
+from repro.utils import random_unitary
+
+
+class TestClements:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+    def test_reconstruction_random_unitaries(self, n):
+        u = random_unitary(n, rng=n)
+        decomposition = clements_decompose(u)
+        assert np.allclose(decomposition.reconstruct(), u, atol=1e-8)
+
+    def test_mzi_count_formula(self):
+        for n in (2, 5, 10, 16):
+            u = random_unitary(n, rng=n + 100)
+            assert clements_decompose(u).num_mzis == clements_mzi_count(n) == n * (n - 1) // 2
+
+    def test_identity_matrix(self):
+        decomposition = clements_decompose(np.eye(6))
+        assert np.allclose(decomposition.reconstruct(), np.eye(6), atol=1e-10)
+
+    def test_diagonal_phase_matrix(self):
+        d = np.diag(np.exp(1j * np.array([0.1, 2.2, 4.4, 5.9])))
+        assert np.allclose(clements_decompose(d).reconstruct(), d, atol=1e-9)
+
+    def test_permutation_matrix(self):
+        p = np.eye(4)[[1, 0, 3, 2]]
+        assert np.allclose(clements_decompose(p.astype(complex)).reconstruct(), p, atol=1e-9)
+
+    def test_rectangular_depth_at_most_n(self):
+        decomposition = clements_decompose(random_unitary(16, rng=3))
+        assert decomposition.num_columns <= 16
+
+    def test_angles_in_canonical_range(self):
+        decomposition = clements_decompose(random_unitary(6, rng=4))
+        assert np.all(decomposition.thetas() >= 0) and np.all(decomposition.thetas() < 2 * np.pi)
+        assert np.all(decomposition.phis() >= 0) and np.all(decomposition.phis() < 2 * np.pi)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(NotUnitaryError):
+            clements_decompose(np.ones((3, 3)))
+
+    def test_mzi_count_rejects_bad_n(self):
+        from repro.exceptions import DecompositionError
+
+        with pytest.raises(DecompositionError):
+            clements_mzi_count(0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=10**6))
+    def test_property_reconstruction(self, n, seed):
+        """Any Haar-random unitary must be exactly reproduced by its Clements mesh."""
+        u = random_unitary(n, rng=seed)
+        assert np.allclose(clements_decompose(u).reconstruct(), u, atol=1e-7)
+
+
+class TestReck:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_reconstruction_random_unitaries(self, n):
+        u = random_unitary(n, rng=n + 50)
+        assert np.allclose(reck_decompose(u).reconstruct(), u, atol=1e-8)
+
+    def test_mzi_count_matches_clements(self):
+        u = random_unitary(6, rng=9)
+        assert reck_decompose(u).num_mzis == reck_mzi_count(6) == clements_mzi_count(6)
+
+    def test_triangular_deeper_than_clements(self):
+        """The Reck triangle needs more columns than the Clements rectangle for n >= 4."""
+        u = random_unitary(8, rng=10)
+        assert reck_decompose(u).num_columns > clements_decompose(u).num_columns
+
+    def test_identity(self):
+        assert np.allclose(reck_decompose(np.eye(5)).reconstruct(), np.eye(5), atol=1e-10)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(NotUnitaryError):
+            reck_decompose(2 * np.eye(3))
+
+    def test_scheme_label(self):
+        assert reck_decompose(random_unitary(3, rng=1)).scheme == "reck"
+        assert clements_decompose(random_unitary(3, rng=1)).scheme == "clements"

@@ -1,0 +1,132 @@
+"""Tests for the shared decomposition primitives (nulling, factoring, layout)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DecompositionError
+from repro.mesh import (
+    MeshDecomposition,
+    MZIConfig,
+    assign_columns,
+    factor_diag_times_mzi,
+    solve_left_nulling,
+    solve_right_nulling,
+    wrap_phase,
+)
+from repro.photonics import mzi_transfer
+from repro.utils import random_unitary
+
+
+class TestWrapPhase:
+    def test_wraps_into_range(self):
+        assert wrap_phase(2 * np.pi + 0.3) == pytest.approx(0.3)
+        assert wrap_phase(-0.3) == pytest.approx(2 * np.pi - 0.3)
+        assert 0 <= wrap_phase(123.456) < 2 * np.pi
+
+
+class TestNullingSolvers:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.complex_numbers(max_magnitude=3.0, allow_nan=False, allow_infinity=False),
+        st.complex_numbers(max_magnitude=3.0, allow_nan=False, allow_infinity=False),
+    )
+    def test_right_nulling_property(self, u_left, u_right):
+        """The solved angles must actually null the target combination."""
+        theta, phi = solve_right_nulling(u_left, u_right)
+        t_inv = mzi_transfer(theta, phi).conj().T
+        row = np.array([u_left, u_right])
+        nulled = row @ t_inv
+        scale = max(1.0, abs(u_left), abs(u_right))
+        assert abs(nulled[0]) / scale < 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.complex_numbers(max_magnitude=3.0, allow_nan=False, allow_infinity=False),
+        st.complex_numbers(max_magnitude=3.0, allow_nan=False, allow_infinity=False),
+    )
+    def test_left_nulling_property(self, u_upper, u_lower):
+        theta, phi = solve_left_nulling(u_upper, u_lower)
+        t = mzi_transfer(theta, phi)
+        col = np.array([u_upper, u_lower])
+        nulled = t @ col
+        scale = max(1.0, abs(u_upper), abs(u_lower))
+        assert abs(nulled[1]) / scale < 1e-9
+
+    def test_edge_cases_zero_inputs(self):
+        assert solve_right_nulling(0.0, 0.0) == (0.0, 0.0)
+        assert solve_left_nulling(0.0, 0.0) == (0.0, 0.0)
+        theta, _ = solve_right_nulling(0.0, 1.0)
+        assert theta == pytest.approx(np.pi)
+
+    def test_angles_in_canonical_range(self):
+        theta, phi = solve_right_nulling(1 + 1j, -2 + 0.5j)
+        assert 0 <= theta < 2 * np.pi and 0 <= phi < 2 * np.pi
+
+
+class TestFactorDiagTimesMZI:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_roundtrip_random_unitary(self, seed):
+        block = random_unitary(2, rng=seed)
+        a, b, theta, phi = factor_diag_times_mzi(block)
+        assert np.allclose(np.diag([a, b]) @ mzi_transfer(theta, phi), block, atol=1e-8)
+        assert abs(abs(a) - 1) < 1e-9 and abs(abs(b) - 1) < 1e-9
+
+    def test_diagonal_block(self):
+        block = np.diag(np.exp(1j * np.array([0.3, 1.1])))
+        a, b, theta, phi = factor_diag_times_mzi(block)
+        assert np.allclose(np.diag([a, b]) @ mzi_transfer(theta, phi), block, atol=1e-10)
+
+    def test_antidiagonal_block(self):
+        block = np.array([[0, 1], [1j, 0]], dtype=complex)
+        a, b, theta, phi = factor_diag_times_mzi(block)
+        assert np.allclose(np.diag([a, b]) @ mzi_transfer(theta, phi), block, atol=1e-10)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(DecompositionError):
+            factor_diag_times_mzi(np.array([[2.0, 0], [0, 1.0]], dtype=complex))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(DecompositionError):
+            factor_diag_times_mzi(np.eye(3))
+
+
+class TestColumnAssignment:
+    def test_disjoint_modes_share_column(self):
+        assert assign_columns([0, 2], n=4) == [0, 0]
+
+    def test_overlapping_modes_stack(self):
+        assert assign_columns([0, 1, 0], n=3) == [0, 1, 2]
+
+    def test_clements_16_fits_in_16_columns(self):
+        decomposition = MeshDecomposition
+        from repro.mesh import clements_decompose
+
+        mesh = clements_decompose(random_unitary(16, rng=0))
+        assert mesh.num_columns <= 16
+
+    def test_rejects_out_of_range_mode(self):
+        with pytest.raises(DecompositionError):
+            assign_columns([3], n=4)
+
+
+class TestMeshDecompositionContainer:
+    def test_reconstruct_and_counts(self):
+        u = random_unitary(4, rng=1)
+        from repro.mesh import clements_decompose
+
+        decomposition = clements_decompose(u)
+        assert decomposition.num_mzis == 6
+        assert decomposition.thetas().shape == (6,)
+        assert decomposition.phis().shape == (6,)
+        assert np.allclose(decomposition.reconstruct(), u, atol=1e-8)
+
+    def test_output_phase_shape_validation(self):
+        with pytest.raises(DecompositionError):
+            MeshDecomposition(n=3, configs=[], output_phases=np.zeros(2))
+
+    def test_config_transfer_matrix(self):
+        config = MZIConfig(mode=0, theta=1.0, phi=0.5, column=0, index=0)
+        assert np.allclose(config.transfer_matrix(), mzi_transfer(1.0, 0.5))

@@ -1,0 +1,131 @@
+"""Tests for the diagonal (Sigma) stage and the SVD-based photonic layer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.mesh import DiagonalPerturbation, DiagonalStage, LayerPerturbation, MeshPerturbation, PhotonicLinearLayer
+from repro.utils import random_complex_matrix, svd_decompose
+
+
+class TestDiagonalStage:
+    def test_nominal_matrix_reproduces_singular_values(self):
+        values = np.array([2.0, 1.0, 0.3])
+        stage = DiagonalStage(values)
+        assert np.allclose(stage.ideal_matrix(), np.diag(values), atol=1e-12)
+
+    def test_rectangular_embedding(self):
+        values = np.array([1.5, 0.5])
+        stage = DiagonalStage(values, shape=(4, 2))
+        matrix = stage.matrix()
+        assert matrix.shape == (4, 2)
+        assert np.allclose(matrix[:2, :2], np.diag(values))
+        assert np.allclose(matrix[2:, :], 0.0)
+
+    def test_default_gain_is_max_singular_value(self):
+        stage = DiagonalStage(np.array([3.0, 1.0]))
+        assert stage.gain == pytest.approx(3.0)
+        assert np.all(stage.normalized_values() <= 1.0 + 1e-12)
+
+    def test_zero_singular_values(self):
+        stage = DiagonalStage(np.zeros(3))
+        assert stage.gain == 1.0
+        assert np.allclose(stage.ideal_matrix(), 0.0)
+
+    def test_explicit_gain_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiagonalStage(np.array([2.0]), gain=1.0)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiagonalStage(np.array([-1.0]))
+
+    def test_incompatible_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            DiagonalStage(np.array([1.0, 2.0]), shape=(5, 5))
+
+    def test_counts(self):
+        stage = DiagonalStage(np.array([1.0, 0.4, 0.2]))
+        assert stage.num_mzis == 3 and stage.num_phase_shifters == 6
+
+    def test_perturbation_changes_attenuation(self):
+        stage = DiagonalStage(np.array([1.0, 0.5]))
+        perturbation = DiagonalPerturbation(delta_theta=np.array([0.3, 0.0]))
+        perturbed = stage.matrix(perturbation)
+        nominal = stage.ideal_matrix()
+        assert not np.isclose(perturbed[0, 0], nominal[0, 0])
+        assert np.isclose(perturbed[1, 1], nominal[1, 1])
+
+    def test_perturbation_validation(self):
+        stage = DiagonalStage(np.array([1.0, 0.5]))
+        with pytest.raises(ShapeError):
+            stage.matrix(DiagonalPerturbation(delta_theta=np.zeros(3)))
+
+    def test_attenuations_bounded_by_one_nominally(self):
+        stage = DiagonalStage(np.array([5.0, 2.0, 0.1]))
+        assert np.all(np.abs(stage.attenuations()) <= 1.0 + 1e-9)
+
+
+class TestPhotonicLinearLayer:
+    def test_nominal_matrix_reproduces_weight(self):
+        weight = random_complex_matrix(6, 4, rng=0)
+        layer = PhotonicLinearLayer(weight)
+        assert layer.reconstruction_error() < 1e-8
+
+    def test_rectangular_wide_weight(self):
+        weight = random_complex_matrix(3, 8, rng=1)
+        layer = PhotonicLinearLayer(weight)
+        assert layer.matrix().shape == (3, 8)
+        assert layer.reconstruction_error() < 1e-8
+
+    def test_mzi_counts_match_paper_formulas(self):
+        weight = random_complex_matrix(10, 16, rng=2)
+        layer = PhotonicLinearLayer(weight)
+        summary = layer.hardware_summary()
+        assert summary["u_mzis"] == 45       # 10*9/2
+        assert summary["v_mzis"] == 120      # 16*15/2
+        assert summary["sigma_mzis"] == 10   # min(10, 16)
+        assert summary["total_mzis"] == 175
+        assert layer.num_phase_shifters == 350
+
+    def test_gain_equals_largest_singular_value(self):
+        weight = random_complex_matrix(5, 5, rng=3)
+        _, s, _ = svd_decompose(weight)
+        assert PhotonicLinearLayer(weight).gain == pytest.approx(s[0])
+
+    def test_forward_matches_weight_multiplication(self):
+        weight = random_complex_matrix(4, 6, rng=4)
+        layer = PhotonicLinearLayer(weight)
+        x = random_complex_matrix(7, 6, rng=5)
+        assert np.allclose(layer.forward(x), x @ weight.T, atol=1e-8)
+        vec = random_complex_matrix(1, 6, rng=6)[0]
+        assert np.allclose(layer.forward(vec), weight @ vec, atol=1e-8)
+
+    def test_forward_shape_validation(self):
+        layer = PhotonicLinearLayer(random_complex_matrix(3, 4, rng=7))
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros(5, dtype=complex))
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((2, 5), dtype=complex))
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((1, 2, 4), dtype=complex))
+
+    def test_rejects_non_2d_weight(self):
+        with pytest.raises(ShapeError):
+            PhotonicLinearLayer(np.zeros(4, dtype=complex))
+
+    def test_perturbation_changes_matrix(self):
+        weight = random_complex_matrix(4, 4, rng=8)
+        layer = PhotonicLinearLayer(weight)
+        perturbation = LayerPerturbation(
+            u=MeshPerturbation(delta_theta=np.full(layer.mesh_u.num_mzis, 0.2)),
+            v=None,
+            sigma=None,
+        )
+        assert not np.allclose(layer.matrix(perturbation), layer.ideal_matrix(), atol=1e-3)
+
+    def test_reck_scheme_layer(self):
+        weight = random_complex_matrix(4, 4, rng=9)
+        layer = PhotonicLinearLayer(weight, scheme="reck")
+        assert layer.reconstruction_error() < 1e-8
+        assert layer.scheme == "reck"

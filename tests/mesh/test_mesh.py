@@ -1,0 +1,122 @@
+"""Tests for the programmable MZIMesh and MeshPerturbation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, VariationModelError
+from repro.mesh import MeshPerturbation, MZIMesh
+from repro.utils import random_unitary, unitarity_deviation
+
+
+@pytest.fixture
+def mesh_5(unitary_5x5):
+    return MZIMesh.from_unitary(unitary_5x5)
+
+
+class TestConstruction:
+    def test_from_unitary_clements_and_reck(self, unitary_5x5):
+        clements = MZIMesh.from_unitary(unitary_5x5, scheme="clements")
+        reck = MZIMesh.from_unitary(unitary_5x5, scheme="reck")
+        assert clements.num_mzis == reck.num_mzis == 10
+        assert np.allclose(clements.ideal_matrix(), unitary_5x5, atol=1e-8)
+        assert np.allclose(reck.ideal_matrix(), unitary_5x5, atol=1e-8)
+
+    def test_unknown_scheme_rejected(self, unitary_5x5):
+        with pytest.raises(VariationModelError):
+            MZIMesh.from_unitary(unitary_5x5, scheme="butterfly")
+
+    def test_structural_counts(self, mesh_5):
+        assert mesh_5.n == 5
+        assert mesh_5.num_phase_shifters == 20
+        assert mesh_5.num_rows == 4
+        assert mesh_5.num_columns <= 5
+        assert len(mesh_5.grid_positions()) == 10
+
+    def test_mzi_at_grid_lookup(self, mesh_5):
+        for index, (col, row) in enumerate(mesh_5.grid_positions()):
+            assert mesh_5.mzi_at(col, row) == index
+        assert mesh_5.mzi_at(99, 99) is None
+
+    def test_phase_statistics(self, mesh_5):
+        stats = mesh_5.phase_statistics()
+        assert 0 <= stats["min_phase"] <= stats["max_phase"] < 2 * np.pi
+
+
+class TestMatrixEvaluation:
+    def test_nominal_matrix_matches_target(self, mesh_5, unitary_5x5):
+        assert np.max(np.abs(mesh_5.matrix() - unitary_5x5)) < 1e-8
+
+    def test_zero_perturbation_is_identity_operation(self, mesh_5):
+        zero = MeshPerturbation.none(mesh_5.num_mzis, mesh_5.n)
+        assert np.allclose(mesh_5.matrix(zero), mesh_5.ideal_matrix())
+
+    def test_phase_perturbation_changes_matrix_but_keeps_unitarity(self, mesh_5, rng):
+        perturbation = MeshPerturbation(delta_theta=rng.normal(0, 0.3, mesh_5.num_mzis))
+        perturbed = mesh_5.matrix(perturbation)
+        assert not np.allclose(perturbed, mesh_5.ideal_matrix(), atol=1e-3)
+        assert unitarity_deviation(perturbed) < 1e-9
+
+    def test_symmetric_splitter_perturbation_keeps_unitarity(self, mesh_5, rng):
+        perturbation = MeshPerturbation(
+            delta_r_in=rng.normal(0, 0.05, mesh_5.num_mzis),
+            delta_r_out=rng.normal(0, 0.05, mesh_5.num_mzis),
+        )
+        assert unitarity_deviation(mesh_5.matrix(perturbation)) < 1e-9
+
+    def test_output_phase_perturbation(self, mesh_5):
+        perturbation = MeshPerturbation(delta_output_phase=np.full(5, 0.1))
+        perturbed = mesh_5.matrix(perturbation)
+        assert np.allclose(perturbed, np.exp(1j * 0.1) * mesh_5.ideal_matrix())
+
+    def test_larger_sigma_gives_larger_deviation_on_average(self, mesh_5):
+        gen = np.random.default_rng(0)
+        def mean_dev(sigma):
+            devs = []
+            for _ in range(20):
+                p = MeshPerturbation(
+                    delta_theta=gen.normal(0, sigma, mesh_5.num_mzis),
+                    delta_phi=gen.normal(0, sigma, mesh_5.num_mzis),
+                )
+                devs.append(np.linalg.norm(mesh_5.matrix(p) - mesh_5.ideal_matrix()))
+            return np.mean(devs)
+
+        assert mean_dev(0.3) > mean_dev(0.03)
+
+    def test_perturbation_validation_catches_bad_shapes(self, mesh_5):
+        with pytest.raises(ShapeError):
+            mesh_5.matrix(MeshPerturbation(delta_theta=np.zeros(3)))
+        with pytest.raises(ShapeError):
+            mesh_5.matrix(MeshPerturbation(delta_output_phase=np.zeros(3)))
+
+    def test_splitter_perturbation_clipped_to_physical_range(self, mesh_5):
+        perturbation = MeshPerturbation(delta_r_in=np.full(mesh_5.num_mzis, 10.0))
+        matrix = mesh_5.matrix(perturbation)  # must not produce r > 1
+        assert np.all(np.isfinite(matrix))
+
+
+class TestMeshPerturbationHelpers:
+    def test_masked_zeroes_outside_mask(self):
+        perturbation = MeshPerturbation(
+            delta_theta=np.array([1.0, 2.0, 3.0]),
+            delta_phi=np.array([1.0, 1.0, 1.0]),
+        )
+        mask = np.array([True, False, True])
+        masked = perturbation.masked(mask)
+        assert np.allclose(masked.delta_theta, [1.0, 0.0, 3.0])
+        assert np.allclose(masked.delta_phi, [1.0, 0.0, 1.0])
+
+    def test_masked_shape_mismatch(self):
+        perturbation = MeshPerturbation(delta_theta=np.zeros(3))
+        with pytest.raises(ShapeError):
+            perturbation.masked(np.array([True, False]))
+
+    def test_scaled(self):
+        perturbation = MeshPerturbation(delta_theta=np.array([1.0, -2.0]))
+        scaled = perturbation.scaled(0.5)
+        assert np.allclose(scaled.delta_theta, [0.5, -1.0])
+        assert scaled.delta_phi is None
+
+    def test_none_constructor_shapes(self):
+        zero = MeshPerturbation.none(7, 4)
+        assert zero.delta_theta.shape == (7,)
+        assert zero.delta_output_phase.shape == (4,)

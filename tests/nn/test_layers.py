@@ -1,0 +1,76 @@
+"""Tests for linear layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import ComplexLinear, RealLinear
+
+
+class TestComplexLinear:
+    def test_forward_matches_matmul(self):
+        layer = ComplexLinear(4, 3, rng=0)
+        x = np.random.default_rng(1).standard_normal((5, 4)) + 0j
+        out = layer(Tensor(x))
+        assert np.allclose(out.data, x @ layer.weight.data.T)
+
+    def test_weight_dtype_and_shape(self):
+        layer = ComplexLinear(6, 2, rng=0)
+        assert layer.weight.data.shape == (2, 6)
+        assert layer.weight.data.dtype == np.complex128
+
+    def test_bias_enabled(self):
+        layer = ComplexLinear(3, 3, bias=True, rng=0)
+        layer.bias.data = layer.bias.data + 1.0
+        out = layer(Tensor(np.zeros((2, 3), dtype=np.complex128)))
+        assert np.allclose(out.data, 1.0)
+
+    def test_no_bias_by_default(self):
+        assert ComplexLinear(3, 3, rng=0).bias is None
+
+    def test_seeded_init_reproducible(self):
+        a, b = ComplexLinear(4, 4, rng=5), ComplexLinear(4, 4, rng=5)
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_weight_matrix_roundtrip(self):
+        layer = ComplexLinear(4, 3, rng=0)
+        w = np.random.default_rng(2).standard_normal((3, 4)) * 1j
+        layer.set_weight_matrix(w)
+        assert np.allclose(layer.weight_matrix(), w)
+        # returned copy must not alias
+        layer.weight_matrix()[0, 0] = 99
+        assert layer.weight.data[0, 0] != 99
+
+    def test_set_weight_matrix_rejects_bad_shape(self):
+        layer = ComplexLinear(4, 3, rng=0)
+        with pytest.raises(ValueError):
+            layer.set_weight_matrix(np.zeros((4, 3)))
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            ComplexLinear(0, 3)
+
+    def test_gradients_flow_to_weight(self):
+        layer = ComplexLinear(3, 2, rng=0)
+        x = Tensor(np.random.default_rng(3).standard_normal((4, 3)) + 0j)
+        loss = layer(x).abs2().sum()
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert layer.weight.grad.shape == layer.weight.shape
+
+
+class TestRealLinear:
+    def test_forward_matches_matmul(self):
+        layer = RealLinear(4, 2, bias=False, rng=0)
+        x = np.random.default_rng(4).standard_normal((3, 4))
+        assert np.allclose(layer(Tensor(x)).data, x @ layer.weight.data.T)
+
+    def test_bias_added(self):
+        layer = RealLinear(2, 2, bias=True, rng=0)
+        layer.bias.data = np.array([1.0, -1.0])
+        out = layer(Tensor(np.zeros((1, 2))))
+        assert np.allclose(out.data, [[1.0, -1.0]])
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            RealLinear(3, 0)

@@ -1,0 +1,95 @@
+"""Tests for Module / Parameter / Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import ComplexLinear, Module, Parameter, RealLinear, Sequential
+
+
+class _Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones(3))
+        self.child = RealLinear(3, 2, rng=0)
+
+    def forward(self, x):
+        return self.child(x * self.weight)
+
+
+def test_named_parameters_traversal():
+    toy = _Toy()
+    names = dict(toy.named_parameters())
+    assert "weight" in names
+    assert "child.weight" in names and "child.bias" in names
+
+
+def test_parameters_are_registered_tensors():
+    toy = _Toy()
+    params = list(toy.parameters())
+    assert all(isinstance(p, Parameter) and p.requires_grad for p in params)
+
+
+def test_num_parameters_counts_complex_twice():
+    layer = ComplexLinear(4, 3, rng=0)
+    assert layer.num_parameters() == 2 * 4 * 3
+    real_layer = RealLinear(4, 3, bias=False, rng=0)
+    assert real_layer.num_parameters() == 12
+
+
+def test_train_eval_propagates():
+    toy = _Toy()
+    toy.eval()
+    assert not toy.training and not toy.child.training
+    toy.train()
+    assert toy.training and toy.child.training
+
+
+def test_zero_grad_clears_all():
+    toy = _Toy()
+    out = toy(Tensor(np.ones((2, 3)))).sum()
+    out.backward()
+    assert any(p.grad is not None for p in toy.parameters())
+    toy.zero_grad()
+    assert all(p.grad is None for p in toy.parameters())
+
+
+def test_state_dict_roundtrip():
+    a, b = _Toy(), _Toy()
+    b.child.weight.data = b.child.weight.data * 0  # make them differ
+    b.load_state_dict(a.state_dict())
+    assert np.allclose(b.child.weight.data, a.child.weight.data)
+
+
+def test_load_state_dict_strict_mismatch():
+    toy = _Toy()
+    with pytest.raises(KeyError):
+        toy.load_state_dict({"nonexistent": np.zeros(3)})
+
+
+def test_load_state_dict_shape_mismatch():
+    toy = _Toy()
+    state = toy.state_dict()
+    state["weight"] = np.zeros(5)
+    with pytest.raises(ValueError):
+        toy.load_state_dict(state)
+
+
+def test_forward_not_implemented():
+    with pytest.raises(NotImplementedError):
+        Module()(1)
+
+
+def test_sequential_order_and_access():
+    seq = Sequential(RealLinear(3, 4, rng=0), RealLinear(4, 2, rng=1))
+    assert len(seq) == 2
+    assert isinstance(seq[0], RealLinear)
+    out = seq(Tensor(np.ones((5, 3))))
+    assert out.shape == (5, 2)
+    assert len(list(seq.named_parameters())) == 4
+
+
+def test_named_modules_includes_children():
+    seq = Sequential(RealLinear(2, 2, rng=0))
+    names = [name for name, _ in seq.named_modules()]
+    assert "" in names and "layer0" in names

@@ -1,0 +1,149 @@
+"""Tests for the system-level SPNN model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.mesh import LayerPerturbation, MeshPerturbation
+from repro.onn import SPNN, SPNNArchitecture
+from repro.utils import random_complex_matrix
+from repro.variation import UncertaintyModel, sample_network_perturbation
+
+
+def _small_spnn(compile_hardware=True, seed=0):
+    arch = SPNNArchitecture(layer_dims=(6, 5, 4))
+    weights = [
+        random_complex_matrix(5, 6, rng=seed),
+        random_complex_matrix(4, 5, rng=seed + 1),
+    ]
+    return SPNN(weights, architecture=arch, compile_hardware=compile_hardware), arch
+
+
+class TestArchitecture:
+    def test_defaults_match_paper(self):
+        arch = SPNNArchitecture()
+        assert arch.layer_dims == (16, 16, 16, 10)
+        assert arch.num_linear_layers == 3
+        assert arch.weight_shapes() == [(16, 16), (16, 16), (10, 16)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SPNNArchitecture(layer_dims=(16,))
+        with pytest.raises(ConfigurationError):
+            SPNNArchitecture(layer_dims=(16, 0, 10))
+        with pytest.raises(ConfigurationError):
+            SPNNArchitecture(softplus_beta=0.0)
+
+
+class TestConstruction:
+    def test_weight_shape_validation(self):
+        arch = SPNNArchitecture(layer_dims=(4, 3))
+        with pytest.raises(ShapeError):
+            SPNN([np.zeros((4, 3), dtype=complex)], architecture=arch)
+        with pytest.raises(ConfigurationError):
+            SPNN([], architecture=arch)
+
+    def test_deferred_compilation(self):
+        spnn, _ = _small_spnn(compile_hardware=False)
+        assert not spnn.is_compiled
+        with pytest.raises(ConfigurationError):
+            spnn.hardware_matrices()
+        spnn.compile()
+        assert spnn.is_compiled
+
+    def test_hardware_fidelity_after_compile(self):
+        spnn, _ = _small_spnn()
+        assert spnn.hardware_fidelity() < 1e-8
+
+
+class TestPaperHardwareInventory:
+    def test_phase_shifter_count_matches_paper(self, small_task):
+        """The paper's architecture has 687 MZIs = 1374 tunable phase shifters."""
+        summary = small_task.spnn.hardware_summary()
+        assert summary["total_mzis"] == 687
+        assert summary["total_phase_shifters"] == 1374
+        assert summary["unitary_mzis"] == 645   # 120+120 +120+120 +45+120
+        assert summary["sigma_mzis"] == 42      # 16 + 16 + 10
+
+    def test_unitary_mesh_names(self, small_task):
+        names = [name for name, _ in small_task.spnn.unitary_meshes()]
+        assert names == ["U_L0", "VH_L0", "U_L1", "VH_L1", "U_L2", "VH_L2"]
+
+
+class TestForwardPasses:
+    def test_software_and_nominal_hardware_agree(self):
+        spnn, arch = _small_spnn()
+        features = random_complex_matrix(8, arch.input_size, rng=9)
+        soft = spnn.forward_software(features)
+        hard = spnn.forward_hardware(features)
+        assert np.allclose(soft, hard, atol=1e-7)
+
+    def test_output_is_log_probability(self):
+        spnn, arch = _small_spnn()
+        features = random_complex_matrix(5, arch.input_size, rng=10)
+        log_probs = spnn.forward_hardware(features)
+        assert log_probs.shape == (5, arch.output_size)
+        assert np.allclose(np.exp(log_probs).sum(axis=-1), 1.0)
+        assert np.all(log_probs <= 0.0)
+
+    def test_single_sample_input(self):
+        spnn, arch = _small_spnn()
+        feature = random_complex_matrix(1, arch.input_size, rng=11)[0]
+        assert spnn.forward_hardware(feature).shape == (arch.output_size,)
+
+    def test_feature_shape_validation(self):
+        spnn, _ = _small_spnn()
+        with pytest.raises(ShapeError):
+            spnn.forward_hardware(np.zeros((3, 99), dtype=complex))
+
+    def test_perturbations_change_outputs(self):
+        spnn, arch = _small_spnn()
+        features = random_complex_matrix(10, arch.input_size, rng=12)
+        perturbation = sample_network_perturbation(
+            spnn.photonic_layers, UncertaintyModel.both(0.05), rng=0
+        )
+        assert not np.allclose(
+            spnn.forward_hardware(features, perturbation), spnn.forward_hardware(features), atol=1e-4
+        )
+
+    def test_perturbation_count_validation(self):
+        spnn, arch = _small_spnn()
+        features = random_complex_matrix(2, arch.input_size, rng=13)
+        with pytest.raises(ConfigurationError):
+            spnn.forward_hardware(features, [None])  # needs 2 entries
+
+    def test_partial_perturbation_only_affects_target_layer(self):
+        spnn, arch = _small_spnn()
+        features = random_complex_matrix(4, arch.input_size, rng=14)
+        layer0 = spnn.photonic_layers[0]
+        perturbation = [
+            LayerPerturbation(u=MeshPerturbation(delta_theta=np.full(layer0.mesh_u.num_mzis, 0.3))),
+            None,
+        ]
+        out = spnn.forward_hardware(features, perturbation)
+        assert out.shape == (4, arch.output_size)
+        assert not np.allclose(out, spnn.forward_hardware(features), atol=1e-5)
+
+
+class TestPredictionAndAccuracy:
+    def test_predict_shape_and_range(self):
+        spnn, arch = _small_spnn()
+        features = random_complex_matrix(6, arch.input_size, rng=15)
+        predictions = spnn.predict(features)
+        assert predictions.shape == (6,)
+        assert np.all((predictions >= 0) & (predictions < arch.output_size))
+
+    def test_accuracy_bounds_and_validation(self):
+        spnn, arch = _small_spnn()
+        features = random_complex_matrix(6, arch.input_size, rng=16)
+        labels = np.zeros(6, dtype=int)
+        accuracy = spnn.accuracy(features, labels)
+        assert 0.0 <= accuracy <= 1.0
+        with pytest.raises(ShapeError):
+            spnn.accuracy(features, np.zeros(5, dtype=int))
+
+    def test_software_accuracy_path(self):
+        spnn, arch = _small_spnn()
+        features = random_complex_matrix(6, arch.input_size, rng=17)
+        labels = spnn.predict(features, use_hardware=False)
+        assert spnn.accuracy(features, labels, use_hardware=False) == 1.0

@@ -1,0 +1,52 @@
+"""Tests for optical gain elements."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.photonics import GainStage, OpticalAmplifier
+
+
+class TestOpticalAmplifier:
+    def test_power_gain_and_db(self):
+        amp = OpticalAmplifier(gain=2.0)
+        assert amp.power_gain == pytest.approx(4.0)
+        assert amp.gain_db == pytest.approx(20 * np.log10(2.0))
+
+    def test_unit_gain_is_identity(self):
+        amp = OpticalAmplifier()
+        assert np.allclose(amp.transfer_matrix(3), np.eye(3))
+
+    def test_transfer_scales_field(self):
+        amp = OpticalAmplifier(gain=3.0)
+        assert np.allclose(amp.transfer(np.array([1.0, 2.0])), [3.0, 6.0])
+
+    def test_rejects_nonpositive_gain(self):
+        with pytest.raises(ConfigurationError):
+            OpticalAmplifier(gain=0.0)
+
+    def test_transfer_matrix_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            OpticalAmplifier().transfer_matrix(0)
+
+
+class TestGainStage:
+    def test_uniform_stage(self):
+        stage = GainStage.uniform(2.0, 4)
+        assert stage.size == 4
+        assert np.allclose(stage.transfer_matrix(), 2.0 * np.eye(4))
+
+    def test_per_output_gains(self):
+        stage = GainStage(gains=(1.0, 2.0, 3.0))
+        fields = np.ones((2, 3), dtype=complex)
+        assert np.allclose(stage.apply(fields), [[1, 2, 3], [1, 2, 3]])
+
+    def test_apply_rejects_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            GainStage.uniform(1.0, 3).apply(np.ones(4))
+
+    def test_rejects_empty_or_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            GainStage(gains=())
+        with pytest.raises(ConfigurationError):
+            GainStage(gains=(1.0, -1.0))

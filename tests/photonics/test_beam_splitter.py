@@ -1,0 +1,75 @@
+"""Tests for the 2x2 beam-splitter model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import VariationModelError
+from repro.photonics import BeamSplitter, constants
+
+
+class TestIdealSplitter:
+    def test_amplitudes(self):
+        bs = BeamSplitter.ideal()
+        assert bs.r00 == pytest.approx(1 / np.sqrt(2))
+        assert bs.t01 == pytest.approx(1 / np.sqrt(2))
+        assert bs.is_ideal and bs.is_symmetric
+
+    def test_transfer_matrix_unitary(self):
+        bs = BeamSplitter.ideal()
+        matrix = bs.transfer_matrix()
+        assert np.allclose(matrix.conj().T @ matrix, np.eye(2))
+
+    def test_cross_coupling_has_pi_over_2_phase(self):
+        matrix = BeamSplitter.ideal().transfer_matrix()
+        assert np.angle(matrix[0, 1]) == pytest.approx(np.pi / 2)
+        assert np.angle(matrix[1, 0]) == pytest.approx(np.pi / 2)
+
+    def test_splitting_ratio_50_50(self):
+        assert BeamSplitter.ideal().splitting_ratio == pytest.approx(0.5)
+
+
+class TestImperfectSplitter:
+    def test_symmetric_constructor(self):
+        bs = BeamSplitter.symmetric(0.8)
+        assert bs.r00 == 0.8 and bs.r11 == 0.8
+        assert bs.t01 == pytest.approx(0.6)
+        assert not bs.is_ideal
+
+    def test_lossless_condition_enforced(self):
+        with pytest.raises(VariationModelError):
+            BeamSplitter(r00=0.8, t01=0.8)
+
+    def test_rejects_out_of_range_amplitudes(self):
+        with pytest.raises(VariationModelError):
+            BeamSplitter(r00=1.2)
+        with pytest.raises(VariationModelError):
+            BeamSplitter(r00=-0.1)
+
+    def test_from_reflectance_error(self):
+        bs = BeamSplitter.from_reflectance_error(0.05)
+        assert bs.r00 == pytest.approx(constants.IDEAL_SPLITTER_AMPLITUDE + 0.05)
+        assert bs.is_symmetric
+
+    def test_from_reflectance_error_clips(self):
+        assert BeamSplitter.from_reflectance_error(1.0).r00 == 1.0
+        assert BeamSplitter.from_reflectance_error(-1.0).r00 == 0.0
+
+    def test_with_variation(self):
+        bs = BeamSplitter.ideal().with_variation(0.02, -0.01)
+        assert bs.r00 == pytest.approx(constants.IDEAL_SPLITTER_AMPLITUDE + 0.02)
+        assert bs.r11 == pytest.approx(constants.IDEAL_SPLITTER_AMPLITUDE - 0.01)
+
+    def test_symmetric_splitter_conserves_power(self):
+        assert BeamSplitter.symmetric(0.9).power_conservation_error() < 1e-12
+
+    def test_asymmetric_splitter_breaks_unitarity(self):
+        bs = BeamSplitter(r00=0.9, r11=0.5)
+        assert bs.power_conservation_error() > 0.01
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_property_symmetric_always_unitary(self, reflectance):
+        """Any symmetric lossless splitter must be unitary (power conserving)."""
+        assert BeamSplitter.symmetric(reflectance).power_conservation_error() < 1e-9

@@ -1,0 +1,175 @@
+"""Tests for the MZI device model: Eqs. (1), (3), (4), (5) of the paper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics import (
+    MZI,
+    BeamSplitter,
+    PhaseShifter,
+    mzi_element_relative_deviation,
+    mzi_first_order_deviation,
+    mzi_jacobian,
+    mzi_relative_deviation,
+    mzi_transfer,
+    mzi_transfer_nonideal,
+)
+
+angles = st.floats(min_value=0.0, max_value=2 * np.pi, allow_nan=False)
+
+
+class TestIdealTransferMatrix:
+    def test_matches_paper_eq1_literal(self):
+        theta, phi = 1.2, 0.4
+        t = mzi_transfer(theta, phi)
+        e_t, e_p = np.exp(1j * theta), np.exp(1j * phi)
+        expected = np.array(
+            [
+                [e_p * (e_t - 1) / 2, 1j * (e_t + 1) / 2],
+                [1j * e_p * (e_t + 1) / 2, -(e_t - 1) / 2],
+            ]
+        )
+        assert np.allclose(t, expected)
+
+    @settings(max_examples=50, deadline=None)
+    @given(angles, angles)
+    def test_property_always_unitary(self, theta, phi):
+        t = mzi_transfer(theta, phi)
+        assert np.allclose(t.conj().T @ t, np.eye(2), atol=1e-12)
+
+    def test_cross_state_at_theta_zero(self):
+        t = mzi_transfer(0.0, 0.0)
+        assert abs(t[0, 0]) == pytest.approx(0.0)
+        assert abs(t[0, 1]) == pytest.approx(1.0)
+
+    def test_bar_state_at_theta_pi(self):
+        t = mzi_transfer(np.pi, 0.0)
+        assert abs(t[0, 0]) == pytest.approx(1.0)
+        assert abs(t[0, 1]) == pytest.approx(0.0)
+
+    def test_vectorized_broadcast(self):
+        thetas = np.linspace(0, np.pi, 5)
+        out = mzi_transfer(thetas, 0.3)
+        assert out.shape == (5, 2, 2)
+        assert np.allclose(out[2], mzi_transfer(thetas[2], 0.3))
+
+
+class TestNonIdealTransferMatrix:
+    def test_reduces_to_ideal_for_5050(self):
+        r = 1 / np.sqrt(2)
+        assert np.allclose(mzi_transfer_nonideal(1.1, 0.6, r), mzi_transfer(1.1, 0.6))
+
+    def test_matches_paper_eq5_literal(self):
+        theta, phi, r1, r2 = 0.9, 1.7, 0.75, 0.65
+        t1, t2 = np.sqrt(1 - r1**2), np.sqrt(1 - r2**2)
+        out = mzi_transfer_nonideal(theta, phi, r1, r2=r2)
+        e_t, e_p, e_b = np.exp(1j * theta), np.exp(1j * phi), np.exp(1j * (theta + phi))
+        expected = np.array(
+            [
+                [r1 * r2 * e_b - t1 * t2 * e_p, 1j * r2 * t1 * e_t + 1j * t2 * r1],
+                [1j * t2 * r1 * e_b + 1j * t1 * r2 * e_p, -t1 * t2 * e_t + r1 * r2],
+            ]
+        )
+        assert np.allclose(out, expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(angles, angles, st.floats(min_value=0.1, max_value=0.99))
+    def test_property_symmetric_splitters_stay_unitary(self, theta, phi, r):
+        t = mzi_transfer_nonideal(theta, phi, r)
+        assert np.allclose(t.conj().T @ t, np.eye(2), atol=1e-10)
+
+    def test_imbalanced_splitter_limits_extinction(self):
+        """With imperfect splitters the MZI can no longer fully route power (finite extinction)."""
+        leak = abs(mzi_transfer_nonideal(0.0, 0.0, 0.6)[0, 0])
+        assert leak > 0.01
+
+
+class TestSensitivityModel:
+    def test_jacobian_matches_finite_difference(self):
+        theta, phi, eps = 0.8, 2.1, 1e-7
+        d_theta, d_phi = mzi_jacobian(theta, phi)
+        num_theta = (mzi_transfer(theta + eps, phi) - mzi_transfer(theta - eps, phi)) / (2 * eps)
+        num_phi = (mzi_transfer(theta, phi + eps) - mzi_transfer(theta, phi - eps)) / (2 * eps)
+        assert np.allclose(d_theta, num_theta, atol=1e-6)
+        assert np.allclose(d_phi, num_phi, atol=1e-6)
+
+    def test_first_order_deviation_small_perturbation(self):
+        theta, phi = 1.0, 0.5
+        delta = 1e-4
+        approx = mzi_first_order_deviation(theta, phi, delta, delta)
+        exact = mzi_transfer(theta + delta, phi + delta) - mzi_transfer(theta, phi)
+        assert np.allclose(approx, exact, atol=1e-7)
+
+    def test_relative_deviation_eq4_consistency(self):
+        """Eq. (4) is Eq. (3) with dtheta = K*theta, dphi = K*phi."""
+        theta, phi, k = 1.3, 2.2, 0.05
+        assert np.allclose(
+            mzi_relative_deviation(theta, phi, k),
+            mzi_first_order_deviation(theta, phi, k * theta, k * phi),
+        )
+
+    def test_element_relative_deviation_monotonic_trend(self):
+        """The paper's Fig. 2 claim: deviation grows with the tuned angles."""
+        small = mzi_element_relative_deviation(0.5, 0.5, 0.05)
+        large = mzi_element_relative_deviation(3.0, 3.0, 0.05)
+        assert np.nansum(large) > np.nansum(small)
+
+    def test_element_relative_deviation_nan_at_zeros(self):
+        out = mzi_element_relative_deviation(0.0, 0.0, 0.05)
+        assert np.isnan(out[0, 0])  # |T11| = 0 at theta = 0
+
+    def test_zero_k_gives_zero_deviation(self):
+        out = mzi_relative_deviation(1.0, 1.0, 0.0)
+        assert np.allclose(out, 0.0)
+
+
+class TestMZIDevice:
+    def test_component_composition_matches_eq1(self):
+        device = MZI.from_angles(1.4, 0.9)
+        assert np.allclose(device.transfer_matrix(), mzi_transfer(1.4, 0.9))
+
+    def test_component_composition_matches_eq5(self):
+        device = MZI(
+            theta_shifter=PhaseShifter(phase=0.7),
+            phi_shifter=PhaseShifter(phase=1.9),
+            splitter_in=BeamSplitter.symmetric(0.8),
+            splitter_out=BeamSplitter.symmetric(0.6),
+        )
+        assert np.allclose(
+            device.transfer_matrix(), mzi_transfer_nonideal(0.7, 1.9, 0.8, r2=0.6)
+        )
+
+    def test_bar_and_cross_states(self):
+        assert MZI.bar_state().power_transmission()[0, 0] == pytest.approx(1.0)
+        assert MZI.cross_state().power_transmission()[0, 1] == pytest.approx(1.0)
+
+    def test_angles_properties(self):
+        device = MZI.from_angles(0.3, 0.6)
+        assert device.theta == 0.3 and device.phi == 0.6 and device.angles == (0.3, 0.6)
+        assert device.is_ideal
+
+    def test_with_phase_errors(self):
+        device = MZI.from_angles(1.0, 2.0).with_phase_errors(0.1, -0.2)
+        assert device.theta == pytest.approx(1.1)
+        assert device.phi == pytest.approx(1.8)
+
+    def test_with_splitter_errors(self):
+        device = MZI.from_angles(1.0, 2.0).with_splitter_errors(0.05, -0.05)
+        assert not device.is_ideal
+        assert device.splitter_in.r00 == pytest.approx(1 / np.sqrt(2) + 0.05)
+
+    def test_with_variations_combined(self):
+        device = MZI.from_angles(1.0, 1.0).with_variations(0.1, 0.1, 0.02, 0.02)
+        assert device.theta == pytest.approx(1.1)
+        assert device.splitter_out.r00 == pytest.approx(1 / np.sqrt(2) + 0.02)
+
+    def test_insertion_error_zero_for_symmetric(self):
+        assert MZI.from_angles(1.0, 1.0).insertion_error() < 1e-12
+        perturbed = MZI.from_angles(1.0, 1.0).with_splitter_errors(0.1, 0.1)
+        assert perturbed.insertion_error() < 1e-12  # symmetric splitters stay unitary
+
+    def test_power_transmission_rows_sum_to_one_when_ideal(self):
+        power = MZI.from_angles(0.77, 1.23).power_transmission()
+        assert np.allclose(power.sum(axis=1), 1.0)

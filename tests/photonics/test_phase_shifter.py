@@ -1,0 +1,73 @@
+"""Tests for the thermo-optic phase-shifter model."""
+
+import numpy as np
+import pytest
+
+from repro.photonics import PhaseShifter, constants, phase_from_temperature, temperature_for_phase
+
+
+class TestThermoOpticRelation:
+    def test_phase_from_temperature_formula(self):
+        delta_t = 10.0
+        expected = (2 * np.pi * constants.DEFAULT_PHASE_SHIFTER_LENGTH / constants.DEFAULT_WAVELENGTH)
+        expected *= constants.SILICON_THERMO_OPTIC_COEFFICIENT * delta_t
+        assert phase_from_temperature(delta_t) == pytest.approx(expected)
+
+    def test_roundtrip_with_temperature_for_phase(self):
+        phase = 1.234
+        assert phase_from_temperature(temperature_for_phase(phase)) == pytest.approx(phase)
+
+    def test_linear_in_temperature_and_length(self):
+        assert phase_from_temperature(2.0) == pytest.approx(2 * phase_from_temperature(1.0))
+        assert phase_from_temperature(1.0, length=2e-4) == pytest.approx(
+            2 * phase_from_temperature(1.0, length=1e-4)
+        )
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            phase_from_temperature(1.0, length=0.0)
+        with pytest.raises(ValueError):
+            temperature_for_phase(1.0, wavelength=-1.0)
+
+
+class TestPhaseShifter:
+    def test_transfer_is_pure_phase(self):
+        ps = PhaseShifter(phase=0.7)
+        assert abs(ps.transfer) == pytest.approx(1.0)
+        assert np.angle(ps.transfer) == pytest.approx(0.7)
+
+    def test_transfer_matrix_upper_arm_only(self):
+        ps = PhaseShifter(phase=np.pi / 3)
+        matrix = ps.transfer_matrix()
+        assert matrix[0, 0] == pytest.approx(np.exp(1j * np.pi / 3))
+        assert matrix[1, 1] == pytest.approx(1.0)
+        assert matrix[0, 1] == 0 and matrix[1, 0] == 0
+
+    def test_with_phase_and_phase_error(self):
+        ps = PhaseShifter(phase=1.0)
+        assert ps.with_phase(2.0).phase == 2.0
+        assert ps.with_phase_error(0.1).phase == pytest.approx(1.1)
+        assert ps.phase == 1.0  # frozen / immutable
+
+    def test_drive_temperature_consistency(self):
+        ps = PhaseShifter(phase=np.pi)
+        assert phase_from_temperature(ps.drive_temperature) == pytest.approx(np.pi)
+
+    def test_length_variation_scales_phase(self):
+        ps = PhaseShifter(phase=1.0)
+        longer = ps.with_length_variation(0.10)
+        assert longer.phase == pytest.approx(1.10)
+        assert longer.length == pytest.approx(ps.length * 1.10)
+
+    def test_length_variation_rejects_nonphysical(self):
+        with pytest.raises(ValueError):
+            PhaseShifter(phase=1.0).with_length_variation(-1.5)
+
+    def test_temperature_crosstalk_adds_phase(self):
+        ps = PhaseShifter(phase=0.5)
+        heated = ps.with_temperature_crosstalk(5.0)
+        assert heated.phase == pytest.approx(0.5 + phase_from_temperature(5.0))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PhaseShifter(phase=0.0, length=-1.0)

@@ -1,0 +1,171 @@
+"""Tests for linear-algebra utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NotUnitaryError, ShapeError
+from repro.utils.linalg import (
+    apply_two_mode_left,
+    apply_two_mode_right,
+    assert_unitary,
+    condition_number,
+    embed_two_mode_block,
+    fidelity,
+    frobenius_distance,
+    global_phase_aligned,
+    is_unitary,
+    random_complex_matrix,
+    random_unitary,
+    relative_frobenius_distance,
+    svd_decompose,
+    svd_reconstruct,
+    unitarity_deviation,
+)
+
+
+class TestRandomUnitary:
+    def test_is_unitary(self):
+        for n in (1, 2, 5, 16):
+            assert is_unitary(random_unitary(n, rng=n))
+
+    def test_reproducible_with_seed(self):
+        assert np.allclose(random_unitary(4, rng=3), random_unitary(4, rng=3))
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(random_unitary(4, rng=1), random_unitary(4, rng=2))
+
+    def test_rejects_nonpositive_dimension(self):
+        with pytest.raises(ValueError):
+            random_unitary(0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_property_always_unitary(self, n, seed):
+        assert is_unitary(random_unitary(n, rng=seed))
+
+
+class TestUnitarityChecks:
+    def test_identity_is_unitary(self):
+        assert is_unitary(np.eye(4))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ShapeError):
+            is_unitary(np.ones((2, 3)))
+
+    def test_scaled_identity_not_unitary(self):
+        assert not is_unitary(2.0 * np.eye(3))
+
+    def test_assert_unitary_raises_with_deviation(self):
+        with pytest.raises(NotUnitaryError):
+            assert_unitary(np.eye(3) * 1.01)
+
+    def test_unitarity_deviation_zero_for_unitary(self):
+        assert unitarity_deviation(random_unitary(5, rng=0)) < 1e-10
+
+    def test_unitarity_deviation_positive_for_non_unitary(self):
+        assert unitarity_deviation(1.1 * np.eye(3)) > 0.1
+
+
+class TestDistances:
+    def test_fidelity_identity(self):
+        u = random_unitary(6, rng=1)
+        assert fidelity(u, u) == pytest.approx(1.0)
+
+    def test_fidelity_global_phase_invariant(self):
+        u = random_unitary(6, rng=2)
+        assert fidelity(np.exp(1j * 0.7) * u, u) == pytest.approx(1.0)
+
+    def test_fidelity_lower_for_different_unitaries(self):
+        a, b = random_unitary(6, rng=3), random_unitary(6, rng=4)
+        assert fidelity(a, b) < 0.95
+
+    def test_fidelity_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            fidelity(np.eye(2), np.eye(3))
+
+    def test_frobenius_distance_zero_and_symmetry(self):
+        a, b = random_unitary(4, rng=5), random_unitary(4, rng=6)
+        assert frobenius_distance(a, a) == pytest.approx(0.0)
+        assert frobenius_distance(a, b) == pytest.approx(frobenius_distance(b, a))
+
+    def test_relative_frobenius_distance_scale(self):
+        a = np.eye(3)
+        assert relative_frobenius_distance(1.1 * a, a) == pytest.approx(0.1, rel=1e-6)
+
+    def test_relative_frobenius_zero_reference(self):
+        assert relative_frobenius_distance(np.zeros((2, 2)), np.zeros((2, 2))) == 0.0
+        assert relative_frobenius_distance(np.eye(2), np.zeros((2, 2))) == np.inf
+
+    def test_global_phase_aligned_removes_phase(self):
+        u = random_unitary(4, rng=8)
+        rotated = np.exp(1j * 1.3) * u
+        aligned = global_phase_aligned(rotated, u)
+        assert np.allclose(aligned, u)
+
+
+class TestSVD:
+    def test_reconstruction_square(self):
+        m = random_complex_matrix(5, 5, rng=0)
+        u, s, vh = svd_decompose(m)
+        assert np.allclose(svd_reconstruct(u, s, vh), m)
+
+    def test_reconstruction_rectangular(self):
+        m = random_complex_matrix(3, 7, rng=1)
+        u, s, vh = svd_decompose(m)
+        assert u.shape == (3, 3) and vh.shape == (7, 7) and s.shape == (3,)
+        assert np.allclose(svd_reconstruct(u, s, vh), m)
+
+    def test_factors_are_unitary(self):
+        m = random_complex_matrix(6, 4, rng=2)
+        u, _, vh = svd_decompose(m)
+        assert is_unitary(u) and is_unitary(vh)
+
+    def test_singular_values_nonnegative_sorted(self):
+        m = random_complex_matrix(5, 5, rng=3)
+        _, s, _ = svd_decompose(m)
+        assert np.all(s >= 0) and np.all(np.diff(s) <= 0)
+
+    def test_reconstruct_rejects_bad_singular_length(self):
+        m = random_complex_matrix(4, 4, rng=4)
+        u, s, vh = svd_decompose(m)
+        with pytest.raises(ShapeError):
+            svd_reconstruct(u, s[:-1], vh)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ShapeError):
+            svd_decompose(np.zeros(3))
+
+
+class TestTwoModeOps:
+    def test_embed_matches_apply_left(self):
+        matrix = random_complex_matrix(5, 5, rng=9)
+        block = random_unitary(2, rng=10)
+        embedded = embed_two_mode_block(5, 2, block)
+        assert np.allclose(apply_two_mode_left(matrix, 2, block), embedded @ matrix)
+
+    def test_embed_matches_apply_right(self):
+        matrix = random_complex_matrix(5, 5, rng=11)
+        block = random_unitary(2, rng=12)
+        embedded = embed_two_mode_block(5, 1, block)
+        assert np.allclose(apply_two_mode_right(matrix, 1, block), matrix @ embedded)
+
+    def test_embed_rejects_out_of_range_mode(self):
+        with pytest.raises(IndexError):
+            embed_two_mode_block(4, 3, np.eye(2))
+
+    def test_embed_rejects_bad_block_shape(self):
+        with pytest.raises(ShapeError):
+            embed_two_mode_block(4, 0, np.eye(3))
+
+
+class TestConditionNumber:
+    def test_identity(self):
+        assert condition_number(np.eye(4)) == pytest.approx(1.0)
+
+    def test_unitary(self):
+        assert condition_number(random_unitary(5, rng=13)) == pytest.approx(1.0)
+
+    def test_singular(self):
+        assert condition_number(np.diag([1.0, 0.0])) == np.inf

@@ -1,0 +1,54 @@
+"""Tests for RNG handling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+def test_ensure_rng_from_seed_is_reproducible():
+    a = ensure_rng(42).standard_normal(5)
+    b = ensure_rng(42).standard_normal(5)
+    assert np.allclose(a, b)
+
+
+def test_ensure_rng_passthrough_generator():
+    gen = np.random.default_rng(0)
+    assert ensure_rng(gen) is gen
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_ensure_rng_accepts_seed_sequence():
+    seq = np.random.SeedSequence(3)
+    gen = ensure_rng(seq)
+    assert isinstance(gen, np.random.Generator)
+
+
+def test_ensure_rng_rejects_bad_type():
+    with pytest.raises(TypeError):
+        ensure_rng("not-a-seed")
+
+
+def test_spawn_rngs_count_and_independence():
+    children = spawn_rngs(0, 4)
+    assert len(children) == 4
+    draws = [gen.standard_normal() for gen in children]
+    assert len(set(np.round(draws, 12))) == 4
+
+
+def test_spawn_rngs_reproducible_from_seed():
+    first = [g.standard_normal() for g in spawn_rngs(7, 3)]
+    second = [g.standard_normal() for g in spawn_rngs(7, 3)]
+    assert np.allclose(first, second)
+
+
+def test_spawn_rngs_rejects_negative_count():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_spawn_rngs_zero_count():
+    assert spawn_rngs(0, 0) == []

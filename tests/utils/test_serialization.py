@@ -1,0 +1,66 @@
+"""Tests for serialization helpers."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import (
+    format_table,
+    load_arrays,
+    load_json,
+    save_arrays,
+    save_json,
+    to_jsonable,
+)
+
+
+@dataclasses.dataclass
+class _Sample:
+    name: str
+    values: np.ndarray
+
+
+def test_to_jsonable_handles_arrays_and_dataclasses():
+    payload = to_jsonable(_Sample(name="x", values=np.arange(3)))
+    assert payload == {"name": "x", "values": [0, 1, 2]}
+
+
+def test_to_jsonable_complex_array_roundtrip_structure():
+    payload = to_jsonable(np.array([1 + 2j]))
+    assert payload["__complex_array__"] is True
+    assert payload["real"] == [1.0] and payload["imag"] == [2.0]
+
+
+def test_to_jsonable_scalars():
+    assert to_jsonable(np.float64(1.5)) == 1.5
+    assert to_jsonable(np.int64(3)) == 3
+    assert to_jsonable(complex(1, 2)) == {"real": 1.0, "imag": 2.0, "__complex__": True}
+
+
+def test_save_and_load_json(tmp_path):
+    path = tmp_path / "out" / "result.json"
+    save_json({"a": np.array([1.0, 2.0]), "b": 3}, path)
+    loaded = load_json(path)
+    assert loaded == {"a": [1.0, 2.0], "b": 3}
+
+
+def test_save_and_load_arrays(tmp_path):
+    path = tmp_path / "arrays.npz"
+    save_arrays(path, x=np.arange(4), y=np.eye(2))
+    loaded = load_arrays(path)
+    assert np.array_equal(loaded["x"], np.arange(4))
+    assert np.array_equal(loaded["y"], np.eye(2))
+
+
+def test_format_table_alignment_and_floats():
+    table = format_table(["name", "value"], [["a", 1.23456], ["bb", 2]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "1.2346" in table
+    assert lines[0].startswith("name")
+
+
+def test_format_table_empty_rows():
+    table = format_table(["col"], [])
+    assert "col" in table

@@ -1,0 +1,109 @@
+"""Tests for thermal crosstalk and correlated FPV models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import VariationModelError
+from repro.mesh import MZIMesh
+from repro.utils import random_unitary
+from repro.variation import CorrelatedFPVModel, ThermalCrosstalkModel, UncertaintyModel
+
+
+@pytest.fixture
+def mesh_6():
+    return MZIMesh.from_unitary(random_unitary(6, rng=3))
+
+
+class TestThermalCrosstalk:
+    def test_coupling_decays_with_distance(self):
+        model = ThermalCrosstalkModel(coupling=0.05, decay_length=1.0)
+        assert model.coupling_coefficient(1.0) > model.coupling_coefficient(2.0) > 0.0
+
+    def test_coupling_zero_beyond_max_distance(self):
+        model = ThermalCrosstalkModel(coupling=0.05, max_distance=2.0)
+        assert model.coupling_coefficient(3.0) == 0.0
+        assert model.coupling_coefficient(0.0) == 0.0
+
+    def test_coupling_matrix_properties(self, mesh_6):
+        model = ThermalCrosstalkModel(coupling=0.03)
+        matrix = model.coupling_matrix(mesh_6)
+        assert matrix.shape == (mesh_6.num_mzis, mesh_6.num_mzis)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.all(matrix >= 0.0)
+
+    def test_zero_coupling_induces_no_phase_error(self, mesh_6):
+        model = ThermalCrosstalkModel(coupling=0.0)
+        delta_theta, delta_phi = model.induced_phase_errors(mesh_6)
+        assert np.allclose(delta_theta, 0.0) and np.allclose(delta_phi, 0.0)
+
+    def test_induced_errors_scale_with_coupling(self, mesh_6):
+        weak = ThermalCrosstalkModel(coupling=0.01).induced_phase_errors(mesh_6)[0]
+        strong = ThermalCrosstalkModel(coupling=0.05).induced_phase_errors(mesh_6)[0]
+        assert strong.sum() > weak.sum()
+
+    def test_perturbation_changes_mesh_matrix(self, mesh_6):
+        model = ThermalCrosstalkModel(coupling=0.05)
+        perturbed = mesh_6.matrix(model.perturbation(mesh_6))
+        assert not np.allclose(perturbed, mesh_6.ideal_matrix(), atol=1e-6)
+
+    def test_statistics_keys(self, mesh_6):
+        stats = ThermalCrosstalkModel(coupling=0.02).phase_error_statistics(mesh_6)
+        assert set(stats) == {"mean", "max", "std"}
+        assert stats["max"] >= stats["mean"] >= 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(VariationModelError):
+            ThermalCrosstalkModel(coupling=1.5)
+        with pytest.raises(VariationModelError):
+            ThermalCrosstalkModel(decay_length=0.0)
+        with pytest.raises(VariationModelError):
+            ThermalCrosstalkModel(pitch=-1.0)
+        with pytest.raises(VariationModelError):
+            ThermalCrosstalkModel(max_distance=0.0)
+
+
+class TestCorrelatedFPV:
+    def test_covariance_diagonal_is_sigma_squared(self, mesh_6):
+        model = CorrelatedFPVModel(correlation_length=2.0)
+        cov = model.covariance(mesh_6, sigma=0.1)
+        assert np.allclose(np.diag(cov), 0.01)
+
+    def test_zero_correlation_length_is_independent(self, mesh_6):
+        model = CorrelatedFPVModel(correlation_length=0.0)
+        cov = model.covariance(mesh_6, sigma=0.2)
+        assert np.allclose(cov, 0.04 * np.eye(mesh_6.num_mzis))
+
+    def test_field_statistics(self, mesh_6):
+        model = CorrelatedFPVModel(correlation_length=1.5)
+        gen = np.random.default_rng(0)
+        fields = np.stack([model.sample_field(mesh_6, 0.1, gen) for _ in range(300)])
+        assert fields.std() == pytest.approx(0.1, rel=0.15)
+
+    def test_zero_sigma_gives_zero_field(self, mesh_6):
+        assert np.allclose(CorrelatedFPVModel().sample_field(mesh_6, 0.0, rng=0), 0.0)
+
+    def test_neighbours_are_correlated(self, mesh_6):
+        correlated = CorrelatedFPVModel(correlation_length=3.0)
+        independent = CorrelatedFPVModel(correlation_length=1e-6)
+        assert correlated.empirical_correlation(mesh_6, 0.1, samples=150, rng=0) > 0.5
+        assert abs(independent.empirical_correlation(mesh_6, 0.1, samples=150, rng=0)) < 0.3
+
+    def test_sample_mesh_perturbation_matches_marginals(self, mesh_6):
+        model = CorrelatedFPVModel(correlation_length=2.0)
+        uncertainty = UncertaintyModel.both(0.05)
+        gen = np.random.default_rng(1)
+        draws = np.concatenate(
+            [model.sample_mesh_perturbation(mesh_6, uncertainty, gen).delta_theta for _ in range(150)]
+        )
+        assert np.std(draws) == pytest.approx(uncertainty.phase_std, rel=0.15)
+
+    def test_phase_only_model_leaves_splitters(self, mesh_6):
+        model = CorrelatedFPVModel()
+        perturbation = model.sample_mesh_perturbation(mesh_6, UncertaintyModel.phase_only(0.05), rng=0)
+        assert np.allclose(perturbation.delta_r_in, 0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(VariationModelError):
+            CorrelatedFPVModel(correlation_length=-1.0)
+        with pytest.raises(VariationModelError):
+            CorrelatedFPVModel(jitter=0.0)

@@ -1,0 +1,83 @@
+"""Tests for zonal partitioning (EXP 2 infrastructure)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mesh import MZIMesh
+from repro.utils import random_unitary
+from repro.variation import ZoneGrid
+
+
+@pytest.fixture
+def mesh_8():
+    return MZIMesh.from_unitary(random_unitary(8, rng=0))
+
+
+class TestZoneGrid:
+    def test_every_mzi_belongs_to_exactly_one_zone(self, mesh_8):
+        grid = ZoneGrid(mesh_8, zone_rows=2, zone_cols=2)
+        covered = []
+        for zone in grid.zones():
+            covered.extend(zone.mzi_indices)
+        assert sorted(covered) == list(range(mesh_8.num_mzis))
+
+    def test_zone_shape(self, mesh_8):
+        grid = ZoneGrid(mesh_8, 2, 2)
+        expected_rows = int(np.ceil(mesh_8.num_rows / 2))
+        expected_cols = int(np.ceil(mesh_8.num_columns / 2))
+        assert grid.shape == (expected_rows, expected_cols)
+        assert grid.num_zones == expected_rows * expected_cols
+
+    def test_zone_membership_respects_grid_coordinates(self, mesh_8):
+        grid = ZoneGrid(mesh_8, 2, 2)
+        positions = mesh_8.grid_positions()
+        for zone in grid.zones():
+            for index in zone.mzi_indices:
+                col, row = positions[index]
+                assert row // 2 == zone.row_index
+                assert col // 2 == zone.col_index
+
+    def test_zone_lookup_helpers(self, mesh_8):
+        grid = ZoneGrid(mesh_8, 2, 2)
+        zone = grid.zones()[0]
+        assert grid.zone_at(zone.row_index, zone.col_index) == zone
+        assert grid.zone_of_mzi(zone.mzi_indices[0]) == zone
+        with pytest.raises(ConfigurationError):
+            grid.zone_at(99, 99)
+        with pytest.raises(ConfigurationError):
+            grid.zone_of_mzi(10**6)
+
+    def test_mask_and_sigma_map(self, mesh_8):
+        grid = ZoneGrid(mesh_8, 2, 2)
+        zone = grid.zones()[1]
+        mask = grid.mask_for_zone(zone)
+        assert mask.sum() == zone.num_mzis
+        sigma_map = grid.sigma_map(zone, zone_sigma=0.1, background_sigma=0.05)
+        assert np.allclose(sigma_map[mask], 0.1)
+        assert np.allclose(sigma_map[~mask], 0.05)
+
+    def test_sigma_map_rejects_negative(self, mesh_8):
+        grid = ZoneGrid(mesh_8, 2, 2)
+        with pytest.raises(ConfigurationError):
+            grid.sigma_map(grid.zones()[0], -0.1, 0.05)
+
+    def test_occupancy_matrix_totals(self, mesh_8):
+        grid = ZoneGrid(mesh_8, 2, 2)
+        assert grid.occupancy_matrix().sum() == mesh_8.num_mzis
+
+    def test_single_zone_covers_everything(self, mesh_8):
+        grid = ZoneGrid(mesh_8, zone_rows=100, zone_cols=100)
+        zones = grid.zones()
+        assert len(zones) == 1 and zones[0].num_mzis == mesh_8.num_mzis
+
+    def test_invalid_zone_size(self, mesh_8):
+        with pytest.raises(ConfigurationError):
+            ZoneGrid(mesh_8, zone_rows=0)
+
+    def test_paper_zone_size_on_16x16(self):
+        """The paper's 2x2 zones on a 16-mode Clements mesh: 8x8 zone grid."""
+        mesh = MZIMesh.from_unitary(random_unitary(16, rng=1))
+        grid = ZoneGrid(mesh, 2, 2)
+        assert grid.shape == (8, 8)
+        assert sum(z.num_mzis for z in grid.zones()) == 120
