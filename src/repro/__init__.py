@@ -38,7 +38,9 @@ from .exceptions import (
 from .mesh import (
     DiagonalStage,
     LayerPerturbation,
+    LayerPerturbationBatch,
     MeshPerturbation,
+    MeshPerturbationBatch,
     MZIMesh,
     PhotonicLinearLayer,
     clements_decompose,
@@ -51,6 +53,7 @@ from .onn import (
     SPNNTrainingConfig,
     build_trained_spnn,
     monte_carlo_accuracy,
+    stack_network_perturbations,
 )
 from .photonics import MZI, BeamSplitter, PhaseShifter, mzi_transfer, mzi_transfer_nonideal
 from .variation import (
@@ -59,6 +62,7 @@ from .variation import (
     UncertaintyModel,
     ZoneGrid,
     sample_network_perturbation,
+    sample_network_perturbation_batch,
 )
 
 __version__ = "1.0.0"
@@ -93,9 +97,11 @@ __all__ = [
     "mzi_transfer_nonideal",
     "MZIMesh",
     "MeshPerturbation",
+    "MeshPerturbationBatch",
     "DiagonalStage",
     "PhotonicLinearLayer",
     "LayerPerturbation",
+    "LayerPerturbationBatch",
     "clements_decompose",
     "reck_decompose",
     "SPNN",
@@ -104,11 +110,13 @@ __all__ = [
     "SPNNTrainingConfig",
     "build_trained_spnn",
     "monte_carlo_accuracy",
+    "stack_network_perturbations",
     "UncertaintyModel",
     "ZoneGrid",
     "ThermalCrosstalkModel",
     "CorrelatedFPVModel",
     "sample_network_perturbation",
+    "sample_network_perturbation_batch",
     "rvd",
     "device_sensitivity_map",
     "per_mzi_rvd_criticality",

@@ -7,7 +7,7 @@ from .critical import (
     score_components,
 )
 from .monte_carlo import MonteCarloResult, MonteCarloRunner
-from .rvd import mean_rvd, normalized_rvd, rvd, rvd_matrix
+from .rvd import mean_rvd, normalized_rvd, rvd, rvd_batch, rvd_matrix
 from .sensitivity import (
     ELEMENT_LABELS,
     SensitivityMap,
@@ -27,6 +27,7 @@ from .yield_analysis import YieldEstimate, estimate_yield, max_tolerable_sigma, 
 
 __all__ = [
     "rvd",
+    "rvd_batch",
     "rvd_matrix",
     "mean_rvd",
     "normalized_rvd",

@@ -59,12 +59,50 @@ def rvd_matrix(actual: np.ndarray, reference: np.ndarray, eps: float = 0.0) -> n
     reference = as_complex_array(reference, "reference")
     if actual.shape != reference.shape:
         raise ShapeError(f"shape mismatch: actual {actual.shape} vs reference {reference.shape}")
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
     magnitude = np.abs(reference)
     if eps == 0.0 and np.any(magnitude == 0.0):
         raise ZeroDivisionError(
             "reference matrix has zero-magnitude elements; pass eps > 0 to regularize the RVD"
         )
     return np.abs(actual - reference) / (magnitude + eps)
+
+
+def rvd_batch(actuals: np.ndarray, reference: np.ndarray, eps: float = 0.0) -> np.ndarray:
+    """RVD of a stack of deviated matrices against one reference.
+
+    Parameters
+    ----------
+    actuals:
+        Array of shape ``(B, ...)`` where the trailing dimensions match
+        ``reference`` — the ``B`` Monte Carlo realizations.
+    reference:
+        The intended (nominal) matrix.
+    eps:
+        Same denominator floor as :func:`rvd`.
+
+    Returns
+    -------
+    numpy.ndarray
+        RVD per realization, shape ``(B,)``; bit-identical to calling
+        :func:`rvd` on each slice.
+    """
+    actuals = as_complex_array(actuals, "actuals")
+    reference = as_complex_array(reference, "reference")
+    if actuals.ndim != reference.ndim + 1 or actuals.shape[1:] != reference.shape:
+        raise ShapeError(
+            f"actuals must have shape (B,) + {reference.shape}, got {actuals.shape}"
+        )
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
+    magnitude = np.abs(reference)
+    if eps == 0.0 and np.any(magnitude == 0.0):
+        raise ZeroDivisionError(
+            "reference matrix has zero-magnitude elements; pass eps > 0 to regularize the RVD"
+        )
+    axes = tuple(range(1, actuals.ndim))
+    return np.sum(np.abs(actuals - reference) / (magnitude + eps), axis=axes)
 
 
 def mean_rvd(actuals, reference: np.ndarray, eps: float = 0.0) -> float:
@@ -80,6 +118,13 @@ def mean_rvd(actuals, reference: np.ndarray, eps: float = 0.0) -> float:
 
 
 def normalized_rvd(actual: np.ndarray, reference: np.ndarray, eps: float = 0.0) -> float:
-    """RVD divided by the number of matrix elements (per-element average)."""
+    """RVD divided by the number of matrix elements (per-element average).
+
+    Forwards the full input validation of :func:`rvd` (shape agreement,
+    ``eps >= 0``, zero-magnitude reference elements) and additionally
+    rejects empty references, whose per-element average is undefined.
+    """
     reference = as_complex_array(reference, "reference")
+    if reference.size == 0:
+        raise ShapeError("normalized_rvd requires a non-empty reference matrix")
     return rvd(actual, reference, eps=eps) / reference.size

@@ -10,10 +10,10 @@ from .decomposition import (
     solve_right_nulling,
     wrap_phase,
 )
-from .diagonal import DiagonalPerturbation, DiagonalStage
-from .mesh import MeshPerturbation, MZIMesh
+from .diagonal import DiagonalPerturbation, DiagonalPerturbationBatch, DiagonalStage
+from .mesh import MeshPerturbation, MeshPerturbationBatch, MZIMesh
 from .reck import reck_decompose, reck_mzi_count
-from .svd_layer import LayerPerturbation, PhotonicLinearLayer
+from .svd_layer import LayerPerturbation, LayerPerturbationBatch, PhotonicLinearLayer
 
 __all__ = [
     "MZIConfig",
@@ -29,8 +29,11 @@ __all__ = [
     "reck_mzi_count",
     "MZIMesh",
     "MeshPerturbation",
+    "MeshPerturbationBatch",
     "DiagonalStage",
     "DiagonalPerturbation",
+    "DiagonalPerturbationBatch",
     "PhotonicLinearLayer",
     "LayerPerturbation",
+    "LayerPerturbationBatch",
 ]

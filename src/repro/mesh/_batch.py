@@ -1,0 +1,75 @@
+"""Shared machinery for the ``*PerturbationBatch`` dataclasses.
+
+Both the mesh-level and the diagonal-stage batch classes hold the same kind
+of payload — optional ``(B, ...)`` float arrays, one per perturbed device
+parameter — and need the same operations: infer the batch size, stack
+single-realization draws (zero-filling realizations where a field is
+missing), and slice one realization back out.  Keeping one implementation
+here prevents the batched and looped paths from drifting apart, which would
+silently break the bit-identity guarantee the Monte Carlo engine is built
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+
+def stack_rows(values: Sequence[Optional[np.ndarray]]) -> Optional[np.ndarray]:
+    """Stack optional 1-D rows into a ``(B, length)`` array.
+
+    A field that is ``None`` in every realization stays ``None``; a field
+    set in only some realizations is zero-filled in the others (the length
+    is taken from the first present row).
+    """
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    length = np.asarray(present[0]).shape[0]
+    return np.stack(
+        [np.zeros(length) if v is None else np.asarray(v, dtype=np.float64) for v in values]
+    )
+
+
+class PerturbationBatchFields:
+    """Mixin providing the batch-axis operations over ``_FIELDS``.
+
+    Subclasses are dataclasses whose ``_FIELDS`` names the optional
+    ``(B, ...)`` array attributes and whose ``_SINGLE_CLS`` is the
+    matching single-realization dataclass (sharing the same field names).
+    Shape validation stays subclass-specific.
+    """
+
+    _FIELDS: Tuple[str, ...] = ()
+    _SINGLE_CLS: type = None  # type: ignore[assignment]
+
+    @property
+    def batch_size(self) -> int:
+        for name in self._FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                return int(np.asarray(value).shape[0])
+        raise ShapeError(f"empty {type(self).__name__} has no batch size")
+
+    @classmethod
+    def stack(cls, perturbations: Sequence[object]):
+        """Stack per-iteration single-realization draws into a batch."""
+        perturbations = list(perturbations)
+        if not perturbations:
+            raise ValueError("cannot stack an empty sequence of perturbations")
+        return cls(
+            **{name: stack_rows([getattr(p, name) for p in perturbations]) for name in cls._FIELDS}
+        )
+
+    def realization(self, index: int):
+        """The single-realization perturbation at batch position ``index``."""
+        return self._SINGLE_CLS(
+            **{
+                name: None if getattr(self, name) is None else np.asarray(getattr(self, name))[index]
+                for name in self._FIELDS
+            }
+        )

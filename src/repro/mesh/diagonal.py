@@ -24,7 +24,8 @@ from typing import Optional
 import numpy as np
 
 from ..exceptions import ConfigurationError, ShapeError
-from ..photonics.mzi import mzi_transfer_nonideal
+from ..photonics.mzi import mzi_transfer_components
+from ._batch import PerturbationBatchFields
 from .decomposition import wrap_phase
 
 
@@ -49,6 +50,34 @@ class DiagonalPerturbation:
             value = np.asarray(value, dtype=np.float64)
             if value.shape != (count,):
                 raise ShapeError(f"{name} must have shape ({count},), got {value.shape}")
+            setattr(self, name, value)
+
+
+@dataclass
+class DiagonalPerturbationBatch(PerturbationBatchFields):
+    """A stack of ``B`` attenuator-bank perturbations, each array ``(B, k)``.
+
+    Stacking, batch-size inference and single-realization slicing come from
+    :class:`PerturbationBatchFields`.
+    """
+
+    delta_theta: Optional[np.ndarray] = None
+    delta_phi: Optional[np.ndarray] = None
+    delta_r_in: Optional[np.ndarray] = None
+    delta_r_out: Optional[np.ndarray] = None
+
+    _FIELDS = ("delta_theta", "delta_phi", "delta_r_in", "delta_r_out")
+    _SINGLE_CLS = DiagonalPerturbation
+
+    def validate(self, count: int) -> None:
+        batch = self.batch_size
+        for name in self._FIELDS:
+            value = getattr(self, name)
+            if value is None:
+                continue
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != (batch, count):
+                raise ShapeError(f"{name} must have shape ({batch}, {count}), got {value.shape}")
             setattr(self, name, value)
 
 
@@ -123,20 +152,20 @@ class DiagonalStage:
         return self.singular_values / self.gain
 
     # ------------------------------------------------------------------ #
-    def attenuations(self, perturbation: Optional[DiagonalPerturbation] = None) -> np.ndarray:
-        """Complex bar-path amplitudes realized by the attenuator MZIs.
+    def _perturbed_parameters(self, perturbation) -> tuple:
+        """Attenuator parameters under an (already validated) perturbation.
 
-        With no perturbation these are the non-negative normalized singular
-        values; with perturbations they acquire both magnitude and phase
-        errors (the full complex ``T00`` of each faulty MZI is kept, since
-        the downstream mesh is coherent).
+        Shared by the single and batched amplitude paths: ``perturbation``
+        may be a :class:`DiagonalPerturbation` (1-D fields) or a
+        :class:`DiagonalPerturbationBatch` (2-D fields), whose arrays
+        broadcast against the 1-D nominal parameters through the exact same
+        elementwise arithmetic.
         """
         thetas = self.thetas
         phis = self.phis
         r_in = np.full(self.num_mzis, 1.0 / np.sqrt(2.0))
         r_out = np.full(self.num_mzis, 1.0 / np.sqrt(2.0))
         if perturbation is not None:
-            perturbation.validate(self.num_mzis)
             if perturbation.delta_theta is not None:
                 thetas = thetas + perturbation.delta_theta
             if perturbation.delta_phi is not None:
@@ -145,10 +174,22 @@ class DiagonalStage:
                 r_in = np.clip(r_in + perturbation.delta_r_in, 0.0, 1.0)
             if perturbation.delta_r_out is not None:
                 r_out = np.clip(r_out + perturbation.delta_r_out, 0.0, 1.0)
+        return thetas, phis, r_in, r_out
+
+    def attenuations(self, perturbation: Optional[DiagonalPerturbation] = None) -> np.ndarray:
+        """Complex bar-path amplitudes realized by the attenuator MZIs.
+
+        With no perturbation these are the non-negative normalized singular
+        values; with perturbations they acquire both magnitude and phase
+        errors (the full complex ``T00`` of each faulty MZI is kept, since
+        the downstream mesh is coherent).
+        """
+        if perturbation is not None:
+            perturbation.validate(self.num_mzis)
         if self.num_mzis == 0:
             return np.zeros(0, dtype=np.complex128)
-        blocks = mzi_transfer_nonideal(thetas, phis, r_in, r2=r_out)
-        return blocks[..., 0, 0]
+        thetas, phis, r_in, r_out = self._perturbed_parameters(perturbation)
+        return mzi_transfer_components(thetas, phis, r_in, r2=r_out)[0]
 
     def matrix(self, perturbation: Optional[DiagonalPerturbation] = None) -> np.ndarray:
         """Rectangular ``Sigma`` matrix (including the global gain ``beta``)."""
@@ -162,6 +203,46 @@ class DiagonalStage:
     def ideal_matrix(self) -> np.ndarray:
         """Nominal ``Sigma`` (equals ``diag(singular_values)`` up to numerics)."""
         return self.matrix(None)
+
+    def attenuations_batch(self, perturbation: DiagonalPerturbationBatch) -> np.ndarray:
+        """Complex bar-path amplitudes for ``B`` realizations, shape ``(B, k)``."""
+        perturbation.validate(self.num_mzis)
+        batch = perturbation.batch_size
+        if self.num_mzis == 0:
+            return np.zeros((batch, 0), dtype=np.complex128)
+        thetas, phis, r_in, r_out = self._perturbed_parameters(perturbation)
+        amplitudes = mzi_transfer_components(thetas, phis, r_in, r2=r_out)[0]
+        if amplitudes.ndim == 1:  # every parameter family unperturbed
+            amplitudes = np.broadcast_to(amplitudes, (batch, self.num_mzis))
+        return amplitudes
+
+    def matrix_batch(
+        self,
+        perturbation: Optional[DiagonalPerturbationBatch] = None,
+        batch_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Rectangular ``Sigma`` matrices for ``B`` realizations, ``(B, rows, cols)``.
+
+        Bit-identical to stacking ``B`` calls of :meth:`matrix` on the
+        individual realizations.
+        """
+        if perturbation is None:
+            if batch_size is None:
+                raise ValueError("batch_size is required when perturbation is None")
+            if batch_size < 1:
+                raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+            nominal = self.matrix(None)
+            return np.broadcast_to(nominal, (batch_size,) + nominal.shape).copy()
+        batch = perturbation.batch_size
+        if batch_size is not None and batch_size != batch:
+            raise ShapeError(f"batch_size {batch_size} does not match perturbation batch {batch}")
+        rows, cols = self.shape
+        sigma = np.zeros((batch, rows, cols), dtype=np.complex128)
+        amplitudes = self.gain * self.attenuations_batch(perturbation)
+        k = self.num_mzis
+        indices = np.arange(k)
+        sigma[:, indices, indices] = amplitudes
+        return sigma
 
     def __repr__(self) -> str:  # pragma: no cover - repr formatting
         return f"DiagonalStage(k={self.num_mzis}, shape={self.shape}, gain={self.gain:.4f})"

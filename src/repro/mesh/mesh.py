@@ -6,21 +6,36 @@ two beam splitters) that realizes a target unitary.  It knows the nominal
 tuning of every device and can evaluate the matrix it *actually* implements
 when per-device perturbations — phase errors and splitter imbalance — are
 applied.
+
+Two evaluation paths are provided: :meth:`MZIMesh.matrix` for a single
+realization and :meth:`MZIMesh.matrix_batch` for a stack of ``B``
+realizations at once (:class:`MeshPerturbationBatch`).  The batched path
+loops once over the MZIs and applies each 2x2 block to all ``B`` matrices
+with a stacked matmul, which NumPy evaluates with the same per-slice kernel
+as the 2-D product — the batched result is bit-identical to evaluating the
+``B`` realizations one at a time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ShapeError, VariationModelError
 from ..photonics import constants
-from ..photonics.mzi import mzi_transfer_nonideal
+from ..photonics.mzi import mzi_transfer_components
+from ._batch import PerturbationBatchFields
 from .clements import clements_decompose
 from .decomposition import MeshDecomposition, MZIConfig
 from .reck import reck_decompose
+
+
+#: Complex matrix elements per chunk of the batched column sweep — sized so
+#: one chunk of transfer matrices (~plus its gathered row temporaries) fits
+#: comfortably in a typical L2 cache.
+_APPLY_CHUNK_ELEMENTS = 32768
 
 
 @dataclass
@@ -114,6 +129,45 @@ class MeshPerturbation:
         )
 
 
+@dataclass
+class MeshPerturbationBatch(PerturbationBatchFields):
+    """A stack of ``B`` per-device mesh perturbations with a leading batch axis.
+
+    Every array carries the Monte Carlo batch axis first: the per-MZI fields
+    have shape ``(B, num_mzis)`` and ``delta_output_phase`` has shape
+    ``(B, n_modes)``.  ``None`` fields mean "no perturbation" for that
+    parameter in every realization.  Stacking, batch-size inference and
+    single-realization slicing come from :class:`PerturbationBatchFields`.
+    """
+
+    delta_theta: Optional[np.ndarray] = None
+    delta_phi: Optional[np.ndarray] = None
+    delta_r_in: Optional[np.ndarray] = None
+    delta_r_out: Optional[np.ndarray] = None
+    delta_output_phase: Optional[np.ndarray] = None
+
+    _FIELDS = ("delta_theta", "delta_phi", "delta_r_in", "delta_r_out", "delta_output_phase")
+    _SINGLE_CLS = MeshPerturbation
+
+    def validate(self, num_mzis: int, n_modes: int) -> None:
+        """Check array shapes ``(B, ...)`` against the mesh dimensions."""
+        batch = self.batch_size
+        for name, expected in (
+            ("delta_theta", num_mzis),
+            ("delta_phi", num_mzis),
+            ("delta_r_in", num_mzis),
+            ("delta_r_out", num_mzis),
+            ("delta_output_phase", n_modes),
+        ):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != (batch, expected):
+                raise ShapeError(f"{name} must have shape ({batch}, {expected}), got {value.shape}")
+            setattr(self, name, value)
+
+
 class MZIMesh:
     """A mesh of MZIs realizing (approximately) a target unitary matrix.
 
@@ -144,6 +198,24 @@ class MZIMesh:
         self._thetas = np.array([c.theta for c in self.configs], dtype=np.float64)
         self._phis = np.array([c.phi for c in self.configs], dtype=np.float64)
         self._nominal_r = np.full(len(self.configs), constants.IDEAL_SPLITTER_AMPLITUDE)
+        # MZIs grouped by physical column, preserving propagation order within
+        # each group.  Column assignment guarantees that devices sharing a
+        # column act on disjoint mode pairs and that devices sharing a mode
+        # keep their propagation order across columns, so applying the blocks
+        # column by column performs the exact same per-row updates as the
+        # strict propagation-order loop.
+        self._column_groups = [
+            np.flatnonzero(self._columns == column) for column in range(self.num_columns)
+        ]
+        # Column-sorted (stable) propagation permutation: lets the batched
+        # sweep gather each block component once and then slice per column.
+        self._column_perm = (
+            np.concatenate(self._column_groups) if self.num_mzis else np.zeros(0, dtype=np.int64)
+        )
+        boundaries = np.cumsum([0] + [len(group) for group in self._column_groups])
+        self._column_slices = [
+            slice(int(boundaries[i]), int(boundaries[i + 1])) for i in range(len(self._column_groups))
+        ]
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -232,14 +304,28 @@ class MZIMesh:
             splitter imperfections, matching the physics of lossless but
             imbalanced couplers.
         """
-        thetas = self._thetas
-        phis = self._phis
-        r_in = self._nominal_r
-        r_out = self._nominal_r
-        output_phases = self.output_phases
-
         if perturbation is not None:
             perturbation.validate(self.num_mzis, self.n)
+        components, output_phases = self._blocks_and_phases(perturbation)
+        matrix = np.eye(self.n, dtype=np.complex128)
+        self._apply_blocks(matrix, components)
+        return np.exp(1j * output_phases)[:, np.newaxis] * matrix
+
+    def _blocks_and_phases(self, perturbation) -> Tuple[Tuple[np.ndarray, ...], np.ndarray]:
+        """Perturbed block components and output phases, shared by both paths.
+
+        ``perturbation`` may be a :class:`MeshPerturbation` (1-D fields) or a
+        :class:`MeshPerturbationBatch` (2-D fields, leading batch axis); the
+        fields broadcast against the 1-D nominal parameter arrays either way,
+        so batched parameters go through the exact same elementwise
+        arithmetic as single realizations.
+        """
+        thetas: np.ndarray = self._thetas
+        phis: np.ndarray = self._phis
+        r_in: np.ndarray = self._nominal_r
+        r_out: np.ndarray = self._nominal_r
+        output_phases: np.ndarray = self.output_phases
+        if perturbation is not None:
             if perturbation.delta_theta is not None:
                 thetas = thetas + perturbation.delta_theta
             if perturbation.delta_phi is not None:
@@ -250,17 +336,90 @@ class MZIMesh:
                 r_out = np.clip(r_out + perturbation.delta_r_out, 0.0, 1.0)
             if perturbation.delta_output_phase is not None:
                 output_phases = output_phases + perturbation.delta_output_phase
+        return mzi_transfer_components(thetas, phis, r_in, r2=r_out), output_phases
 
-        blocks = mzi_transfer_nonideal(thetas, phis, r_in, r2=r_out)
-        matrix = np.eye(self.n, dtype=np.complex128)
-        for index, mode in enumerate(self._modes):
-            rows = matrix[mode : mode + 2, :]
-            matrix[mode : mode + 2, :] = blocks[index] @ rows
-        return np.exp(1j * output_phases)[:, np.newaxis] * matrix
+    def _apply_blocks(self, matrices: np.ndarray, components: Sequence[np.ndarray]) -> None:
+        """Apply every MZI block to ``matrices`` in place, column by column.
+
+        ``matrices`` has shape ``(..., n, n)`` and each block component has
+        shape ``(..., num_mzis)`` (or ``(num_mzis,)``, broadcasting over the
+        leading dimensions).  Devices in one column act on disjoint mode
+        pairs, so their two-row updates are gathered and applied in a single
+        elementwise step; the update arithmetic is pure elementwise
+        multiply-add, making the batched application bit-identical to the
+        single-realization one.
+        """
+        if matrices.ndim > 2:
+            # Batched sweep: gather each component into column-sorted order
+            # once, so the per-column block factors below are cheap views
+            # instead of per-column fancy-index copies.  Pure reordering —
+            # the arithmetic per element is unchanged.
+            perm = self._column_perm
+            b00, b01, b10, b11 = (c[..., perm] for c in components)
+            groups = [(sl, self._modes[group]) for sl, group in zip(self._column_slices, self._column_groups)]
+        else:
+            b00, b01, b10, b11 = components
+            groups = [(group, self._modes[group]) for group in self._column_groups]
+        for take, modes in groups:
+            top = matrices[..., modes, :]
+            bottom = matrices[..., modes + 1, :]
+            matrices[..., modes, :] = b00[..., take, np.newaxis] * top + b01[..., take, np.newaxis] * bottom
+            matrices[..., modes + 1, :] = b10[..., take, np.newaxis] * top + b11[..., take, np.newaxis] * bottom
 
     def perturbed_matrix(self, perturbation: MeshPerturbation) -> np.ndarray:
         """Alias of :meth:`matrix` that makes call sites more readable."""
         return self.matrix(perturbation)
+
+    def matrix_batch(
+        self,
+        perturbation: Optional[MeshPerturbationBatch] = None,
+        batch_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Transfer matrices of ``B`` perturbation realizations at once.
+
+        Parameters
+        ----------
+        perturbation:
+            Stacked per-device deviations with leading batch axis ``B``;
+            ``None`` replicates the nominal mesh ``batch_size`` times.
+        batch_size:
+            Required when ``perturbation`` is ``None``; otherwise it must
+            match the perturbation's batch size when given.
+
+        Returns
+        -------
+        numpy.ndarray
+            Complex array of shape ``(B, n, n)``, bit-identical to stacking
+            ``B`` calls of :meth:`matrix` on the individual realizations.
+        """
+        if perturbation is None:
+            if batch_size is None:
+                raise ValueError("batch_size is required when perturbation is None")
+            if batch_size < 1:
+                raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+            nominal = self.matrix(None)
+            return np.broadcast_to(nominal, (batch_size,) + nominal.shape).copy()
+
+        perturbation.validate(self.num_mzis, self.n)
+        batch = perturbation.batch_size
+        if batch_size is not None and batch_size != batch:
+            raise ShapeError(f"batch_size {batch_size} does not match perturbation batch {batch}")
+
+        # (B, num_mzis) block components; unperturbed parameter families broadcast.
+        components, output_phases = self._blocks_and_phases(perturbation)
+        if components[0].ndim == 1:  # only the output phase screen was perturbed
+            components = tuple(np.broadcast_to(c, (batch,) + c.shape) for c in components)
+        matrices = np.broadcast_to(np.eye(self.n, dtype=np.complex128), (batch, self.n, self.n)).copy()
+        # Apply in chunks over the batch axis so the per-chunk matrices and
+        # gathered rows stay cache-resident during the column sweep.
+        chunk = max(1, _APPLY_CHUNK_ELEMENTS // max(1, self.n * self.n))
+        for start in range(0, batch, chunk):
+            stop = min(start + chunk, batch)
+            self._apply_blocks(matrices[start:stop], tuple(c[start:stop] for c in components))
+        phases = np.exp(1j * output_phases)
+        if phases.ndim == 1:
+            phases = phases[np.newaxis]
+        return phases[:, :, np.newaxis] * matrices
 
     # ------------------------------------------------------------------ #
     # summaries

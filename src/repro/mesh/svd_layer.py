@@ -11,16 +11,16 @@ matrices during the Monte Carlo experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..exceptions import ShapeError
 from ..utils.linalg import svd_decompose
 from ..utils.validation import as_complex_array
-from .diagonal import DiagonalPerturbation, DiagonalStage
-from .mesh import MeshPerturbation, MZIMesh
+from .diagonal import DiagonalPerturbation, DiagonalPerturbationBatch, DiagonalStage
+from .mesh import MeshPerturbation, MeshPerturbationBatch, MZIMesh
 
 
 @dataclass
@@ -34,6 +34,58 @@ class LayerPerturbation:
     @classmethod
     def none(cls) -> "LayerPerturbation":
         return cls()
+
+
+@dataclass
+class LayerPerturbationBatch:
+    """Stacked perturbations (leading batch axis ``B``) for one photonic layer."""
+
+    u: Optional[MeshPerturbationBatch] = None
+    v: Optional[MeshPerturbationBatch] = None
+    sigma: Optional[DiagonalPerturbationBatch] = None
+
+    @property
+    def batch_size(self) -> int:
+        for stage in (self.u, self.v, self.sigma):
+            if stage is not None:
+                return stage.batch_size
+        raise ShapeError("empty LayerPerturbationBatch has no batch size")
+
+    @classmethod
+    def stack(cls, perturbations: Sequence[LayerPerturbation]) -> "LayerPerturbationBatch":
+        """Stack per-iteration :class:`LayerPerturbation` draws into a batch.
+
+        A stage that is ``None`` in every realization stays ``None``;
+        stages present in only some realizations get all-``None`` placeholder
+        rows, which the stage-level ``stack`` zero-fills field by field.
+        """
+        perturbations = list(perturbations)
+        if not perturbations:
+            raise ValueError("cannot stack an empty sequence of perturbations")
+        u_stages = [p.u for p in perturbations]
+        v_stages = [p.v for p in perturbations]
+        sigma_stages = [p.sigma for p in perturbations]
+        return cls(
+            u=None
+            if all(s is None for s in u_stages)
+            else MeshPerturbationBatch.stack([s if s is not None else MeshPerturbation() for s in u_stages]),
+            v=None
+            if all(s is None for s in v_stages)
+            else MeshPerturbationBatch.stack([s if s is not None else MeshPerturbation() for s in v_stages]),
+            sigma=None
+            if all(s is None for s in sigma_stages)
+            else DiagonalPerturbationBatch.stack(
+                [s if s is not None else DiagonalPerturbation() for s in sigma_stages]
+            ),
+        )
+
+    def realization(self, index: int) -> LayerPerturbation:
+        """The single-realization perturbation at batch position ``index``."""
+        return LayerPerturbation(
+            u=None if self.u is None else self.u.realization(index),
+            v=None if self.v is None else self.v.realization(index),
+            sigma=None if self.sigma is None else self.sigma.realization(index),
+        )
 
 
 class PhotonicLinearLayer:
@@ -105,8 +157,54 @@ class PhotonicLinearLayer:
             perturbation = LayerPerturbation.none()
         u = self.mesh_u.matrix(perturbation.u)
         v = self.mesh_v.matrix(perturbation.v)
-        sigma = self.diagonal.matrix(perturbation.sigma)
-        return u @ sigma @ v
+        amplitudes = self.diagonal.gain * self.diagonal.attenuations(perturbation.sigma)
+        return self._scale_columns(u, amplitudes) @ v
+
+    def _scale_columns(self, u: np.ndarray, amplitudes: np.ndarray) -> np.ndarray:
+        """``u @ Sigma`` evaluated as column scaling.
+
+        ``Sigma`` is (rectangular) diagonal, so the product scales the first
+        ``k`` columns of ``u`` and zeroes the rest — bit-identical to the
+        dense matmul (the skipped terms are exact zeros) at a fraction of
+        the cost.  ``u`` may carry a leading batch axis.
+        """
+        k = self.diagonal.num_mzis
+        rows, cols = self.diagonal.shape
+        scaled = np.zeros(u.shape[:-2] + (rows, cols), dtype=np.complex128)
+        scaled[..., :, :k] = u[..., :, :k] * amplitudes[..., np.newaxis, :]
+        return scaled
+
+    def matrix_batch(
+        self,
+        perturbation: Optional[LayerPerturbationBatch] = None,
+        batch_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Hardware matrices of ``B`` perturbation realizations, ``(B, out, in)``.
+
+        Bit-identical to stacking ``B`` calls of :meth:`matrix` on the
+        individual realizations (the stacked matmuls evaluate each batch
+        slice with the same kernel as the 2-D products).
+        """
+        if perturbation is None:
+            if batch_size is None:
+                raise ValueError("batch_size is required when perturbation is None")
+            batch = int(batch_size)
+        else:
+            batch = perturbation.batch_size
+            if batch_size is not None and batch_size != batch:
+                raise ShapeError(
+                    f"batch_size {batch_size} does not match perturbation batch {batch}"
+                )
+        u_pert = perturbation.u if perturbation is not None else None
+        v_pert = perturbation.v if perturbation is not None else None
+        sigma_pert = perturbation.sigma if perturbation is not None else None
+        u = self.mesh_u.matrix_batch(u_pert, batch_size=batch)
+        v = self.mesh_v.matrix_batch(v_pert, batch_size=batch)
+        if sigma_pert is None:
+            amplitudes = self.diagonal.gain * self.diagonal.attenuations(None)
+        else:
+            amplitudes = self.diagonal.gain * self.diagonal.attenuations_batch(sigma_pert)
+        return self._scale_columns(u, amplitudes) @ v
 
     def ideal_matrix(self) -> np.ndarray:
         """Nominal hardware matrix (equals ``weight`` to numerical precision)."""

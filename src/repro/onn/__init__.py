@@ -10,12 +10,20 @@ from .builder import (
     train_software_model,
 )
 from .inference import hardware_accuracy, monte_carlo_accuracy, predict_batched
-from .spnn import SPNN, NetworkPerturbation, SPNNArchitecture
+from .spnn import (
+    SPNN,
+    NetworkPerturbation,
+    NetworkPerturbationBatch,
+    SPNNArchitecture,
+    stack_network_perturbations,
+)
 
 __all__ = [
     "SPNN",
     "SPNNArchitecture",
     "NetworkPerturbation",
+    "NetworkPerturbationBatch",
+    "stack_network_perturbations",
     "SPNNTask",
     "SPNNTrainingConfig",
     "build_software_model",

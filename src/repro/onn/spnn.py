@@ -26,11 +26,44 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import ConfigurationError, ShapeError
-from ..mesh.svd_layer import LayerPerturbation, PhotonicLinearLayer
+from ..mesh.svd_layer import LayerPerturbation, LayerPerturbationBatch, PhotonicLinearLayer
 from ..utils.validation import as_complex_array
 
 #: Network perturbation: one entry per linear layer (None = that layer ideal).
 NetworkPerturbation = List[Optional[LayerPerturbation]]
+
+#: Batched network perturbation: one stacked entry per linear layer
+#: (None = that layer ideal in every realization).
+NetworkPerturbationBatch = List[Optional[LayerPerturbationBatch]]
+
+
+def stack_network_perturbations(
+    realizations: Sequence[NetworkPerturbation],
+) -> NetworkPerturbationBatch:
+    """Stack per-iteration network perturbations into a leading batch axis.
+
+    ``realizations[b][l]`` is realization ``b`` of layer ``l``; the result
+    has one :class:`LayerPerturbationBatch` per layer (or ``None`` when the
+    layer is unperturbed in every realization).
+    """
+    realizations = list(realizations)
+    if not realizations:
+        raise ValueError("cannot stack an empty sequence of network perturbations")
+    num_layers = len(realizations[0])
+    if any(len(r) != num_layers for r in realizations):
+        raise ShapeError("all network perturbations must cover the same number of layers")
+    batch: NetworkPerturbationBatch = []
+    for layer_index in range(num_layers):
+        stages = [r[layer_index] for r in realizations]
+        if all(stage is None for stage in stages):
+            batch.append(None)
+        else:
+            batch.append(
+                LayerPerturbationBatch.stack(
+                    [stage if stage is not None else LayerPerturbation.none() for stage in stages]
+                )
+            )
+    return batch
 
 
 @dataclass(frozen=True)
@@ -86,12 +119,45 @@ class SPNNArchitecture:
 
 def _softplus(x: np.ndarray, beta: float = 1.0, threshold: float = 30.0) -> np.ndarray:
     scaled = beta * x
-    return np.where(scaled > threshold, x, np.log1p(np.exp(np.minimum(scaled, threshold))) / beta)
+    saturated = scaled > threshold
+    any_saturated = bool(saturated.any())
+    # Reuse one buffer for the chained elementwise steps (the arrays here are
+    # the largest activations of the batched Monte Carlo path).
+    out = np.minimum(scaled, threshold, out=scaled)
+    np.exp(out, out=out)
+    np.log1p(out, out=out)
+    if beta != 1.0:
+        out /= beta
+    # With no saturated entries the where() would copy `out` verbatim.
+    return np.where(saturated, x, out) if any_saturated else out
 
 
 def _log_softmax(x: np.ndarray) -> np.ndarray:
     shifted = x - np.max(x, axis=-1, keepdims=True)
     return shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
+
+
+def _matmul_transposed(activations: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """``activations @ matrix.T`` with a real/complex split on the hot path.
+
+    After the modulus-Softplus the activations are real while the hardware
+    matrices stay complex; multiplying through a complex matmul would spend
+    half its work on the zero imaginary part.  Computing the real and
+    imaginary products separately halves that cost.  ``matrix`` may carry a
+    leading batch axis (stacked matmuls run the same per-slice kernel as the
+    2-D ones, so the looped and batched paths stay bit-identical).
+    """
+    transposed = np.swapaxes(matrix, -2, -1)
+    if np.iscomplexobj(activations):
+        return activations @ transposed
+    out = np.empty(
+        np.broadcast_shapes(activations.shape[:-1], transposed.shape[:-2] + (1,))
+        + (transposed.shape[-1],),
+        dtype=np.complex128,
+    )
+    out.real = activations @ transposed.real
+    out.imag = activations @ transposed.imag
+    return out
 
 
 class SPNN:
@@ -227,27 +293,168 @@ class SPNN:
         return self._forward_with_matrices(features, matrices)
 
     # ------------------------------------------------------------------ #
-    # shared forward pass
+    # inference: batched hardware (B uncertainty realizations at once)
     # ------------------------------------------------------------------ #
-    def _forward_with_matrices(self, features: np.ndarray, matrices: Sequence[np.ndarray]) -> np.ndarray:
+    def hardware_matrices_batch(
+        self,
+        perturbations: Optional[NetworkPerturbationBatch] = None,
+        batch_size: Optional[int] = None,
+    ) -> List[np.ndarray]:
+        """Per-layer hardware matrices for ``B`` realizations, each ``(B, out, in)``."""
+        self._require_compiled()
+        if perturbations is None:
+            perturbations = [None] * self.num_linear_layers
+        if len(perturbations) != self.num_linear_layers:
+            raise ConfigurationError(
+                f"expected {self.num_linear_layers} layer perturbations, got {len(perturbations)}"
+            )
+        if batch_size is None:
+            for perturbation in perturbations:
+                if perturbation is not None:
+                    batch_size = perturbation.batch_size
+                    break
+            else:
+                raise ValueError("batch_size is required when every layer perturbation is None")
+        return [
+            layer.matrix_batch(perturbation, batch_size=batch_size)
+            for layer, perturbation in zip(self.photonic_layers, perturbations)
+        ]
+
+    def forward_hardware_batch(
+        self,
+        features: np.ndarray,
+        perturbations: Optional[NetworkPerturbationBatch] = None,
+        batch_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Log-probabilities for ``B`` uncertainty realizations at once.
+
+        Parameters
+        ----------
+        features:
+            Evaluation set of shape ``(samples, input_size)`` (or a single
+            1-D feature vector), shared by every realization.
+        perturbations:
+            One stacked perturbation per layer (``None`` = ideal layer);
+            produced by :func:`stack_network_perturbations` or the
+            ``*_batch`` samplers.
+        batch_size:
+            Required when ``perturbations`` is ``None`` or all-``None``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Log-probabilities of shape ``(B, samples, output_size)``,
+            bit-identical to stacking ``B`` :meth:`forward_hardware` calls
+            on the individual realizations.
+        """
+        matrices = self.hardware_matrices_batch(perturbations, batch_size=batch_size)
+        return self._forward_batch_with_matrices(self._validated_features(features), matrices)
+
+    def _validated_features(self, features: np.ndarray) -> np.ndarray:
         features = as_complex_array(features, "features")
-        single = features.ndim == 1
-        if single:
+        if features.ndim == 1:
             features = features[np.newaxis, :]
         if features.ndim != 2 or features.shape[1] != self.architecture.input_size:
             raise ShapeError(
                 f"features must have shape (batch, {self.architecture.input_size}), got {features.shape}"
             )
+        return features
+
+    def _forward_batch_with_matrices(
+        self, features: np.ndarray, matrices: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Forward pass of validated ``(samples, n)`` features through stacked matrices."""
+        return _log_softmax(self._modulus_batch_with_matrices(features, matrices) ** 2)
+
+    def _modulus_batch_with_matrices(
+        self, features: np.ndarray, matrices: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Batched counterpart of :meth:`_modulus_with_matrices`, ``(B, samples, out)``."""
+        activations = features[np.newaxis, :, :]  # (1, samples, n) broadcasts over B
+        last = len(matrices) - 1
+        for index, matrix in enumerate(matrices):
+            activations = _matmul_transposed(activations, matrix)
+            if index != last:
+                activations = _softplus(np.abs(activations), beta=self.architecture.softplus_beta)
+        return np.abs(activations)
+
+    def accuracy_batch(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        perturbations: Optional[NetworkPerturbationBatch] = None,
+        batch_size: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Classification accuracy per realization, shape ``(B,)``.
+
+        The perturbed hardware matrices are evaluated for the whole batch at
+        once (they are small), while the forward pass over the evaluation
+        set runs in chunks of ``chunk_size`` realizations so the activation
+        workspace stays cache-resident; the chunk size is picked
+        automatically when omitted.  Chunking does not change the results.
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.ndim != 1:
+            raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+        if labels.size == 0:
+            raise ConfigurationError("cannot compute accuracy on an empty dataset")
+        features = self._validated_features(features)
+        if features.shape[0] != labels.shape[0]:
+            raise ShapeError(
+                f"features batch {features.shape[0]} does not match labels {labels.shape}"
+            )
+        matrices = self.hardware_matrices_batch(perturbations, batch_size=batch_size)
+        batch = matrices[0].shape[0]
+        if chunk_size is None:
+            chunk_size = self._forward_chunk_size(features.shape[0])
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        accuracies = np.empty(batch, dtype=np.float64)
+        for start in range(0, batch, chunk_size):
+            stop = min(start + chunk_size, batch)
+            # argmax over the output modulus equals argmax over the published
+            # log-probabilities (see _modulus_with_matrices), so the
+            # normalization is skipped on this hot path.
+            modulus = self._modulus_batch_with_matrices(
+                features, [matrix[start:stop] for matrix in matrices]
+            )
+            predictions = np.argmax(modulus, axis=-1)
+            accuracies[start:stop] = np.mean(predictions == labels[np.newaxis, :], axis=1)
+        return accuracies
+
+    def _forward_chunk_size(self, num_samples: int, target_bytes: int = 8 * 1024 * 1024) -> int:
+        """Realizations per forward chunk keeping activations near cache size."""
+        width = max(self.architecture.layer_dims)
+        bytes_per_realization = max(1, num_samples) * width * 16  # complex128
+        return max(1, target_bytes // bytes_per_realization)
+
+    # ------------------------------------------------------------------ #
+    # shared forward pass
+    # ------------------------------------------------------------------ #
+    def _forward_with_matrices(self, features: np.ndarray, matrices: Sequence[np.ndarray]) -> np.ndarray:
+        single = np.asarray(features).ndim == 1
+        modulus = self._modulus_with_matrices(self._validated_features(features), matrices)
+        log_probs = _log_softmax(modulus**2)
+        return log_probs[0] if single else log_probs
+
+    def _modulus_with_matrices(self, features: np.ndarray, matrices: Sequence[np.ndarray]) -> np.ndarray:
+        """Output-field modulus of validated ``(samples, n)`` features.
+
+        The modulus is the monotonic core of the readout: the published
+        log-probabilities are ``log_softmax(modulus**2)``, and both squaring
+        and log-softmax preserve per-row ``argmax`` exactly (floating-point
+        squaring of non-negative values and subtracting a per-row constant
+        are monotone), so prediction/accuracy helpers can consume the
+        modulus directly and skip the normalization work.
+        """
         activations = features
         last = len(matrices) - 1
         for index, matrix in enumerate(matrices):
-            activations = activations @ matrix.T
+            activations = _matmul_transposed(activations, matrix)
             if index != last:
                 activations = _softplus(np.abs(activations), beta=self.architecture.softplus_beta)
-                activations = activations.astype(np.complex128)
-        intensities = np.abs(activations) ** 2
-        log_probs = _log_softmax(intensities)
-        return log_probs[0] if single else log_probs
+        return np.abs(activations)
 
     # ------------------------------------------------------------------ #
     # prediction / accuracy helpers
@@ -258,12 +465,17 @@ class SPNN:
         perturbations: Optional[NetworkPerturbation] = None,
         use_hardware: bool = True,
     ) -> np.ndarray:
-        """Predicted class indices."""
+        """Predicted class indices.
+
+        Returns a ``(batch,)`` array for 2-D features and a scalar (0-D
+        array) for a single 1-D feature vector, mirroring the shape
+        convention of the forward passes.
+        """
         if use_hardware:
             log_probs = self.forward_hardware(features, perturbations)
         else:
             log_probs = self.forward_software(features)
-        return np.argmax(np.atleast_2d(log_probs), axis=-1)
+        return np.argmax(log_probs, axis=-1)
 
     def accuracy(
         self,
@@ -272,12 +484,26 @@ class SPNN:
         perturbations: Optional[NetworkPerturbation] = None,
         use_hardware: bool = True,
     ) -> float:
-        """Classification accuracy on ``(features, labels)``."""
+        """Classification accuracy on ``(features, labels)``.
+
+        Accepts a scalar label together with a single 1-D feature vector.
+        """
         labels = np.asarray(labels, dtype=np.int64)
-        predictions = self.predict(features, perturbations, use_hardware=use_hardware)
-        if predictions.shape != labels.shape:
+        single = np.asarray(features).ndim == 1
+        matrices: Sequence[np.ndarray] = (
+            self.hardware_matrices(perturbations) if use_hardware else self.weights
+        )
+        modulus = self._modulus_with_matrices(self._validated_features(features), matrices)
+        # argmax over the modulus equals argmax over the log-probabilities
+        # (see _modulus_with_matrices), matching predict() exactly.
+        predictions = np.argmax(modulus, axis=-1)
+        if single:
+            predictions = predictions[0]
+        if np.ndim(predictions) == 0 and labels.shape == (1,):
+            predictions = np.asarray(predictions)[np.newaxis]
+        if np.shape(predictions) != labels.shape:
             raise ShapeError(
-                f"predictions shape {predictions.shape} does not match labels {labels.shape}"
+                f"predictions shape {np.shape(predictions)} does not match labels {labels.shape}"
             )
         if labels.size == 0:
             raise ConfigurationError("cannot compute accuracy on an empty dataset")

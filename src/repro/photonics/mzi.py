@@ -31,6 +31,20 @@ from .phase_shifter import PhaseShifter
 # --------------------------------------------------------------------------- #
 
 
+def _unit_phasor(angle: np.ndarray) -> np.ndarray:
+    """``exp(1j * angle)`` assembled from real sin/cos into one buffer.
+
+    Bit-identical to ``np.exp(1j * angle)`` (complex exp of a purely
+    imaginary argument reduces to exactly this) while skipping the complex
+    temporary and the slower complex-exp kernel on the Monte Carlo hot path.
+    """
+    angle = np.asarray(angle, dtype=np.float64)
+    out = np.empty(angle.shape, dtype=np.complex128)
+    np.cos(angle, out=out.real)
+    np.sin(angle, out=out.imag)
+    return out
+
+
 def mzi_transfer(theta, phi) -> np.ndarray:
     """Ideal MZI transfer matrix, Eq. (1) of the paper.
 
@@ -68,23 +82,48 @@ def mzi_transfer_nonideal(theta, phi, r1, t1=None, r2=None, t2=None) -> np.ndarr
 
     All arguments broadcast; the result has shape ``broadcast + (2, 2)``.
     """
+    components = mzi_transfer_components(theta, phi, r1, t1=t1, r2=r2, t2=t2)
+    shape = np.broadcast_shapes(*(c.shape for c in components))
+    out = np.empty(shape + (2, 2), dtype=np.complex128)
+    out[..., 0, 0] = components[0]
+    out[..., 0, 1] = components[1]
+    out[..., 1, 0] = components[2]
+    out[..., 1, 1] = components[3]
+    return out
+
+
+def mzi_transfer_components(theta, phi, r1, t1=None, r2=None, t2=None) -> Tuple[np.ndarray, ...]:
+    """The four elements of the non-ideal transfer matrix as separate arrays.
+
+    Same physics as :func:`mzi_transfer_nonideal` but returned as the tuple
+    ``(T00, T01, T10, T11)`` with each element of the broadcast shape.  The
+    mesh evaluators consume this layout directly: keeping the elements in
+    their own contiguous arrays avoids assembling (and later re-gathering)
+    the strided ``(..., 2, 2)`` block array on the Monte Carlo hot path.
+    """
     theta = np.asarray(theta, dtype=np.float64)
     phi = np.asarray(phi, dtype=np.float64)
     r1 = np.asarray(r1, dtype=np.float64)
     r2 = np.asarray(r1 if r2 is None else r2, dtype=np.float64)
     t1 = np.sqrt(np.clip(1.0 - r1**2, 0.0, 1.0)) if t1 is None else np.asarray(t1, dtype=np.float64)
     t2 = np.sqrt(np.clip(1.0 - r2**2, 0.0, 1.0)) if t2 is None else np.asarray(t2, dtype=np.float64)
-    shape = np.broadcast_shapes(theta.shape, phi.shape, r1.shape, r2.shape, t1.shape, t2.shape)
-    theta, phi, r1, r2, t1, t2 = (np.broadcast_to(a, shape) for a in (theta, phi, r1, r2, t1, t2))
-    e_theta = np.exp(1j * theta)
-    e_phi = np.exp(1j * phi)
-    e_both = np.exp(1j * (theta + phi))
-    out = np.empty(shape + (2, 2), dtype=np.complex128)
-    out[..., 0, 0] = r1 * r2 * e_both - t1 * t2 * e_phi
-    out[..., 0, 1] = 1j * r2 * t1 * e_theta + 1j * t2 * r1
-    out[..., 1, 0] = 1j * t2 * r1 * e_both + 1j * t1 * r2 * e_phi
-    out[..., 1, 1] = -t1 * t2 * e_theta + r1 * r2
-    return out
+    e_theta = _unit_phasor(theta)
+    e_phi = _unit_phasor(phi)
+    e_both = e_phi * e_theta
+    # Shared splitter products; multiplying a real array by 1j is an exact
+    # placement into the imaginary part, so the factored forms below equal
+    # the textbook Eq. (5) expressions term for term.
+    rr = r1 * r2
+    tt = t1 * t2
+    i_rt = 1j * (r2 * t1)
+    i_tr = 1j * (t2 * r1)
+    i_tr2 = 1j * (t1 * r2)
+    return (
+        rr * e_both - tt * e_phi,
+        i_rt * e_theta + i_tr,
+        i_tr * e_both + i_tr2 * e_phi,
+        rr - tt * e_theta,
+    )
 
 
 def mzi_jacobian(theta, phi) -> Tuple[np.ndarray, np.ndarray]:

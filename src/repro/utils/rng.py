@@ -46,10 +46,34 @@ def spawn_rngs(rng: RNGLike, count: int) -> list[np.random.Generator]:
     """Split ``rng`` into ``count`` independent child generators.
 
     Used by the Monte Carlo engine so that each iteration draws from an
-    independent stream regardless of evaluation order.
+    independent stream regardless of evaluation order.  Children are derived
+    with :meth:`numpy.random.SeedSequence.spawn`, the mechanism NumPy
+    provides for collision-free stream splitting: each child gets a distinct
+    spawn key that is mixed into the seed material, so no two children can
+    collide no matter how many are spawned.
+
+    Repeated calls with the same *stateful* parent (a ``Generator`` or
+    ``SeedSequence`` object) yield fresh, still-independent children, while
+    repeated calls with the same ``int`` seed reproduce the same children.
+
+    .. note:: **Compatibility.** Earlier versions derived child seeds by
+       drawing int64 values from the parent generator
+       (``parent.integers(0, 2**63 - 1)``).  That scheme had a
+       birthday-collision risk between "independent" streams (~1e-7 already
+       at one million children) and could never produce the top seed value.
+       The spawn-based derivation fixes both, but the concrete sample values
+       of every seeded Monte Carlo run shift relative to those versions.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    parent = ensure_rng(rng)
-    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    if isinstance(rng, np.random.Generator):
+        return list(rng.spawn(count))
+    if isinstance(rng, np.random.SeedSequence):
+        sequence = rng
+    elif rng is None or isinstance(rng, (int, np.integer)):
+        sequence = np.random.SeedSequence(rng)
+    else:
+        raise TypeError(
+            f"rng must be None, an int seed, a SeedSequence or a Generator, got {type(rng)!r}"
+        )
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

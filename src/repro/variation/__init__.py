@@ -4,9 +4,13 @@ from .fpv import CorrelatedFPVModel
 from .models import UncertaintyModel
 from .sampler import (
     sample_diagonal_perturbation,
+    sample_diagonal_perturbation_batch,
     sample_layer_perturbation,
+    sample_layer_perturbation_batch,
     sample_mesh_perturbation,
+    sample_mesh_perturbation_batch,
     sample_network_perturbation,
+    sample_network_perturbation_batch,
     sample_single_mzi_perturbation,
 )
 from .thermal import ThermalCrosstalkModel
@@ -15,10 +19,14 @@ from .zones import Zone, ZoneGrid
 __all__ = [
     "UncertaintyModel",
     "sample_mesh_perturbation",
+    "sample_mesh_perturbation_batch",
     "sample_single_mzi_perturbation",
     "sample_diagonal_perturbation",
+    "sample_diagonal_perturbation_batch",
     "sample_layer_perturbation",
+    "sample_layer_perturbation_batch",
     "sample_network_perturbation",
+    "sample_network_perturbation_batch",
     "Zone",
     "ZoneGrid",
     "ThermalCrosstalkModel",

@@ -10,6 +10,12 @@ uncertainty model (paper §III-A) for:
 
 Zonal experiments (EXP 2) use :func:`sample_mesh_perturbation` with a
 per-MZI sigma override produced by :mod:`repro.variation.zones`.
+
+The ``*_batch`` variants draw ``B`` realizations at once (one per child
+generator) and stack them with a leading batch axis, e.g. ``(B, num_mzis)``
+arrays for a mesh.  Realization ``b`` is drawn from ``generators[b]`` with
+exactly the same calls as the single-realization sampler, so given the same
+spawned child streams the batched draws are bit-identical to the loop.
 """
 
 from __future__ import annotations
@@ -18,25 +24,27 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..mesh.diagonal import DiagonalPerturbation
-from ..mesh.mesh import MeshPerturbation, MZIMesh
-from ..mesh.svd_layer import LayerPerturbation, PhotonicLinearLayer
+from ..mesh.diagonal import DiagonalPerturbation, DiagonalPerturbationBatch
+from ..mesh.mesh import MeshPerturbation, MeshPerturbationBatch, MZIMesh
+from ..mesh.svd_layer import LayerPerturbation, LayerPerturbationBatch, PhotonicLinearLayer
 from ..utils.rng import RNGLike, ensure_rng
 from .models import UncertaintyModel
 
 
-def _phase_sigmas(model: UncertaintyModel, count: int, override: Optional[np.ndarray]) -> np.ndarray:
+def _phase_sigmas(model: UncertaintyModel, count: int, override: Optional[np.ndarray]):
+    """Per-MZI phase sigmas: an array for overrides, a cheap scalar otherwise."""
     if override is not None:
         override = np.asarray(override, dtype=np.float64)
         return override * 2.0 * np.pi if model.perturb_phases else np.zeros(count)
-    return np.full(count, model.phase_std)
+    return model.phase_std
 
 
-def _splitter_sigmas(model: UncertaintyModel, count: int, override: Optional[np.ndarray]) -> np.ndarray:
+def _splitter_sigmas(model: UncertaintyModel, count: int, override: Optional[np.ndarray]):
+    """Per-MZI splitter sigmas: an array for overrides, a cheap scalar otherwise."""
     if override is not None:
         override = np.asarray(override, dtype=np.float64)
         return override / np.sqrt(2.0) if model.perturb_splitters else np.zeros(count)
-    return np.full(count, model.splitter_std)
+    return model.splitter_std
 
 
 def sample_mesh_perturbation(
@@ -66,18 +74,19 @@ def sample_mesh_perturbation(
     phase_sigma = _phase_sigmas(model, count, sigma_phs_per_mzi)
     splitter_sigma = _splitter_sigmas(model, count, sigma_bes_per_mzi)
 
-    delta_theta = gen.normal(0.0, 1.0, count) * phase_sigma
-    delta_phi = gen.normal(0.0, 1.0, count) * phase_sigma
-    delta_r_in = gen.normal(0.0, 1.0, count) * splitter_sigma
-    delta_r_out = gen.normal(0.0, 1.0, count) * splitter_sigma
-    delta_output = (
-        gen.normal(0.0, model.phase_std, mesh.n) if model.perturb_output_phases else None
-    )
+    # One standard-normal draw for all device families.  The generator
+    # consumes its stream exactly as the historical per-family ``normal``
+    # calls did (chunked standard-normal draws concatenate, and
+    # ``normal(0, s, n)`` equals ``standard_normal(n) * s`` bit for bit), so
+    # sampled values are unchanged while the Python/NumPy call count drops.
+    extra = mesh.n if model.perturb_output_phases else 0
+    draws = gen.standard_normal(4 * count + extra)
+    delta_output = draws[4 * count :] * model.phase_std if model.perturb_output_phases else None
     return MeshPerturbation(
-        delta_theta=delta_theta,
-        delta_phi=delta_phi,
-        delta_r_in=delta_r_in,
-        delta_r_out=delta_r_out,
+        delta_theta=draws[0:count] * phase_sigma,
+        delta_phi=draws[count : 2 * count] * phase_sigma,
+        delta_r_in=draws[2 * count : 3 * count] * splitter_sigma,
+        delta_r_out=draws[3 * count : 4 * count] * splitter_sigma,
         delta_output_phase=delta_output,
     )
 
@@ -114,11 +123,27 @@ def sample_diagonal_perturbation(
     gen = ensure_rng(rng)
     phase_sigma = model.phase_std
     splitter_sigma = model.splitter_std
+    # One standard-normal draw covering only the active families, consuming
+    # the stream exactly as the historical per-family ``normal`` calls did
+    # (disabled families drew nothing).
+    num_phase = 2 * num_mzis if phase_sigma else 0
+    num_splitter = 2 * num_mzis if splitter_sigma else 0
+    draws = gen.standard_normal(num_phase + num_splitter)
+    if phase_sigma:
+        delta_theta = draws[0:num_mzis] * phase_sigma
+        delta_phi = draws[num_mzis : 2 * num_mzis] * phase_sigma
+    else:
+        delta_theta, delta_phi = np.zeros(num_mzis), np.zeros(num_mzis)
+    if splitter_sigma:
+        delta_r_in = draws[num_phase : num_phase + num_mzis] * splitter_sigma
+        delta_r_out = draws[num_phase + num_mzis :] * splitter_sigma
+    else:
+        delta_r_in, delta_r_out = np.zeros(num_mzis), np.zeros(num_mzis)
     return DiagonalPerturbation(
-        delta_theta=gen.normal(0.0, phase_sigma, num_mzis) if phase_sigma else np.zeros(num_mzis),
-        delta_phi=gen.normal(0.0, phase_sigma, num_mzis) if phase_sigma else np.zeros(num_mzis),
-        delta_r_in=gen.normal(0.0, splitter_sigma, num_mzis) if splitter_sigma else np.zeros(num_mzis),
-        delta_r_out=gen.normal(0.0, splitter_sigma, num_mzis) if splitter_sigma else np.zeros(num_mzis),
+        delta_theta=delta_theta,
+        delta_phi=delta_phi,
+        delta_r_in=delta_r_in,
+        delta_r_out=delta_r_out,
     )
 
 
@@ -144,3 +169,127 @@ def sample_network_perturbation(
     """Draw one uncertainty realization for every layer of an SPNN."""
     gen = ensure_rng(rng)
     return [sample_layer_perturbation(layer, model, gen) for layer in layers]
+
+
+# --------------------------------------------------------------------------- #
+# batched sampling (leading Monte Carlo axis B, one child stream per row)
+# --------------------------------------------------------------------------- #
+
+
+def _draw_rows(generators: Sequence[np.random.Generator], length: int) -> np.ndarray:
+    """A ``(B, length)`` standard-normal matrix, row ``b`` drawn from stream ``b``.
+
+    ``standard_normal(out=row)`` consumes each stream exactly like a plain
+    ``standard_normal(length)`` call, so the rows are bit-identical to the
+    per-iteration draws of the looped samplers while avoiding per-field
+    array allocations and Python overhead.
+    """
+    draws = np.empty((len(generators), length), dtype=np.float64)
+    if length:
+        for row, gen in zip(draws, generators):
+            gen.standard_normal(out=row)
+    return draws
+
+
+def sample_mesh_perturbation_batch(
+    mesh: MZIMesh,
+    model: UncertaintyModel,
+    generators: Sequence[np.random.Generator],
+    sigma_phs_per_mzi: Optional[np.ndarray] = None,
+    sigma_bes_per_mzi: Optional[np.ndarray] = None,
+) -> MeshPerturbationBatch:
+    """Draw ``B = len(generators)`` mesh realizations as ``(B, num_mzis)`` arrays.
+
+    Row ``b`` consumes ``generators[b]`` exactly as
+    :func:`sample_mesh_perturbation` would, so the stacked result is
+    bit-identical to sampling the realizations one at a time from the same
+    streams.
+    """
+    generators = list(generators)
+    if not generators:
+        raise ValueError("sample_mesh_perturbation_batch requires at least one generator")
+    count = mesh.num_mzis
+    phase_sigma = _phase_sigmas(model, count, sigma_phs_per_mzi)
+    splitter_sigma = _splitter_sigmas(model, count, sigma_bes_per_mzi)
+    extra = mesh.n if model.perturb_output_phases else 0
+    draws = _draw_rows(generators, 4 * count + extra)
+    return MeshPerturbationBatch(
+        delta_theta=draws[:, 0:count] * phase_sigma,
+        delta_phi=draws[:, count : 2 * count] * phase_sigma,
+        delta_r_in=draws[:, 2 * count : 3 * count] * splitter_sigma,
+        delta_r_out=draws[:, 3 * count : 4 * count] * splitter_sigma,
+        delta_output_phase=draws[:, 4 * count :] * model.phase_std if extra else None,
+    )
+
+
+def sample_diagonal_perturbation_batch(
+    num_mzis: int,
+    model: UncertaintyModel,
+    generators: Sequence[np.random.Generator],
+) -> Optional[DiagonalPerturbationBatch]:
+    """Draw ``B`` Sigma-bank realizations as ``(B, num_mzis)`` arrays."""
+    if not model.perturb_sigma_stage or num_mzis == 0:
+        return None
+    generators = list(generators)
+    if not generators:
+        raise ValueError("sample_diagonal_perturbation_batch requires at least one generator")
+    phase_sigma = model.phase_std
+    splitter_sigma = model.splitter_std
+    num_phase = 2 * num_mzis if phase_sigma else 0
+    num_splitter = 2 * num_mzis if splitter_sigma else 0
+    draws = _draw_rows(generators, num_phase + num_splitter)
+    batch = len(generators)
+    if phase_sigma:
+        delta_theta = draws[:, 0:num_mzis] * phase_sigma
+        delta_phi = draws[:, num_mzis : 2 * num_mzis] * phase_sigma
+    else:
+        delta_theta = np.zeros((batch, num_mzis))
+        delta_phi = np.zeros((batch, num_mzis))
+    if splitter_sigma:
+        delta_r_in = draws[:, num_phase : num_phase + num_mzis] * splitter_sigma
+        delta_r_out = draws[:, num_phase + num_mzis :] * splitter_sigma
+    else:
+        delta_r_in = np.zeros((batch, num_mzis))
+        delta_r_out = np.zeros((batch, num_mzis))
+    return DiagonalPerturbationBatch(
+        delta_theta=delta_theta,
+        delta_phi=delta_phi,
+        delta_r_in=delta_r_in,
+        delta_r_out=delta_r_out,
+    )
+
+
+def sample_layer_perturbation_batch(
+    layer: PhotonicLinearLayer,
+    model: UncertaintyModel,
+    generators: Sequence[np.random.Generator],
+) -> LayerPerturbationBatch:
+    """Draw ``B`` realizations for a full photonic linear layer.
+
+    Each generator is consumed in the same stage order (U mesh, V mesh,
+    Sigma bank) as :func:`sample_layer_perturbation`; only the iteration
+    over generators is hoisted inside each stage, which does not change any
+    stream's own draw sequence.
+    """
+    generators = list(generators)
+    return LayerPerturbationBatch(
+        u=sample_mesh_perturbation_batch(layer.mesh_u, model, generators),
+        v=sample_mesh_perturbation_batch(layer.mesh_v, model, generators),
+        sigma=sample_diagonal_perturbation_batch(layer.diagonal.num_mzis, model, generators),
+    )
+
+
+def sample_network_perturbation_batch(
+    layers: Sequence[PhotonicLinearLayer],
+    model: UncertaintyModel,
+    generators: Sequence[np.random.Generator],
+) -> List[Optional[LayerPerturbationBatch]]:
+    """Draw ``B`` realizations for every layer of an SPNN, stacked per layer.
+
+    Equivalent to stacking ``[sample_network_perturbation(layers, model, g)
+    for g in generators]`` — generator ``b`` is consumed exactly as in the
+    looped path (layer by layer, stage by stage), so the batch reproduces
+    the loop sample for sample.
+    """
+    generators = list(generators)
+    return [sample_layer_perturbation_batch(layer, model, generators) for layer in layers]

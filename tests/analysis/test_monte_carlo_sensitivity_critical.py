@@ -52,6 +52,42 @@ class TestMonteCarloRunner:
             MonteCarloRunner(iterations=0)
         with pytest.raises(ValueError):
             MonteCarloRunner(iterations=10, confidence=1.5)
+        with pytest.raises(ValueError):
+            MonteCarloRunner(iterations=10, chunk_size=0)
+
+
+class TestMonteCarloRunnerBatched:
+    def test_run_batched_equals_run_for_matching_trials(self):
+        """A batch trial consuming each stream like the scalar trial is bit-identical."""
+        runner = MonteCarloRunner(iterations=40)
+        looped = runner.run(lambda gen: gen.normal(), rng=7)
+        batched = runner.run_batched(
+            lambda gens: np.array([g.normal() for g in gens]), rng=7
+        )
+        assert np.array_equal(looped.samples, batched.samples)
+
+    def test_chunking_preserves_streams(self):
+        full = MonteCarloRunner(iterations=30).run_batched(
+            lambda gens: np.array([g.normal() for g in gens]), rng=3
+        )
+        chunked = MonteCarloRunner(iterations=30, chunk_size=7).run_batched(
+            lambda gens: np.array([g.normal() for g in gens]), rng=3
+        )
+        assert np.array_equal(full.samples, chunked.samples)
+
+    def test_batch_trial_shape_enforced(self):
+        runner = MonteCarloRunner(iterations=5)
+        from repro.exceptions import ShapeError
+
+        with pytest.raises(ShapeError):
+            runner.run_batched(lambda gens: np.zeros(len(gens) + 1), rng=0)
+
+    def test_label_and_summary(self):
+        result = MonteCarloRunner(iterations=10).run_batched(
+            lambda gens: np.ones(len(gens)), rng=0, label="ones"
+        )
+        assert result.label == "ones"
+        assert result.mean == 1.0 and result.iterations == 10
 
 
 class TestSensitivityMap:
@@ -122,6 +158,15 @@ class TestCriticality:
         a = per_mzi_rvd_criticality(mesh, model, iterations=10, rng=5).as_array()
         b = per_mzi_rvd_criticality(mesh, model, iterations=10, rng=5).as_array()
         assert np.allclose(a, b)
+
+    @pytest.mark.parametrize("scheme", ["clements", "reck"])
+    def test_vectorized_path_is_bit_identical(self, scheme):
+        mesh = MZIMesh.from_unitary(random_unitary(5, rng=6), scheme=scheme)
+        model = UncertaintyModel.both(0.05)
+        fast = per_mzi_rvd_criticality(mesh, model, iterations=15, rng=2, vectorized=True)
+        slow = per_mzi_rvd_criticality(mesh, model, iterations=15, rng=2, vectorized=False)
+        assert np.array_equal(fast.as_array(), slow.as_array())
+        assert [c.std for c in fast.scores] == [c.std for c in slow.scores]
 
     def test_iterations_validation(self):
         mesh = MZIMesh.from_unitary(random_unitary(3, rng=4))

@@ -10,6 +10,7 @@ from repro.analysis import (
     normalized_rvd,
     required_iterations,
     rvd,
+    rvd_batch,
     rvd_matrix,
     summarize,
     worst_case_margin_of_error,
@@ -66,6 +67,41 @@ class TestRVD:
         reference = np.full((2, 2), 1.0, dtype=complex)
         actual = reference + 0.1
         assert normalized_rvd(actual, reference) == pytest.approx(0.1)
+
+    def test_negative_eps_rejected_everywhere(self):
+        """Regression: rvd validated eps < 0 but rvd_matrix did not."""
+        reference = random_unitary(3, rng=6)
+        with pytest.raises(ValueError):
+            rvd(reference, reference, eps=-1e-3)
+        with pytest.raises(ValueError):
+            rvd_matrix(reference, reference, eps=-1e-3)
+        with pytest.raises(ValueError):
+            normalized_rvd(reference, reference, eps=-1e-3)
+        with pytest.raises(ValueError):
+            rvd_batch(reference[np.newaxis], reference, eps=-1e-3)
+
+    def test_normalized_rvd_rejects_empty_reference(self):
+        empty = np.zeros((0, 0), dtype=complex)
+        with pytest.raises(ShapeError):
+            normalized_rvd(empty, empty)
+
+    def test_rvd_batch_matches_looped_rvd(self):
+        reference = random_unitary(4, rng=7)
+        rng = np.random.default_rng(8)
+        actuals = reference + 0.01 * (
+            rng.normal(size=(6, 4, 4)) + 1j * rng.normal(size=(6, 4, 4))
+        )
+        batched = rvd_batch(actuals, reference)
+        looped = np.array([rvd(actual, reference) for actual in actuals])
+        assert np.array_equal(batched, looped)
+
+    def test_rvd_batch_validation(self):
+        reference = random_unitary(3, rng=9)
+        with pytest.raises(ShapeError):
+            rvd_batch(reference, reference)  # missing batch axis
+        zero_ref = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=complex)
+        with pytest.raises(ZeroDivisionError):
+            rvd_batch(zero_ref[np.newaxis] + 0.1, zero_ref)
 
 
 class TestStatistics:

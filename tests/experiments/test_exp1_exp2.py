@@ -122,3 +122,33 @@ class TestExp2:
     def test_unknown_mesh_name_rejected(self, small_task_module):
         with pytest.raises(KeyError):
             run_exp2(Exp2Config(iterations=1), task=small_task_module, mesh_names=["U_L9"])
+
+
+class TestVectorizedEquivalence:
+    """The batched experiment paths reproduce the looped paths bit for bit."""
+
+    def test_exp1_vectorized_matches_loop(self, small_task_module):
+        base = Exp1Config(sigmas=(0.0, 0.05), cases=("both",), iterations=3, seed=5)
+        fast = run_exp1(base, task=small_task_module)
+        slow = run_exp1(
+            Exp1Config(sigmas=(0.0, 0.05), cases=("both",), iterations=3, seed=5, vectorized=False),
+            task=small_task_module,
+        )
+        for a, b in zip(fast.results["both"], slow.results["both"]):
+            assert np.array_equal(a.samples, b.samples)
+
+    def test_exp2_vectorized_matches_loop(self, small_task_module):
+        fast = run_exp2(
+            Exp2Config(iterations=2, seed=6), task=small_task_module, mesh_names=["U_L0"]
+        )
+        slow = run_exp2(
+            Exp2Config(iterations=2, seed=6, vectorized=False),
+            task=small_task_module,
+            mesh_names=["U_L0"],
+        )
+        assert fast.global_loss == slow.global_loss
+        assert np.array_equal(
+            fast.heatmaps["U_L0"].accuracy_loss,
+            slow.heatmaps["U_L0"].accuracy_loss,
+            equal_nan=True,
+        )

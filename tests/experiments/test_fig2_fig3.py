@@ -57,3 +57,8 @@ class TestFig3Experiment:
     def test_mesh_sizes_follow_config(self):
         result = run_fig3(Fig3Config(iterations=5, num_matrices=1, matrix_size=4, seed=4))
         assert result.rvd_table().shape == (1, 6)
+
+    def test_vectorized_matches_loop(self):
+        fast = run_fig3(Fig3Config(iterations=6, num_matrices=2, seed=7)).rvd_table()
+        slow = run_fig3(Fig3Config(iterations=6, num_matrices=2, seed=7, vectorized=False)).rvd_table()
+        assert np.array_equal(fast, slow)

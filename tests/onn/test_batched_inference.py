@@ -1,0 +1,179 @@
+"""Tests for the batched SPNN forward / Monte Carlo accuracy path."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.onn import monte_carlo_accuracy, stack_network_perturbations
+from repro.utils.rng import spawn_rngs
+from repro.variation import UncertaintyModel, sample_network_perturbation, sample_network_perturbation_batch
+
+
+@pytest.fixture()
+def spnn(small_task):
+    return small_task.spnn
+
+
+class TestForwardHardwareBatch:
+    def test_equals_stacked_forward_hardware(self, small_task):
+        spnn = small_task.spnn
+        features = small_task.test_features[:32]
+        model = UncertaintyModel.both(0.05)
+        realizations = [
+            sample_network_perturbation(spnn.photonic_layers, model, g) for g in spawn_rngs(3, 5)
+        ]
+        batch = stack_network_perturbations(realizations)
+        batched = spnn.forward_hardware_batch(features, batch)
+        looped = np.stack([spnn.forward_hardware(features, r) for r in realizations])
+        assert batched.shape == (5, 32, spnn.architecture.output_size)
+        assert np.array_equal(batched, looped)
+
+    def test_nominal_batch_requires_batch_size(self, spnn, small_task):
+        features = small_task.test_features[:4]
+        with pytest.raises(ValueError):
+            spnn.forward_hardware_batch(features, None)
+        out = spnn.forward_hardware_batch(features, None, batch_size=2)
+        assert out.shape == (2, 4, spnn.architecture.output_size)
+        assert np.array_equal(out[0], out[1])
+
+    def test_rejects_wrong_layer_count(self, spnn, small_task):
+        with pytest.raises(ConfigurationError):
+            spnn.forward_hardware_batch(small_task.test_features[:4], [None])
+
+
+class TestAccuracyBatch:
+    def test_equals_looped_accuracy(self, small_task):
+        spnn = small_task.spnn
+        features, labels = small_task.test_features[:40], small_task.test_labels[:40]
+        model = UncertaintyModel.both(0.05)
+        realizations = [
+            sample_network_perturbation(spnn.photonic_layers, model, g) for g in spawn_rngs(5, 6)
+        ]
+        batched = spnn.accuracy_batch(features, labels, stack_network_perturbations(realizations))
+        looped = np.array([spnn.accuracy(features, labels, perturbations=r) for r in realizations])
+        assert np.array_equal(batched, looped)
+
+    def test_chunking_does_not_change_results(self, small_task):
+        spnn = small_task.spnn
+        features, labels = small_task.test_features[:24], small_task.test_labels[:24]
+        model = UncertaintyModel.both(0.05)
+        batch = sample_network_perturbation_batch(spnn.photonic_layers, model, spawn_rngs(2, 7))
+        full = spnn.accuracy_batch(features, labels, batch)
+        chunked = spnn.accuracy_batch(features, labels, batch, chunk_size=3)
+        assert np.array_equal(full, chunked)
+
+    def test_label_validation(self, spnn, small_task):
+        features = small_task.test_features[:4]
+        with pytest.raises(ShapeError):
+            spnn.accuracy_batch(features, np.zeros((2, 2), dtype=int), None, batch_size=1)
+        with pytest.raises(ShapeError):
+            spnn.accuracy_batch(features, np.zeros(3, dtype=int), None, batch_size=1)
+        with pytest.raises(ConfigurationError):
+            spnn.accuracy_batch(features[:0], np.zeros(0, dtype=int), None, batch_size=1)
+
+
+class TestMonteCarloAccuracyVectorized:
+    def test_seed_equivalence_with_looped_path(self, small_task):
+        """The tentpole guarantee: vectorized == looped, sample for sample."""
+        kwargs = dict(
+            spnn=small_task.spnn,
+            features=small_task.test_features[:50],
+            labels=small_task.test_labels[:50],
+            model=UncertaintyModel.both(0.05),
+            iterations=8,
+            rng=42,
+        )
+        looped = monte_carlo_accuracy(vectorized=False, **kwargs)
+        batched = monte_carlo_accuracy(vectorized=True, **kwargs)
+        assert np.array_equal(looped, batched)
+
+    def test_chunk_size_does_not_change_samples(self, small_task):
+        kwargs = dict(
+            spnn=small_task.spnn,
+            features=small_task.test_features[:30],
+            labels=small_task.test_labels[:30],
+            model=UncertaintyModel.both(0.05),
+            iterations=6,
+            rng=9,
+        )
+        assert np.array_equal(
+            monte_carlo_accuracy(chunk_size=2, **kwargs), monte_carlo_accuracy(**kwargs)
+        )
+
+    def test_perturbation_factory_supported(self, small_task):
+        calls = []
+
+        def factory(generator):
+            calls.append(1)
+            return [None] * small_task.spnn.num_linear_layers
+
+        samples = monte_carlo_accuracy(
+            small_task.spnn,
+            small_task.test_features[:20],
+            small_task.test_labels[:20],
+            UncertaintyModel.both(0.05),
+            iterations=4,
+            rng=0,
+            perturbation_factory=factory,
+            vectorized=True,
+        )
+        assert len(calls) == 4
+        assert np.allclose(samples, samples[0])
+
+    def test_factory_seed_equivalence(self, small_task):
+        """Custom samplers get the same bit-identical guarantee."""
+        spnn = small_task.spnn
+        model = UncertaintyModel.phase_only(0.08)
+
+        def factory(generator):
+            return sample_network_perturbation(spnn.photonic_layers, model, generator)
+
+        kwargs = dict(
+            spnn=spnn,
+            features=small_task.test_features[:25],
+            labels=small_task.test_labels[:25],
+            model=model,
+            iterations=5,
+            rng=31,
+            perturbation_factory=factory,
+        )
+        assert np.array_equal(
+            monte_carlo_accuracy(vectorized=True, **kwargs),
+            monte_carlo_accuracy(vectorized=False, **kwargs),
+        )
+
+    def test_chunk_size_validation(self, small_task):
+        with pytest.raises(ValueError):
+            monte_carlo_accuracy(
+                small_task.spnn,
+                small_task.test_features[:10],
+                small_task.test_labels[:10],
+                UncertaintyModel.both(0.05),
+                iterations=2,
+                rng=0,
+                chunk_size=0,
+            )
+
+
+class TestStackNetworkPerturbations:
+    def test_all_none_layers_stay_none(self):
+        batch = stack_network_perturbations([[None, None], [None, None]])
+        assert batch == [None, None]
+
+    def test_rejects_empty_and_ragged(self):
+        with pytest.raises(ValueError):
+            stack_network_perturbations([])
+        with pytest.raises(ShapeError):
+            stack_network_perturbations([[None, None], [None]])
+
+    def test_batch_sampler_matches_stacked_looped_samples(self, small_task):
+        spnn = small_task.spnn
+        model = UncertaintyModel.both(0.05)
+        direct = sample_network_perturbation_batch(spnn.photonic_layers, model, spawn_rngs(17, 4))
+        stacked = stack_network_perturbations(
+            [sample_network_perturbation(spnn.photonic_layers, model, g) for g in spawn_rngs(17, 4)]
+        )
+        for layer_direct, layer_stacked in zip(direct, stacked):
+            assert np.array_equal(layer_direct.u.delta_theta, layer_stacked.u.delta_theta)
+            assert np.array_equal(layer_direct.v.delta_r_out, layer_stacked.v.delta_r_out)
+            assert np.array_equal(layer_direct.sigma.delta_phi, layer_stacked.sigma.delta_phi)

@@ -147,3 +147,33 @@ class TestPredictionAndAccuracy:
         features = random_complex_matrix(6, arch.input_size, rng=17)
         labels = spnn.predict(features, use_hardware=False)
         assert spnn.accuracy(features, labels, use_hardware=False) == 1.0
+
+    def test_predict_single_sample_returns_scalar(self):
+        """Regression: 1-D features used to yield a spurious (1,) shape."""
+        spnn, arch = _small_spnn()
+        feature = random_complex_matrix(1, arch.input_size, rng=18)[0]
+        prediction = spnn.predict(feature)
+        assert np.ndim(prediction) == 0
+        assert prediction == spnn.predict(feature[np.newaxis])[0]
+
+    def test_accuracy_accepts_scalar_label(self):
+        """Regression: accuracy(features_1d, label_scalar) raised ShapeError."""
+        spnn, arch = _small_spnn()
+        feature = random_complex_matrix(1, arch.input_size, rng=19)[0]
+        prediction = int(spnn.predict(feature))
+        assert spnn.accuracy(feature, prediction) == 1.0
+        wrong = (prediction + 1) % arch.output_size
+        assert spnn.accuracy(feature, wrong) == 0.0
+
+    def test_accuracy_accepts_length_one_labels_for_single_sample(self):
+        spnn, arch = _small_spnn()
+        feature = random_complex_matrix(1, arch.input_size, rng=20)[0]
+        prediction = spnn.predict(feature)
+        assert spnn.accuracy(feature, np.array([int(prediction)])) == 1.0
+
+    def test_accuracy_matches_predict(self):
+        """The fast modulus-based accuracy path must agree with predict()."""
+        spnn, arch = _small_spnn()
+        features = random_complex_matrix(24, arch.input_size, rng=21)
+        labels = spnn.predict(features)
+        assert spnn.accuracy(features, labels) == 1.0

@@ -52,3 +52,32 @@ def test_spawn_rngs_rejects_negative_count():
 
 def test_spawn_rngs_zero_count():
     assert spawn_rngs(0, 0) == []
+
+
+def test_spawn_rngs_uses_seed_sequence_spawning():
+    """Regression: children must come from SeedSequence.spawn(), not from
+    int64 draws of the parent (which had a birthday-collision risk)."""
+    children = spawn_rngs(123, 3)
+    reference = [np.random.default_rng(c) for c in np.random.SeedSequence(123).spawn(3)]
+    for child, ref in zip(children, reference):
+        assert np.array_equal(child.standard_normal(4), ref.standard_normal(4))
+
+
+def test_spawn_rngs_from_seed_sequence_object():
+    seq = np.random.SeedSequence(9)
+    first = [g.standard_normal() for g in spawn_rngs(seq, 2)]
+    # Spawning again from the same (stateful) SeedSequence yields fresh streams.
+    second = [g.standard_normal() for g in spawn_rngs(seq, 2)]
+    assert not np.allclose(first, second)
+
+
+def test_spawn_rngs_generator_parent_gives_fresh_children_per_call():
+    parent = np.random.default_rng(5)
+    first = [g.standard_normal() for g in spawn_rngs(parent, 2)]
+    second = [g.standard_normal() for g in spawn_rngs(parent, 2)]
+    assert not np.allclose(first, second)
+
+
+def test_spawn_rngs_rejects_bad_type():
+    with pytest.raises(TypeError):
+        spawn_rngs("not-a-seed", 2)
