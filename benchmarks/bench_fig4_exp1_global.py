@@ -16,8 +16,10 @@ SIGMAS = (0.0, 0.01, 0.025, 0.05, 0.075, 0.1, 0.15)
 BENCH_MC_ITERATIONS = 25
 
 
-def test_fig4_exp1_global_uncertainties(benchmark, spnn_task):
-    config = Exp1Config(sigmas=SIGMAS, iterations=BENCH_MC_ITERATIONS, seed=7)
+def test_fig4_exp1_global_uncertainties(benchmark, spnn_task, bench_workers):
+    config = Exp1Config(
+        sigmas=SIGMAS, iterations=BENCH_MC_ITERATIONS, seed=7, workers=bench_workers
+    )
     result = benchmark.pedantic(run_exp1, args=(config,), kwargs={"task": spnn_task}, rounds=1, iterations=1)
     print()
     print(result.report())

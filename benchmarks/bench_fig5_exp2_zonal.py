@@ -20,8 +20,11 @@ MESH_NAMES = ["U_L0", "U_L2"]
 ITERATIONS = 8
 
 
-def test_fig5_exp2_zonal_perturbations(benchmark, spnn_task):
-    config = Exp2Config(iterations=ITERATIONS, zone_sigma=0.10, background_sigma=0.05, seed=11)
+def test_fig5_exp2_zonal_perturbations(benchmark, spnn_task, bench_workers):
+    config = Exp2Config(
+        iterations=ITERATIONS, zone_sigma=0.10, background_sigma=0.05, seed=11,
+        workers=bench_workers,
+    )
     result = benchmark.pedantic(
         run_exp2,
         args=(config,),

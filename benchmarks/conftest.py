@@ -10,6 +10,8 @@ below or by running the CLI without ``--smoke``.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.onn import SPNNArchitecture, SPNNTrainingConfig, build_trained_spnn
@@ -19,6 +21,16 @@ BENCH_MC_ITERATIONS = 25
 
 #: Synthetic test-set size used by the benchmark-scale experiments.
 BENCH_NUM_TEST = 400
+
+@pytest.fixture(scope="session")
+def bench_workers():
+    """Worker processes for the experiment-level benchmarks (None = serial).
+
+    Samples are bit-identical at every worker count, so this knob only
+    changes wall-clock time: ``REPRO_BENCH_WORKERS=4`` shards every
+    experiment benchmark's Monte Carlo runs over 4 processes.
+    """
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
 
 
 @pytest.fixture(scope="session")

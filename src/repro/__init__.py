@@ -15,15 +15,24 @@ The package is organized as a hierarchy mirroring the paper's methodology:
 * :mod:`repro.variation` — Gaussian/zonal/correlated uncertainty models and
   thermal crosstalk,
 * :mod:`repro.analysis` — RVD, sensitivity maps, Monte Carlo engine,
-  criticality ranking,
+  criticality ranking, yield sweeps,
+* :mod:`repro.execution` — pluggable backends (serial / multiprocess) that
+  schedule the Monte Carlo chunks, bit-identical at every worker count,
 * :mod:`repro.experiments` — runners that regenerate every figure and
   headline number of the paper,
 * substrates: :mod:`repro.autograd`, :mod:`repro.nn`, :mod:`repro.datasets`,
   :mod:`repro.utils`.
 """
 
-from . import analysis, autograd, datasets, mesh, nn, onn, photonics, utils, variation
-from .analysis import MonteCarloRunner, device_sensitivity_map, per_mzi_rvd_criticality, rvd
+from . import analysis, autograd, datasets, execution, mesh, nn, onn, photonics, utils, variation
+from .analysis import (
+    MonteCarloRunner,
+    device_sensitivity_map,
+    per_mzi_rvd_criticality,
+    rvd,
+    yield_sweep,
+)
+from .execution import MultiprocessBackend, SerialBackend, resolve_backend
 from .exceptions import (
     AutogradError,
     ConfigurationError,
@@ -73,6 +82,7 @@ __all__ = [
     "analysis",
     "autograd",
     "datasets",
+    "execution",
     "mesh",
     "nn",
     "onn",
@@ -121,4 +131,8 @@ __all__ = [
     "device_sensitivity_map",
     "per_mzi_rvd_criticality",
     "MonteCarloRunner",
+    "yield_sweep",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "resolve_backend",
 ]

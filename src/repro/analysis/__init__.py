@@ -1,12 +1,15 @@
 """Analysis layer: RVD, sensitivity maps, Monte Carlo engine, criticality ranking."""
 
 from .critical import (
+    BatchMetricFn,
     ComponentCriticality,
     CriticalityReport,
+    MetricFn,
+    SingleMZIRVDMetric,
     per_mzi_rvd_criticality,
     score_components,
 )
-from .monte_carlo import MonteCarloResult, MonteCarloRunner
+from .monte_carlo import BatchTrial, MonteCarloResult, MonteCarloRunner, Trial
 from .rvd import mean_rvd, normalized_rvd, rvd, rvd_batch, rvd_matrix
 from .sensitivity import (
     ELEMENT_LABELS,
@@ -23,7 +26,14 @@ from .statistics import (
     summarize,
     worst_case_margin_of_error,
 )
-from .yield_analysis import YieldEstimate, estimate_yield, max_tolerable_sigma, yield_vs_sigma
+from .yield_analysis import (
+    YieldEstimate,
+    YieldSweepResult,
+    estimate_yield,
+    max_tolerable_sigma,
+    yield_sweep,
+    yield_vs_sigma,
+)
 
 __all__ = [
     "rvd",
@@ -38,6 +48,8 @@ __all__ = [
     "ELEMENT_LABELS",
     "MonteCarloRunner",
     "MonteCarloResult",
+    "Trial",
+    "BatchTrial",
     "SummaryStatistics",
     "summarize",
     "margin_of_error",
@@ -46,10 +58,15 @@ __all__ = [
     "required_iterations",
     "ComponentCriticality",
     "CriticalityReport",
+    "MetricFn",
+    "BatchMetricFn",
+    "SingleMZIRVDMetric",
     "per_mzi_rvd_criticality",
     "score_components",
     "YieldEstimate",
+    "YieldSweepResult",
     "estimate_yield",
     "yield_vs_sigma",
+    "yield_sweep",
     "max_tolerable_sigma",
 ]

@@ -10,21 +10,40 @@ module implements that identification at two granularities:
 * per-zone criticality of a full SPNN, scored by the mean accuracy loss when
   the zone's uncertainty is elevated (the Fig. 5 / EXP 2 study) — see
   :mod:`repro.experiments.exp2_zonal` for the experiment wrapper.
+
+Scoring follows the engine-wide stream discipline: one child stream per
+component, spawned up front, consumed identically by the scalar loop and
+the batched metric — so scores are bit-identical across evaluation paths,
+backends and worker counts, and components can be sharded across processes
+(``workers=N``) without changing a single sample.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..exceptions import ShapeError
+from ..execution import BackendLike, resolve_backend
 from ..mesh.mesh import MeshPerturbationBatch, MZIMesh
 from ..utils.rng import RNGLike, spawn_rngs
 from ..variation.models import UncertaintyModel
 from ..variation.sampler import sample_single_mzi_perturbation
 from .rvd import rvd, rvd_batch
 from .statistics import summarize
+
+#: Scalar criticality metric: one Monte Carlo draw for one component.
+MetricFn = Callable[[int, np.random.Generator], float]
+
+#: Batched criticality metric: all ``iterations`` draws for one component at
+#: once, consuming the component's stream exactly as the scalar loop would;
+#: returns samples of shape ``(iterations,)``.
+BatchMetricFn = Callable[[int, np.random.Generator, int], np.ndarray]
+
+#: Worker payload for one component's scoring run.
+ComponentTask = Tuple[int, np.random.Generator, int, Optional[MetricFn], Optional[BatchMetricFn]]
 
 
 @dataclass(frozen=True)
@@ -69,6 +88,102 @@ class CriticalityReport:
         return float(values.max() - values.min()) if values.size else 0.0
 
 
+def evaluate_component_samples(task: ComponentTask) -> Tuple[int, np.ndarray]:
+    """Draw one component's Monte Carlo samples; returns ``(id, samples)``.
+
+    Module-level so process backends can pickle it into workers.  The
+    batched metric (when provided) must consume the stream exactly as the
+    scalar loop would to keep the two paths bit-identical.
+    """
+    component_id, generator, iterations, metric_fn, batch_metric_fn = task
+    if batch_metric_fn is not None:
+        samples = np.asarray(batch_metric_fn(component_id, generator, iterations), dtype=np.float64)
+        if samples.shape != (iterations,):
+            raise ShapeError(
+                f"batched metric must return shape ({iterations},), got {samples.shape}"
+            )
+    else:
+        samples = np.array(
+            [float(metric_fn(component_id, generator)) for _ in range(iterations)],
+            dtype=np.float64,
+        )
+    return component_id, samples
+
+
+def score_components(
+    component_ids: Sequence[int],
+    metric_fn: Optional[MetricFn] = None,
+    iterations: int = 1000,
+    rng: RNGLike = None,
+    metric: str = "custom",
+    batch_metric_fn: Optional[BatchMetricFn] = None,
+    backend: BackendLike = None,
+    workers: Optional[int] = None,
+) -> CriticalityReport:
+    """Generic criticality scoring loop on the batched/sharded engine.
+
+    ``metric_fn(component_id, generator)`` evaluates the impact metric for
+    one Monte Carlo draw targeting one component; the component score is the
+    mean over ``iterations`` draws.  ``batch_metric_fn(component_id,
+    generator, iterations)`` evaluates all of a component's draws at once
+    (vectorized) and takes precedence when provided; the scalar path stays
+    as the reference implementation and a batched metric that consumes the
+    stream identically is bit-identical to it.
+
+    Components are independent work units: with ``workers=N`` (or an
+    explicit ``backend``) they are sharded across processes, each worker
+    receiving the component's pre-spawned child stream — scores do not
+    depend on the worker count.  Metric callables must then be picklable
+    (module-level functions, bound methods of picklable objects).
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if metric_fn is None and batch_metric_fn is None:
+        raise ValueError("score_components requires metric_fn and/or batch_metric_fn")
+    component_ids = [int(component_id) for component_id in component_ids]
+    streams = spawn_rngs(rng, len(component_ids))
+    tasks: List[ComponentTask] = [
+        (component_id, stream, iterations, metric_fn, batch_metric_fn)
+        for component_id, stream in zip(component_ids, streams)
+    ]
+    results = resolve_backend(backend, workers).map(evaluate_component_samples, tasks)
+    scores: List[ComponentCriticality] = []
+    for component_id, samples in results:
+        summary = summarize(samples)
+        scores.append(
+            ComponentCriticality(identifier=component_id, score=summary.mean, std=summary.std)
+        )
+    return CriticalityReport(scores=scores, metric=metric)
+
+
+@dataclass(frozen=True, eq=False)
+class SingleMZIRVDMetric:
+    """Criticality metric of the Fig. 3 study: RVD with one MZI perturbed.
+
+    Picklable callable pair for :func:`score_components` — ``scalar``
+    evaluates one draw, ``batched`` stacks a component's ``iterations``
+    realizations and evaluates them with :meth:`MZIMesh.matrix_batch`.
+    Both consume the component stream with exactly the same draws.
+    """
+
+    mesh: MZIMesh
+    model: UncertaintyModel
+    reference: np.ndarray
+    rvd_eps: float = 0.0
+
+    def scalar(self, mzi_index: int, generator: np.random.Generator) -> float:
+        perturbation = sample_single_mzi_perturbation(self.mesh, mzi_index, self.model, generator)
+        return rvd(self.mesh.matrix(perturbation), self.reference, eps=self.rvd_eps)
+
+    def batched(self, mzi_index: int, generator: np.random.Generator, iterations: int) -> np.ndarray:
+        realizations = [
+            sample_single_mzi_perturbation(self.mesh, mzi_index, self.model, generator)
+            for _ in range(iterations)
+        ]
+        matrices = self.mesh.matrix_batch(MeshPerturbationBatch.stack(realizations))
+        return rvd_batch(matrices, self.reference, eps=self.rvd_eps)
+
+
 def per_mzi_rvd_criticality(
     mesh: MZIMesh,
     model: UncertaintyModel,
@@ -76,6 +191,8 @@ def per_mzi_rvd_criticality(
     rng: RNGLike = None,
     rvd_eps: float = 0.0,
     vectorized: bool = True,
+    backend: BackendLike = None,
+    workers: Optional[int] = None,
 ) -> CriticalityReport:
     """Average RVD of a mesh when each MZI is perturbed in isolation (Fig. 3).
 
@@ -86,56 +203,22 @@ def per_mzi_rvd_criticality(
     The vectorized path (default) stacks the ``iterations`` realizations of
     one device and evaluates them with :meth:`MZIMesh.matrix_batch`; it
     draws from the same per-device streams as the loop and produces
-    bit-identical scores.
+    bit-identical scores.  With ``workers=N`` the devices are sharded
+    across worker processes — again bit-identical, each device's stream is
+    spawned up front and consumed in one place.
     """
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
-    reference = mesh.ideal_matrix()
-    streams = spawn_rngs(rng, mesh.num_mzis)
-    scores: List[ComponentCriticality] = []
-    for mzi_index, stream in enumerate(streams):
-        if vectorized:
-            realizations = [
-                sample_single_mzi_perturbation(mesh, mzi_index, model, stream)
-                for _ in range(iterations)
-            ]
-            matrices = mesh.matrix_batch(MeshPerturbationBatch.stack(realizations))
-            samples = rvd_batch(matrices, reference, eps=rvd_eps)
-        else:
-            samples = np.empty(iterations, dtype=np.float64)
-            for iteration in range(iterations):
-                perturbation = sample_single_mzi_perturbation(mesh, mzi_index, model, stream)
-                samples[iteration] = rvd(mesh.matrix(perturbation), reference, eps=rvd_eps)
-        summary = summarize(samples)
-        scores.append(
-            ComponentCriticality(identifier=mzi_index, score=summary.mean, std=summary.std)
-        )
-    return CriticalityReport(scores=scores, metric="mean_rvd")
-
-
-def score_components(
-    component_ids: Sequence[int],
-    metric_fn: Callable[[int, np.random.Generator], float],
-    iterations: int,
-    rng: RNGLike = None,
-    metric: str = "custom",
-) -> CriticalityReport:
-    """Generic criticality scoring loop.
-
-    ``metric_fn(component_id, generator)`` evaluates the impact metric for
-    one Monte Carlo draw targeting one component; the component score is the
-    mean over ``iterations`` draws.
-    """
-    if iterations < 1:
-        raise ValueError(f"iterations must be >= 1, got {iterations}")
-    streams = spawn_rngs(rng, len(component_ids))
-    scores: List[ComponentCriticality] = []
-    for component_id, stream in zip(component_ids, streams):
-        samples = np.array(
-            [float(metric_fn(component_id, stream)) for _ in range(iterations)], dtype=np.float64
-        )
-        summary = summarize(samples)
-        scores.append(
-            ComponentCriticality(identifier=int(component_id), score=summary.mean, std=summary.std)
-        )
-    return CriticalityReport(scores=scores, metric=metric)
+    scorer = SingleMZIRVDMetric(
+        mesh=mesh, model=model, reference=mesh.ideal_matrix(), rvd_eps=rvd_eps
+    )
+    return score_components(
+        range(mesh.num_mzis),
+        metric_fn=None if vectorized else scorer.scalar,
+        iterations=iterations,
+        rng=rng,
+        metric="mean_rvd",
+        batch_metric_fn=scorer.batched if vectorized else None,
+        backend=backend,
+        workers=workers,
+    )

@@ -12,23 +12,31 @@ Two evaluation entry points share the same stream-spawning discipline:
   generators of a chunk at once so it can vectorize the evaluation over the
   Monte Carlo axis.
 
+Both entry points delegate the *scheduling* of their chunks to an execution
+backend (:mod:`repro.execution`): the serial backend evaluates them inline,
+the multiprocess backend shards them across worker processes.  Workers
+receive self-contained ``(start, trial, generators)`` payloads and return
+``(start, samples)`` pairs that reassemble into the exact serial sample
+order.
+
 **RNG-equivalence guarantee.** Both entry points spawn the identical child
-streams from the same parent seed (``spawn_rngs(rng, iterations)``), so a
-batch trial that consumes ``generators[b]`` exactly as the scalar trial
-consumes its per-iteration generator produces bit-identical samples — the
-batched path is purely a wall-clock optimization.  ``chunk_size`` only
-bounds how many realizations a batch trial sees per call; it never changes
-the streams or the samples.
+streams from the same parent seed (``spawn_rngs(rng, iterations)``) *before*
+any scheduling happens, so a batch trial that consumes ``generators[b]``
+exactly as the scalar trial consumes its per-iteration generator produces
+bit-identical samples — and the samples are independent of ``chunk_size``,
+of the backend and of the worker count.  Batching and sharding are purely
+wall-clock optimizations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..exceptions import ShapeError
+from ..execution import Backend, BackendLike, resolve_backend
 from ..utils.rng import RNGLike, spawn_rngs
 from .statistics import SummaryStatistics, summarize
 
@@ -38,6 +46,34 @@ Trial = Callable[[np.random.Generator], float]
 #: A batched Monte Carlo trial: receives the child generators of one chunk and
 #: returns one metric per generator, shape ``(len(generators),)``.
 BatchTrial = Callable[[Sequence[np.random.Generator]], np.ndarray]
+
+#: Worker payload: chunk start index, the trial, and the chunk's child streams.
+ChunkTask = Tuple[int, Union[Trial, BatchTrial], Tuple[np.random.Generator, ...]]
+
+
+def evaluate_scalar_chunk(task: ChunkTask) -> Tuple[int, np.ndarray]:
+    """Evaluate one chunk of a scalar trial; returns ``(start, samples)``.
+
+    Module-level so process backends can pickle it into workers.  Each
+    generator is consumed exactly as in the inline loop, so the returned
+    samples are bit-identical regardless of which process evaluates them.
+    """
+    start, trial, generators = task
+    samples = np.empty(len(generators), dtype=np.float64)
+    for index, generator in enumerate(generators):
+        samples[index] = float(trial(generator))
+    return start, samples
+
+
+def evaluate_batch_chunk(task: ChunkTask) -> Tuple[int, np.ndarray]:
+    """Evaluate one chunk of a batch trial; returns ``(start, samples)``."""
+    start, trial, generators = task
+    values = np.asarray(trial(list(generators)), dtype=np.float64)
+    if values.shape != (len(generators),):
+        raise ShapeError(
+            f"batch trial must return shape ({len(generators)},), got {values.shape}"
+        )
+    return start, values
 
 
 @dataclass
@@ -72,14 +108,25 @@ class MonteCarloRunner:
     confidence:
         Confidence level used for the reported margin of error.
     chunk_size:
-        Maximum realizations handed to a batch trial per call in
-        :meth:`run_batched` (bounds peak memory of vectorized trials);
-        ``None`` evaluates all iterations in one call.
+        Maximum realizations per scheduled chunk.  For batch trials this
+        bounds the peak memory of one vectorized call; for parallel backends
+        it is also the work-unit granularity.  ``None`` picks a default:
+        everything in one chunk on the serial backend, two chunks per worker
+        on parallel backends.  The chunking never changes the samples.
+    backend, workers:
+        Execution-backend selection, resolved via
+        :func:`repro.execution.resolve_backend`: by default ``workers`` of
+        ``None``/1 evaluates inline and ``workers >= 2`` shards chunks
+        across that many worker processes.  Trials must be picklable for
+        process backends.  Samples are bit-identical for every backend and
+        worker count.
     """
 
     iterations: int = 1000
     confidence: float = 0.95
     chunk_size: Optional[int] = None
+    backend: BackendLike = None
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -88,19 +135,56 @@ class MonteCarloRunner:
             raise ValueError(f"confidence must be in (0, 1), got {self.confidence}")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        # Fail fast on unknown backend names / invalid worker counts.
+        resolve_backend(self.backend, self.workers)
 
+    # ------------------------------------------------------------------ #
+    # chunk scheduling
+    # ------------------------------------------------------------------ #
+    def _effective_chunk_size(self, backend: Backend) -> int:
+        parallelism = backend.parallelism
+        if parallelism <= 1:
+            return self.chunk_size if self.chunk_size is not None else self.iterations
+        # Two chunks per worker: coarse enough that per-task pickling stays
+        # negligible, fine enough to absorb worker-speed imbalance.  An
+        # explicit chunk_size still caps the chunk (it bounds memory) but
+        # never inflates it: otherwise a small run with a large chunk_size
+        # would collapse to a single task and silently defeat the sharding.
+        # Shrinking chunks is always safe — samples are chunk-invariant.
+        target = max(1, -(-self.iterations // (2 * parallelism)))
+        return min(self.chunk_size, target) if self.chunk_size is not None else target
+
+    def _schedule(
+        self,
+        evaluator: Callable[[ChunkTask], Tuple[int, np.ndarray]],
+        trial: Union[Trial, BatchTrial],
+        rng: RNGLike,
+        label: str,
+    ) -> MonteCarloResult:
+        """Spawn the child streams, shard them into chunks, reassemble."""
+        generators = spawn_rngs(rng, self.iterations)
+        backend = resolve_backend(self.backend, self.workers)
+        chunk = self._effective_chunk_size(backend)
+        tasks: list[ChunkTask] = [
+            (start, trial, tuple(generators[start : start + chunk]))
+            for start in range(0, self.iterations, chunk)
+        ]
+        samples = np.empty(self.iterations, dtype=np.float64)
+        for start, values in backend.map(evaluator, tasks):
+            samples[start : start + len(values)] = values
+        return MonteCarloResult(samples=samples, summary=summarize(samples, self.confidence), label=label)
+
+    # ------------------------------------------------------------------ #
+    # evaluation entry points
+    # ------------------------------------------------------------------ #
     def run(self, trial: Trial, rng: RNGLike = None, label: str = "") -> MonteCarloResult:
         """Evaluate ``trial`` once per iteration and summarize the samples.
 
         Each iteration receives an independent child generator spawned from
         ``rng``, so results are reproducible and independent of evaluation
-        order.
+        order, chunking and worker count.
         """
-        generators = spawn_rngs(rng, self.iterations)
-        samples = np.empty(self.iterations, dtype=np.float64)
-        for index, generator in enumerate(generators):
-            samples[index] = float(trial(generator))
-        return MonteCarloResult(samples=samples, summary=summarize(samples, self.confidence), label=label)
+        return self._schedule(evaluate_scalar_chunk, trial, rng, label)
 
     def run_batched(self, trial: BatchTrial, rng: RNGLike = None, label: str = "") -> MonteCarloResult:
         """Evaluate a vectorized trial over all iterations and summarize.
@@ -111,27 +195,25 @@ class MonteCarloRunner:
         trial that consumes each generator exactly as the scalar trial does
         yields a result bit-identical to :meth:`run`.
         """
-        generators = spawn_rngs(rng, self.iterations)
-        chunk = self.chunk_size or self.iterations
-        samples = np.empty(self.iterations, dtype=np.float64)
-        for start in range(0, self.iterations, chunk):
-            streams = generators[start : start + chunk]
-            values = np.asarray(trial(streams), dtype=np.float64)
-            if values.shape != (len(streams),):
-                raise ShapeError(
-                    f"batch trial must return shape ({len(streams)},), got {values.shape}"
-                )
-            samples[start : start + len(streams)] = values
-        return MonteCarloResult(samples=samples, summary=summarize(samples, self.confidence), label=label)
+        return self._schedule(evaluate_batch_chunk, trial, rng, label)
 
     def run_many(
         self,
-        trials: dict[str, Trial],
+        trials: dict[str, Union[Trial, BatchTrial]],
         rng: RNGLike = None,
+        batched: bool = False,
     ) -> dict[str, MonteCarloResult]:
-        """Run several labelled trials with independent seeds derived from ``rng``."""
+        """Run several labelled trials with independent seeds derived from ``rng``.
+
+        With ``batched=True`` every value of ``trials`` is treated as a
+        :data:`BatchTrial` and evaluated through :meth:`run_batched`, so
+        EXP-style multi-case runs can use the fast path uniformly; each
+        label still gets its own independent child stream, identical to the
+        scalar route at the same seed.
+        """
         streams = spawn_rngs(rng, len(trials))
+        evaluate = self.run_batched if batched else self.run
         return {
-            label: self.run(trial, rng=stream, label=label)
+            label: evaluate(trial, rng=stream, label=label)
             for (label, trial), stream in zip(trials.items(), streams)
         }

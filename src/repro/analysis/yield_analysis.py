@@ -7,14 +7,23 @@ module provides the missing last step: given Monte Carlo accuracy samples
 compute the *parametric yield* — the fraction of fabricated networks that
 would still meet an accuracy specification — and sweep it against the
 uncertainty level to find the maximum tolerable sigma for a target yield.
+
+:func:`yield_sweep` drives that sweep end to end through the batched Monte
+Carlo engine (and, with ``workers=N``, through the multiprocess execution
+backend) so the yield curve of a design is one call away.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..execution import BackendLike
+from ..utils.rng import RNGLike, spawn_rngs
+from ..utils.serialization import format_table
+from ..variation.models import UncertaintyModel
 
 
 @dataclass(frozen=True)
@@ -102,3 +111,174 @@ def max_tolerable_sigma(
     estimates = yield_vs_sigma(accuracy_samples_per_sigma, accuracy_threshold)
     passing = [sigma for sigma, estimate in estimates.items() if estimate.yield_fraction >= target_yield]
     return max(passing) if passing else None
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end sigma sweep on the batched Monte Carlo engine
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class YieldSweepResult:
+    """Parametric yield of one design across an uncertainty sweep."""
+
+    sigmas: Tuple[float, ...]
+    accuracy_threshold: float
+    target_yield: float
+    nominal_accuracy: float
+    iterations: int
+    case: str
+    estimates: Dict[float, YieldEstimate]
+    accuracy_samples: Dict[float, np.ndarray] = field(repr=False, default_factory=dict)
+
+    @property
+    def max_tolerable_sigma(self) -> Optional[float]:
+        """Largest swept sigma whose yield still meets ``target_yield``."""
+        passing = [
+            sigma
+            for sigma, estimate in self.estimates.items()
+            if estimate.yield_fraction >= self.target_yield
+        ]
+        return max(passing) if passing else None
+
+    def yield_curve(self) -> np.ndarray:
+        """Yield fraction per sigma, in sweep order."""
+        return np.array([self.estimates[sigma].yield_fraction for sigma in self.sigmas])
+
+    def report(self) -> str:
+        """Table of yield and mean accuracy per sigma plus the design verdict."""
+        headers = ["sigma", "yield [%]", "mean acc [%]", "std err [%]"]
+        rows = []
+        for sigma in self.sigmas:
+            estimate = self.estimates[sigma]
+            rows.append(
+                [
+                    sigma,
+                    100.0 * estimate.yield_fraction,
+                    100.0 * estimate.mean_accuracy,
+                    100.0 * estimate.standard_error,
+                ]
+            )
+        header = (
+            f"Yield sweep (§I) — parametric yield vs uncertainty level "
+            f"(case {self.case!r}, {self.iterations} MC iterations per sigma)\n"
+            f"accuracy spec >= {100.0 * self.accuracy_threshold:.2f}% "
+            f"(nominal {100.0 * self.nominal_accuracy:.2f}%), "
+            f"target yield {100.0 * self.target_yield:.0f}%"
+        )
+        max_sigma = self.max_tolerable_sigma
+        footer = (
+            f"max tolerable sigma for >= {100.0 * self.target_yield:.0f}% yield: "
+            f"{max_sigma if max_sigma is not None else 'none (design misses the spec at every swept sigma)'}"
+        )
+        return "\n".join([header, format_table(headers, rows), footer])
+
+
+def yield_sweep(
+    spnn,
+    features: np.ndarray,
+    labels: np.ndarray,
+    sigmas: Sequence[float],
+    accuracy_threshold: Optional[float] = None,
+    accuracy_margin: float = 0.05,
+    target_yield: float = 0.9,
+    iterations: int = 1000,
+    case: str = "both",
+    perturb_sigma_stage: bool = True,
+    rng: RNGLike = None,
+    chunk_size: Optional[int] = None,
+    backend: BackendLike = None,
+    workers: Optional[int] = None,
+) -> YieldSweepResult:
+    """Sweep the uncertainty level and estimate the parametric yield at each.
+
+    Every sigma runs ``iterations`` realizations through the batched Monte
+    Carlo engine (:func:`repro.onn.inference.monte_carlo_accuracy`) — and,
+    with ``workers=N``, through the multiprocess execution backend, with
+    samples bit-identical to the serial run at the same seed.  Each sweep
+    position gets its own independent child stream spawned from ``rng``,
+    so samples never leak between sigmas; note the streams are assigned
+    positionally, so reordering or extending the sigma list changes the
+    draws a given sigma receives.
+
+    Parameters
+    ----------
+    spnn:
+        Compiled :class:`~repro.onn.spnn.SPNN` under test.
+    features, labels:
+        Evaluation set.
+    sigmas:
+        Normalized uncertainty levels to sweep (``0.0`` short-circuits to
+        the nominal accuracy without Monte Carlo work).
+    accuracy_threshold:
+        Absolute accuracy spec in ``[0, 1]``; when omitted it defaults to
+        ``nominal_accuracy - accuracy_margin`` (the design must stay within
+        ``accuracy_margin`` of its nominal accuracy to count as yielding).
+    target_yield:
+        Yield fraction the design must sustain (default 90%).
+    iterations:
+        Monte Carlo iterations per sigma (1000 in the paper).
+    case:
+        Which component families are uncertain: ``"phs"``, ``"bes"`` or
+        ``"both"`` (the EXP 1 cases).
+    rng:
+        Seed for the sweep; defaults to a fresh seed.
+    chunk_size, backend, workers:
+        Forwarded to the Monte Carlo engine (see
+        :func:`repro.onn.inference.monte_carlo_accuracy`).
+    """
+    # Imported lazily: the analysis package must stay importable before the
+    # onn package (which itself imports the Monte Carlo engine) is built.
+    from ..onn.inference import monte_carlo_accuracy
+
+    sigmas = tuple(float(sigma) for sigma in sigmas)
+    if not sigmas:
+        raise ValueError("yield_sweep requires at least one sigma")
+    if any(sigma < 0 for sigma in sigmas):
+        raise ValueError(f"sigmas must be non-negative, got {sigmas}")
+    if len(set(sigmas)) != len(sigmas):
+        raise ValueError(f"sigmas must be unique (estimates are keyed by sigma), got {sigmas}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if not 0.0 <= accuracy_margin <= 1.0:
+        raise ValueError(f"accuracy_margin must be in [0, 1], got {accuracy_margin}")
+    if not 0.0 < target_yield <= 1.0:
+        raise ValueError(f"target_yield must be in (0, 1], got {target_yield}")
+    if case.lower() not in UncertaintyModel.CASES:
+        raise ValueError(f"unknown uncertainty case {case!r}; expected one of {UncertaintyModel.CASES}")
+
+    nominal_accuracy = spnn.accuracy(features, labels, use_hardware=True)
+    if accuracy_threshold is None:
+        accuracy_threshold = max(0.0, nominal_accuracy - accuracy_margin)
+    if not 0.0 <= accuracy_threshold <= 1.0:
+        raise ValueError(f"accuracy_threshold must be in [0, 1], got {accuracy_threshold}")
+
+    streams = spawn_rngs(rng, len(sigmas))
+    samples_per_sigma: Dict[float, np.ndarray] = {}
+    for sigma, stream in zip(sigmas, streams):
+        model = UncertaintyModel.for_case(case, sigma, perturb_sigma_stage=perturb_sigma_stage)
+        if model.is_null:
+            samples_per_sigma[sigma] = np.full(iterations, nominal_accuracy)
+            continue
+        samples_per_sigma[sigma] = monte_carlo_accuracy(
+            spnn,
+            features,
+            labels,
+            model,
+            iterations=iterations,
+            rng=stream,
+            chunk_size=chunk_size,
+            backend=backend,
+            workers=workers,
+        )
+    estimates = yield_vs_sigma(samples_per_sigma, accuracy_threshold)
+    return YieldSweepResult(
+        sigmas=sigmas,
+        accuracy_threshold=float(accuracy_threshold),
+        target_yield=float(target_yield),
+        nominal_accuracy=float(nominal_accuracy),
+        iterations=int(iterations),
+        case=case.lower(),
+        estimates=estimates,
+        accuracy_samples=samples_per_sigma,
+    )

@@ -11,7 +11,14 @@ Examples
     spnn-repro fig2
     spnn-repro fig3 --smoke
     spnn-repro exp1 --smoke --output exp1.json
+    spnn-repro exp1 --workers 4   # shard MC realizations over 4 processes
+    spnn-repro yield --smoke      # parametric yield vs sigma (§I motivation)
     spnn-repro summary            # hardware inventory (1374 phase shifters)
+
+``--workers N`` shards the Monte Carlo realizations of the supporting
+experiments across N worker processes; the samples are bit-identical to the
+serial run at the same seed (the child RNG streams are spawned before any
+scheduling), so the flag only changes wall-clock time, never results.
 """
 
 from __future__ import annotations
@@ -44,6 +51,13 @@ def _run_summary(smoke: bool) -> dict:
     return summary
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spnn-repro",
@@ -51,7 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (fig2, fig3, exp1, exp2, baseline), 'summary' or 'list'",
+        help="experiment id (fig2, fig3, exp1, exp2, yield, baseline), 'summary' or 'list'",
     )
     parser.add_argument(
         "--smoke",
@@ -60,9 +74,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--iterations",
-        type=int,
+        type=_positive_int,
         default=None,
         help="override the number of Monte Carlo iterations (where applicable)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help=(
+            "shard Monte Carlo realizations across N worker processes "
+            "(bit-identical to the serial run; applies to experiments with a workers knob)"
+        ),
     )
     parser.add_argument(
         "--output",
@@ -79,6 +102,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     identifier = args.experiment.lower()
+    if identifier in ("list", "summary") and args.workers is not None:
+        parser.error(f"{identifier!r} does not support --workers")
     if identifier == "list":
         _print_experiment_list()
         return 0
@@ -92,6 +117,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     config = spec.smoke_config if args.smoke else spec.default_config
     if args.iterations is not None and hasattr(config, "iterations"):
         config = dataclasses.replace(config, iterations=args.iterations)
+    if args.workers is not None:
+        if not hasattr(config, "workers"):
+            parser.error(f"experiment {spec.identifier!r} does not support --workers")
+        config = dataclasses.replace(config, workers=args.workers)
 
     start = time.time()
     result = spec.runner(config)

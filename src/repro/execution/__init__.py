@@ -1,0 +1,25 @@
+"""Execution layer: pluggable backends that schedule Monte Carlo work.
+
+See :mod:`repro.execution.backends` for the protocol and the determinism /
+picklability contracts shared by every backend.
+"""
+
+from .backends import (
+    BACKEND_NAMES,
+    Backend,
+    BackendLike,
+    MultiprocessBackend,
+    SerialBackend,
+    available_workers,
+    resolve_backend,
+)
+
+__all__ = [
+    "Backend",
+    "BackendLike",
+    "BACKEND_NAMES",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "available_workers",
+    "resolve_backend",
+]

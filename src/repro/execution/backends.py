@@ -1,0 +1,156 @@
+"""Pluggable execution backends for the Monte Carlo engine.
+
+The paper's methodology multiplies quickly: 1000 uncertainty realizations
+per design point, hundreds of design points across EXP 1 / EXP 2 / the yield
+sweeps.  PR 1 vectorized one design point at a time, but the whole sweep
+still ran on a single NumPy thread.  This module factors the *scheduling* of
+that work out of :class:`~repro.analysis.monte_carlo.MonteCarloRunner` into
+a small backend protocol so the same experiment code can run
+
+* inline on the calling thread (:class:`SerialBackend`, the default), or
+* sharded across worker processes (:class:`MultiprocessBackend`, stdlib
+  :mod:`concurrent.futures`, no extra dependencies),
+
+with a GPU/drjit-style backend as the natural next implementation.
+
+**Determinism contract.**  A backend never creates randomness and never
+reorders results: it receives a list of self-contained task payloads (for
+Monte Carlo work: chunk start index + the chunk's pre-spawned child
+generators + the trial callable) and returns one result per task *in task
+order*.  Because the child streams are spawned deterministically in the
+parent via ``SeedSequence.spawn()`` before any scheduling happens, the
+samples are bit-identical for every backend and every worker count.
+
+**Picklability contract.**  Process-based backends pickle the mapped
+function and each task payload into the workers, so both must be picklable:
+module-level functions, dataclass instances, NumPy generators/arrays and
+bound methods of picklable objects all qualify; locally defined closures do
+not (the experiment layers therefore expose their trials as module-level
+callable dataclasses).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Protocol, Sequence, Union, runtime_checkable
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Protocol every execution backend implements.
+
+    ``map`` evaluates ``fn`` over ``tasks`` and returns the results in task
+    order; ``parallelism`` reports how many tasks may run concurrently (used
+    by callers to pick a chunk size — 1 means "do not bother chunking for
+    concurrency").
+    """
+
+    @property
+    def parallelism(self) -> int:  # pragma: no cover - protocol definition
+        ...
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class SerialBackend:
+    """Evaluate every task inline on the calling thread (the default)."""
+
+    @property
+    def parallelism(self) -> int:
+        return 1
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        return [fn(task) for task in tasks]
+
+
+def available_workers() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class MultiprocessBackend:
+    """Shard tasks across worker processes via :class:`ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; ``None`` uses the CPUs available to the
+        process.  A value of 1 degenerates to inline execution (no pool is
+        created), so ``MultiprocessBackend(workers=1)`` is behaviorally a
+        :class:`SerialBackend` — handy for worker-count sweeps.
+
+    Results are gathered in submission order, so ``map`` preserves task
+    order no matter which worker finishes first.
+    """
+
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    @property
+    def parallelism(self) -> int:
+        return self.workers if self.workers is not None else available_workers()
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        tasks = list(tasks)
+        max_workers = min(self.parallelism, len(tasks))
+        if max_workers <= 1:
+            return [fn(task) for task in tasks]
+        with ProcessPoolExecutor(max_workers=max_workers) as executor:
+            futures = [executor.submit(fn, task) for task in tasks]
+            return [future.result() for future in futures]
+
+
+#: What callers may pass as a backend: a name, an instance, or None (auto).
+BackendLike = Union[None, str, Backend]
+
+#: Registered backend names (the strings accepted by :func:`resolve_backend`).
+BACKEND_NAMES = ("serial", "multiprocess")
+
+
+def resolve_backend(backend: BackendLike = None, workers: Optional[int] = None) -> Backend:
+    """Turn a ``backend``/``workers`` knob pair into a concrete backend.
+
+    Resolution rules (shared by every layer that exposes the knobs):
+
+    * an existing :class:`Backend` instance is returned unchanged
+      (``workers`` must then be left unset — the instance already decided),
+    * ``None`` auto-selects: ``workers`` of ``None``/1 gives the serial
+      backend, anything larger a multiprocess backend with that many
+      workers,
+    * ``"serial"`` / ``"multiprocess"`` select explicitly; ``workers`` is
+      honored by the multiprocess backend and must be unset or 1 for serial.
+    """
+    if backend is not None and not isinstance(backend, str):
+        if not isinstance(backend, Backend):
+            raise TypeError(
+                f"backend must be None, one of {BACKEND_NAMES} or a Backend instance, "
+                f"got {type(backend)!r}"
+            )
+        if workers is not None:
+            raise ValueError("workers cannot be combined with a Backend instance")
+        return backend
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if backend is None:
+        if workers is None or workers == 1:
+            return SerialBackend()
+        return MultiprocessBackend(workers=workers)
+    name = backend.lower()
+    if name == "serial":
+        if workers is not None and workers > 1:
+            raise ValueError(f"the serial backend cannot use {workers} workers")
+        return SerialBackend()
+    if name == "multiprocess":
+        return MultiprocessBackend(workers=workers)
+    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}")

@@ -13,6 +13,7 @@ from .exp2_zonal import Exp2Config, Exp2Result, ZonalHeatmap, run_exp2
 from .fig2_device_sensitivity import Fig2Config, Fig2Result, run_fig2
 from .fig3_layer_rvd import Fig3Config, Fig3Result, run_fig3
 from .registry import ExperimentSpec, build_registry, get_experiment, list_experiments
+from .yield_experiment import DEFAULT_YIELD_SIGMAS, YieldConfig, run_yield
 
 __all__ = [
     "Fig2Config",
@@ -34,6 +35,9 @@ __all__ = [
     "BaselineConfig",
     "BaselineResult",
     "run_baseline",
+    "YieldConfig",
+    "DEFAULT_YIELD_SIGMAS",
+    "run_yield",
     "ExperimentSpec",
     "build_registry",
     "get_experiment",

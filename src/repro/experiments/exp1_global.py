@@ -26,12 +26,13 @@ import numpy as np
 
 from ..analysis.monte_carlo import MonteCarloResult, MonteCarloRunner
 from ..analysis.statistics import summarize
+from ..execution import BackendLike
 from ..onn.builder import SPNNTask, SPNNTrainingConfig, build_trained_spnn
+from ..onn.inference import NetworkAccuracyBatchTrial, NetworkAccuracyTrial
 from ..onn.spnn import SPNN
 from ..utils.rng import RNGLike, ensure_rng
 from ..utils.serialization import format_table
 from ..variation.models import UncertaintyModel
-from ..variation.sampler import sample_network_perturbation, sample_network_perturbation_batch
 
 #: The three component-uncertainty cases of EXP 1.
 EXP1_CASES = ("phs", "bes", "both")
@@ -42,14 +43,7 @@ DEFAULT_SIGMAS = (0.0, 0.005, 0.01, 0.025, 0.05, 0.075, 0.1, 0.15)
 
 def uncertainty_model_for_case(case: str, sigma: float, perturb_sigma_stage: bool = True) -> UncertaintyModel:
     """Build the :class:`UncertaintyModel` for one EXP 1 case at one sigma."""
-    case = case.lower()
-    if case == "phs":
-        return UncertaintyModel.phase_only(sigma, perturb_sigma_stage=perturb_sigma_stage)
-    if case == "bes":
-        return UncertaintyModel.splitter_only(sigma, perturb_sigma_stage=perturb_sigma_stage)
-    if case == "both":
-        return UncertaintyModel.both(sigma, perturb_sigma_stage=perturb_sigma_stage)
-    raise ValueError(f"unknown EXP 1 case {case!r}; expected one of {EXP1_CASES}")
+    return UncertaintyModel.for_case(case, sigma, perturb_sigma_stage=perturb_sigma_stage)
 
 
 @dataclass(frozen=True)
@@ -64,8 +58,13 @@ class Exp1Config:
     #: Evaluate each (case, sigma) point with the batched Monte Carlo path
     #: (bit-identical to the loop at a fixed seed, several times faster).
     vectorized: bool = True
-    #: Realizations per batched chunk (bounds peak memory); None = all at once.
+    #: Realizations per batched chunk (bounds peak memory, and the work-unit
+    #: granularity when sharding across workers); None = all at once.
     chunk_size: Optional[int] = 250
+    #: Execution backend for each (case, sigma) Monte Carlo run: ``workers=N``
+    #: shards realization chunks across N processes, bit-identical to serial.
+    backend: BackendLike = None
+    workers: Optional[int] = None
     #: Training configuration used only when no pre-built task is supplied.
     training: SPNNTrainingConfig = field(default_factory=SPNNTrainingConfig)
 
@@ -150,7 +149,12 @@ def run_exp1(
     gen = ensure_rng(rng if rng is not None else config.seed)
     spnn: SPNN = task.spnn
     features, labels = task.test_features, task.test_labels
-    runner = MonteCarloRunner(iterations=config.iterations, chunk_size=config.chunk_size)
+    runner = MonteCarloRunner(
+        iterations=config.iterations,
+        chunk_size=config.chunk_size,
+        backend=config.backend,
+        workers=config.workers,
+    )
 
     nominal_accuracy = spnn.accuracy(features, labels, use_hardware=True)
     results: Dict[str, List[MonteCarloResult]] = {case: [] for case in config.cases}
@@ -165,22 +169,16 @@ def run_exp1(
                 )
                 continue
 
+            # Module-level picklable trials so the chunks can be shipped to
+            # worker processes; both consume each child stream identically.
             if config.vectorized:
-
-                def batch_trial(generators, _model: UncertaintyModel = model) -> np.ndarray:
-                    batch = sample_network_perturbation_batch(
-                        spnn.photonic_layers, _model, generators
-                    )
-                    return spnn.accuracy_batch(
-                        features, labels, batch, batch_size=len(generators)
-                    )
-
+                batch_trial = NetworkAccuracyBatchTrial(
+                    spnn=spnn, features=features, labels=labels, model=model
+                )
                 results[case].append(runner.run_batched(batch_trial, rng=gen, label=f"{case}@{sigma}"))
             else:
-
-                def trial(generator: np.random.Generator, _model: UncertaintyModel = model) -> float:
-                    perturbation = sample_network_perturbation(spnn.photonic_layers, _model, generator)
-                    return spnn.accuracy(features, labels, perturbations=perturbation, use_hardware=True)
-
+                trial = NetworkAccuracyTrial(
+                    spnn=spnn, features=features, labels=labels, model=model
+                )
                 results[case].append(runner.run(trial, rng=gen, label=f"{case}@{sigma}"))
     return Exp1Result(config=config, nominal_accuracy=nominal_accuracy, results=results)

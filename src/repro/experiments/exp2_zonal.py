@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..analysis.monte_carlo import MonteCarloRunner
+from ..execution import BackendLike
 from ..mesh.mesh import MZIMesh
 from ..mesh.svd_layer import LayerPerturbation, LayerPerturbationBatch
 from ..onn.builder import SPNNTask, SPNNTrainingConfig, build_trained_spnn
@@ -46,8 +47,13 @@ class Exp2Config:
     #: Evaluate each zone with the batched Monte Carlo path (bit-identical
     #: to the loop at a fixed seed, several times faster).
     vectorized: bool = True
-    #: Realizations per batched chunk (bounds peak memory); None = all at once.
+    #: Realizations per batched chunk (bounds peak memory, and the work-unit
+    #: granularity when sharding across workers); None = all at once.
     chunk_size: Optional[int] = 250
+    #: Execution backend for each zone's Monte Carlo run: ``workers=N``
+    #: shards realization chunks across N processes, bit-identical to serial.
+    backend: BackendLike = None
+    workers: Optional[int] = None
     #: Training configuration used only when no pre-built task is supplied.
     training: SPNNTrainingConfig = field(default_factory=SPNNTrainingConfig)
 
@@ -176,6 +182,51 @@ def _sample_zonal_network_perturbation_batch(
     return perturbations
 
 
+@dataclass(frozen=True, eq=False)
+class ZonalAccuracyTrial:
+    """Scalar zonal Monte Carlo trial (picklable for process backends)."""
+
+    spnn: SPNN
+    features: np.ndarray
+    labels: np.ndarray
+    target_mesh_name: str
+    sigma_map: np.ndarray
+    background: UncertaintyModel
+
+    def __call__(self, generator: np.random.Generator) -> float:
+        perturbation = _sample_zonal_network_perturbation(
+            self.spnn, self.target_mesh_name, self.sigma_map, self.background, generator
+        )
+        return self.spnn.accuracy(
+            self.features, self.labels, perturbations=perturbation, use_hardware=True
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class ZonalAccuracyBatchTrial:
+    """Batched zonal Monte Carlo trial (picklable for process backends).
+
+    Consumes each child generator exactly as :class:`ZonalAccuracyTrial`
+    does, so its samples are bit-identical to the looped path.
+    """
+
+    spnn: SPNN
+    features: np.ndarray
+    labels: np.ndarray
+    target_mesh_name: str
+    sigma_map: np.ndarray
+    background: UncertaintyModel
+
+    def __call__(self, generators) -> np.ndarray:
+        generators = list(generators)
+        batch = _sample_zonal_network_perturbation_batch(
+            self.spnn, self.target_mesh_name, self.sigma_map, self.background, generators
+        )
+        return self.spnn.accuracy_batch(
+            self.features, self.labels, batch, batch_size=len(generators)
+        )
+
+
 def run_exp2(
     config: Exp2Config = Exp2Config(),
     task: Optional[SPNNTask] = None,
@@ -201,7 +252,12 @@ def run_exp2(
     gen = ensure_rng(rng if rng is not None else config.seed)
     spnn = task.spnn
     features, labels = task.test_features, task.test_labels
-    runner = MonteCarloRunner(iterations=config.iterations, chunk_size=config.chunk_size)
+    runner = MonteCarloRunner(
+        iterations=config.iterations,
+        chunk_size=config.chunk_size,
+        backend=config.backend,
+        workers=config.workers,
+    )
     background = UncertaintyModel.both(config.background_sigma, perturb_sigma_stage=False)
 
     nominal_accuracy = spnn.accuracy(features, labels, use_hardware=True)
@@ -209,22 +265,16 @@ def run_exp2(
     def _run_zonal(target_mesh_name: str, sigma_map: np.ndarray, label: str):
         """One Monte Carlo run of the zonal sampler, batched or looped."""
         if config.vectorized:
-
-            def batch_trial(generators) -> np.ndarray:
-                generators = list(generators)
-                batch = _sample_zonal_network_perturbation_batch(
-                    spnn, target_mesh_name, sigma_map, background, generators
-                )
-                return spnn.accuracy_batch(features, labels, batch, batch_size=len(generators))
-
+            batch_trial = ZonalAccuracyBatchTrial(
+                spnn=spnn, features=features, labels=labels,
+                target_mesh_name=target_mesh_name, sigma_map=sigma_map, background=background,
+            )
             return runner.run_batched(batch_trial, rng=gen, label=label)
 
-        def trial(generator: np.random.Generator) -> float:
-            perturbation = _sample_zonal_network_perturbation(
-                spnn, target_mesh_name, sigma_map, background, generator
-            )
-            return spnn.accuracy(features, labels, perturbations=perturbation, use_hardware=True)
-
+        trial = ZonalAccuracyTrial(
+            spnn=spnn, features=features, labels=labels,
+            target_mesh_name=target_mesh_name, sigma_map=sigma_map, background=background,
+        )
         return runner.run(trial, rng=gen, label=label)
 
     # Reference: global uncertainty at the background sigma (Sigma error-free),

@@ -11,11 +11,12 @@ MZIs of the same mesh, and the pattern differs across unitaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..analysis.critical import CriticalityReport, per_mzi_rvd_criticality
+from ..execution import BackendLike
 from ..mesh.mesh import MZIMesh
 from ..utils.linalg import random_unitary
 from ..utils.rng import RNGLike, ensure_rng
@@ -35,6 +36,10 @@ class Fig3Config:
     #: Evaluate each device's realizations with the batched mesh path
     #: (bit-identical to the loop at a fixed seed).
     vectorized: bool = True
+    #: Execution backend for the per-MZI study: ``workers=N`` shards the
+    #: devices across N processes, bit-identical to serial.
+    backend: BackendLike = None
+    workers: Optional[int] = None
 
 
 @dataclass
@@ -76,7 +81,8 @@ def run_fig3(config: Fig3Config = Fig3Config(), rng: RNGLike = None) -> Fig3Resu
         unitary = random_unitary(config.matrix_size, rng=gen)
         mesh = MZIMesh.from_unitary(unitary, scheme="clements")
         report = per_mzi_rvd_criticality(
-            mesh, model, iterations=config.iterations, rng=gen, vectorized=config.vectorized
+            mesh, model, iterations=config.iterations, rng=gen,
+            vectorized=config.vectorized, backend=config.backend, workers=config.workers,
         )
         reports.append(report)
         meshes.append(mesh)

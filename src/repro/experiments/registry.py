@@ -17,6 +17,7 @@ from .exp1_global import Exp1Config, run_exp1
 from .exp2_zonal import Exp2Config, run_exp2
 from .fig2_device_sensitivity import Fig2Config, run_fig2
 from .fig3_layer_rvd import Fig3Config, run_fig3
+from .yield_experiment import YieldConfig, run_yield
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,18 @@ def build_registry() -> Dict[str, ExperimentSpec]:
             runner=run_exp2,
             default_config=Exp2Config(),
             smoke_config=Exp2Config(iterations=5, training=_smoke_training()),
+        ),
+        "yield": ExperimentSpec(
+            identifier="yield",
+            description="Parametric yield vs uncertainty level and max tolerable sigma",
+            paper_reference="§I (yield motivation)",
+            runner=run_yield,
+            default_config=YieldConfig(),
+            smoke_config=YieldConfig(
+                sigmas=(0.0, 0.01, 0.025, 0.05, 0.1),
+                iterations=10,
+                training=_smoke_training(),
+            ),
         ),
         "baseline": ExperimentSpec(
             identifier="baseline",

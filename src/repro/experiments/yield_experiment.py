@@ -1,0 +1,91 @@
+"""Yield experiment — the paper's §I motivation as a runnable artifact.
+
+The paper's framework exists to "identify critical components during design
+time ... for improving the yield" (§I).  This experiment closes that loop:
+sweep the normalized uncertainty level, estimate the parametric yield of
+the trained SPNN at each level (fraction of fabricated networks meeting an
+accuracy spec within a margin of the nominal accuracy), and report the
+maximum tolerable sigma for a target yield.
+
+The sweep runs end to end on the batched Monte Carlo engine and, with
+``workers=N`` (or ``spnn-repro yield --workers N``), shards each level's
+realizations across worker processes — bit-identical to the serial run at
+the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..analysis.yield_analysis import YieldSweepResult, yield_sweep
+from ..execution import BackendLike
+from ..onn.builder import SPNNTask, SPNNTrainingConfig, build_trained_spnn
+from ..utils.rng import RNGLike
+from .exp1_global import DEFAULT_SIGMAS
+
+#: Default sigma sweep: the EXP 1 levels, where the paper's accuracy cliff lives.
+DEFAULT_YIELD_SIGMAS = DEFAULT_SIGMAS
+
+
+@dataclass(frozen=True)
+class YieldConfig:
+    """Configuration of the yield-vs-sigma sweep."""
+
+    sigmas: Tuple[float, ...] = DEFAULT_YIELD_SIGMAS
+    #: The design yields when its accuracy stays within this margin of nominal.
+    accuracy_margin: float = 0.05
+    #: Absolute accuracy spec; overrides ``accuracy_margin`` when set.
+    accuracy_threshold: Optional[float] = None
+    target_yield: float = 0.9
+    iterations: int = 1000
+    #: Which component families are uncertain ("phs", "bes" or "both").
+    case: str = "both"
+    perturb_sigma_stage: bool = True
+    seed: int = 13
+    #: Realizations per batched chunk (bounds peak memory, and the work-unit
+    #: granularity when sharding across workers); None = all at once.
+    chunk_size: Optional[int] = 250
+    #: Execution backend for each sigma's Monte Carlo run: ``workers=N``
+    #: shards realization chunks across N processes, bit-identical to serial.
+    backend: BackendLike = None
+    workers: Optional[int] = None
+    #: Training configuration used only when no pre-built task is supplied.
+    training: SPNNTrainingConfig = field(default_factory=SPNNTrainingConfig)
+
+
+def run_yield(
+    config: YieldConfig = YieldConfig(),
+    task: Optional[SPNNTask] = None,
+    rng: RNGLike = None,
+) -> YieldSweepResult:
+    """Run the yield sweep on a trained SPNN.
+
+    Parameters
+    ----------
+    config:
+        Sweep configuration (sigmas, spec, Monte Carlo iterations, workers).
+    task:
+        Pre-built :class:`SPNNTask` (trained + compiled network with its
+        test set).  Built from ``config.training`` when omitted.
+    rng:
+        Seed for the Monte Carlo streams (defaults to ``config.seed``).
+    """
+    if task is None:
+        task = build_trained_spnn(config.training)
+    return yield_sweep(
+        task.spnn,
+        task.test_features,
+        task.test_labels,
+        sigmas=config.sigmas,
+        accuracy_threshold=config.accuracy_threshold,
+        accuracy_margin=config.accuracy_margin,
+        target_yield=config.target_yield,
+        iterations=config.iterations,
+        case=config.case,
+        perturb_sigma_stage=config.perturb_sigma_stage,
+        rng=rng if rng is not None else config.seed,
+        chunk_size=config.chunk_size,
+        backend=config.backend,
+        workers=config.workers,
+    )

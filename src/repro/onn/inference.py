@@ -8,22 +8,34 @@ Two Monte Carlo evaluation paths are provided:
   realizations along a leading batch axis and evaluates the perturbed
   meshes and the forward pass for all realizations at once.
 
+Both paths run through :class:`~repro.analysis.monte_carlo.MonteCarloRunner`
+and therefore through the pluggable execution backends: passing
+``workers=N`` shards the realization chunks across ``N`` worker processes.
+The trials are module-level callable dataclasses
+(:class:`NetworkAccuracyTrial`, :class:`NetworkAccuracyBatchTrial`) so they
+pickle cleanly into those workers.
+
 **RNG-equivalence guarantee.** Both paths spawn the same independent child
 stream per iteration (:func:`repro.utils.rng.spawn_rngs`) and consume each
 stream with exactly the same draws; the batched linear algebra applies the
-same per-slice kernels NumPy uses for the 2-D products.  At a fixed seed the
-vectorized path therefore reproduces the looped path *bit for bit*, sample
-for sample — it is purely a wall-clock optimization (4-7x on the paper's
-1000-iteration runs, growing as the per-iteration engine cost dominates).
+same per-slice kernels NumPy uses for the 2-D products, and chunk
+scheduling never touches the streams.  At a fixed seed the vectorized path
+therefore reproduces the looped path *bit for bit*, sample for sample, for
+every backend and worker count — it is purely a wall-clock optimization
+(4-7x on the paper's 1000-iteration runs, growing as the per-iteration
+engine cost dominates, times the process-level scaling).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from ..utils.rng import RNGLike, spawn_rngs
+from ..analysis.monte_carlo import MonteCarloRunner
+from ..execution import BackendLike
+from ..utils.rng import RNGLike
 from ..variation.models import UncertaintyModel
 from ..variation.sampler import sample_network_perturbation, sample_network_perturbation_batch
 from .spnn import SPNN, NetworkPerturbation, stack_network_perturbations
@@ -39,6 +51,71 @@ def hardware_accuracy(
     return spnn.accuracy(features, labels, perturbations=perturbations, use_hardware=True)
 
 
+@dataclass(frozen=True, eq=False)
+class NetworkAccuracyTrial:
+    """Scalar Monte Carlo trial: one perturbation realization -> accuracy.
+
+    A picklable module-level callable (usable by process backends) that
+    consumes its generator exactly as the historical inline loop did:
+    sample a network perturbation, evaluate hardware accuracy.
+    """
+
+    spnn: SPNN
+    features: np.ndarray
+    labels: np.ndarray
+    model: Optional[UncertaintyModel] = None
+    perturbation_factory: Optional[Callable[[np.random.Generator], NetworkPerturbation]] = None
+
+    def sample(self, generator: np.random.Generator) -> NetworkPerturbation:
+        if self.perturbation_factory is not None:
+            return self.perturbation_factory(generator)
+        return sample_network_perturbation(self.spnn.photonic_layers, self.model, generator)
+
+    def __call__(self, generator: np.random.Generator) -> float:
+        return self.spnn.accuracy(
+            self.features, self.labels, perturbations=self.sample(generator), use_hardware=True
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class NetworkAccuracyBatchTrial:
+    """Batch Monte Carlo trial: one accuracy per child generator.
+
+    Draws every stream directly into stacked ``(B, ...)`` perturbation
+    buffers (or stacks per-stream draws of a custom factory) and evaluates
+    them with :meth:`SPNN.accuracy_batch`.  Consumes each generator exactly
+    as :class:`NetworkAccuracyTrial` does, so the samples are bit-identical
+    to the looped path.
+    """
+
+    spnn: SPNN
+    features: np.ndarray
+    labels: np.ndarray
+    model: Optional[UncertaintyModel] = None
+    perturbation_factory: Optional[Callable[[np.random.Generator], NetworkPerturbation]] = None
+    #: Realizations per forward-pass chunk inside ``accuracy_batch`` (memory
+    #: bound); automatic when ``None``.  Does not change the samples.
+    forward_chunk_size: Optional[int] = None
+
+    def __call__(self, generators: Sequence[np.random.Generator]) -> np.ndarray:
+        generators = list(generators)
+        if self.perturbation_factory is None:
+            batch = sample_network_perturbation_batch(
+                self.spnn.photonic_layers, self.model, generators
+            )
+        else:
+            batch = stack_network_perturbations(
+                [self.perturbation_factory(generator) for generator in generators]
+            )
+        return self.spnn.accuracy_batch(
+            self.features,
+            self.labels,
+            batch,
+            batch_size=len(generators),
+            chunk_size=self.forward_chunk_size,
+        )
+
+
 def monte_carlo_accuracy(
     spnn: SPNN,
     features: np.ndarray,
@@ -49,6 +126,8 @@ def monte_carlo_accuracy(
     perturbation_factory: Optional[Callable[[np.random.Generator], NetworkPerturbation]] = None,
     vectorized: bool = True,
     chunk_size: Optional[int] = None,
+    backend: BackendLike = None,
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """Accuracy samples over ``iterations`` uncertainty realizations.
 
@@ -67,15 +146,23 @@ def monte_carlo_accuracy(
     perturbation_factory:
         Optional custom sampler ``generator -> NetworkPerturbation``
         (used by the zonal experiments); defaults to the global Gaussian
-        sampler with ``model``.  Works with both evaluation paths.
+        sampler with ``model``.  Works with both evaluation paths; must be
+        picklable (module-level) when used with a process backend.
     vectorized:
         Evaluate all realizations with the batched hardware path (default).
         The looped path (``False``) produces bit-identical samples and is
         kept for cross-checking and tiny runs.
     chunk_size:
-        Realizations per forward-pass chunk (keeps the activation workspace
-        cache-resident); chosen automatically from the evaluation-set size
-        when omitted.  Chunking does not change the samples.
+        Realizations per scheduled Monte Carlo chunk: bounds the peak
+        memory of one vectorized sampling + evaluation call and sets the
+        work-unit granularity when sharding across workers (the forward
+        pass additionally auto-chunks within a call to stay
+        cache-resident).  Picked automatically when omitted.  Chunking
+        never changes the samples.
+    backend, workers:
+        Execution-backend knobs (see :func:`repro.execution.resolve_backend`):
+        ``workers=N`` shards the realization chunks across ``N`` worker
+        processes, bit-identical to the serial run at the same seed.
 
     Returns
     -------
@@ -84,29 +171,26 @@ def monte_carlo_accuracy(
     """
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
-    generators = spawn_rngs(rng, iterations)
-
-    def sample(generator: np.random.Generator) -> NetworkPerturbation:
-        if perturbation_factory is not None:
-            return perturbation_factory(generator)
-        return sample_network_perturbation(spnn.photonic_layers, model, generator)
-
-    if not vectorized:
-        accuracies = np.empty(iterations, dtype=np.float64)
-        for index, generator in enumerate(generators):
-            accuracies[index] = spnn.accuracy(
-                features, labels, perturbations=sample(generator), use_hardware=True
-            )
-        return accuracies
-
-    if perturbation_factory is None:
-        # Fast path: draw every stream directly into stacked (B, ...) buffers.
-        batch = sample_network_perturbation_batch(spnn.photonic_layers, model, generators)
-    else:
-        batch = stack_network_perturbations([sample(generator) for generator in generators])
-    return spnn.accuracy_batch(
-        features, labels, batch, batch_size=iterations, chunk_size=chunk_size
+    runner = MonteCarloRunner(
+        iterations=iterations, chunk_size=chunk_size, backend=backend, workers=workers
     )
+    if not vectorized:
+        trial = NetworkAccuracyTrial(
+            spnn=spnn,
+            features=features,
+            labels=labels,
+            model=model,
+            perturbation_factory=perturbation_factory,
+        )
+        return runner.run(trial, rng=rng).samples
+    batch_trial = NetworkAccuracyBatchTrial(
+        spnn=spnn,
+        features=features,
+        labels=labels,
+        model=model,
+        perturbation_factory=perturbation_factory,
+    )
+    return runner.run_batched(batch_trial, rng=rng).samples
 
 
 def predict_batched(

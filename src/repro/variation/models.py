@@ -83,6 +83,25 @@ class UncertaintyModel:
         """Equal normalized uncertainties in PhS and BeS (EXP 1 case iii)."""
         return cls(sigma_phs=sigma, sigma_bes=sigma, **kwargs)
 
+    #: The named component-uncertainty cases accepted by :meth:`for_case`.
+    CASES = ("phs", "bes", "both")
+
+    @classmethod
+    def for_case(cls, case: str, sigma: float, **kwargs) -> "UncertaintyModel":
+        """Build the model for one named EXP 1 case at one normalized sigma.
+
+        Shared by the EXP 1 sweep and the yield sweep so the case names map
+        to component families in exactly one place.
+        """
+        case = case.lower()
+        if case == "phs":
+            return cls.phase_only(sigma, **kwargs)
+        if case == "bes":
+            return cls.splitter_only(sigma, **kwargs)
+        if case == "both":
+            return cls.both(sigma, **kwargs)
+        raise ValueError(f"unknown uncertainty case {case!r}; expected one of {cls.CASES}")
+
     @classmethod
     def mature_process(cls) -> "UncertaintyModel":
         """Uncertainty levels quoted for mature fabrication processes ([4], §III-A)."""

@@ -1,9 +1,14 @@
-"""Tests for the yield-analysis helpers."""
+"""Tests for the yield-analysis helpers and the end-to-end yield sweep."""
 
 import numpy as np
 import pytest
 
-from repro.analysis.yield_analysis import estimate_yield, max_tolerable_sigma, yield_vs_sigma
+from repro.analysis.yield_analysis import (
+    estimate_yield,
+    max_tolerable_sigma,
+    yield_sweep,
+    yield_vs_sigma,
+)
 
 
 def test_estimate_yield_basic_fraction():
@@ -62,6 +67,77 @@ def test_max_tolerable_sigma():
     assert max_tolerable_sigma(sweep, accuracy_threshold=0.99, target_yield=0.9) is None
     with pytest.raises(ValueError):
         max_tolerable_sigma(sweep, 0.8, target_yield=0.0)
+
+
+class TestYieldSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, small_task):
+        return yield_sweep(
+            small_task.spnn,
+            small_task.test_features[:80],
+            small_task.test_labels[:80],
+            sigmas=(0.0, 0.01, 0.1),
+            iterations=6,
+            rng=3,
+        )
+
+    def test_sweep_covers_every_sigma(self, sweep):
+        assert sweep.sigmas == (0.0, 0.01, 0.1)
+        assert set(sweep.estimates) == {0.0, 0.01, 0.1}
+        assert all(samples.shape == (6,) for samples in sweep.accuracy_samples.values())
+
+    def test_zero_sigma_short_circuits_to_nominal(self, sweep):
+        assert np.all(sweep.accuracy_samples[0.0] == sweep.nominal_accuracy)
+        assert sweep.estimates[0.0].yield_fraction == 1.0
+
+    def test_yield_degrades_with_sigma(self, sweep):
+        curve = sweep.yield_curve()
+        assert curve[0] >= curve[-1]
+        assert sweep.estimates[0.1].mean_accuracy <= sweep.nominal_accuracy
+
+    def test_default_threshold_tracks_nominal(self, sweep):
+        assert sweep.accuracy_threshold == pytest.approx(
+            max(0.0, sweep.nominal_accuracy - 0.05)
+        )
+
+    def test_max_tolerable_sigma_consistent_with_helper(self, sweep):
+        expected = max_tolerable_sigma(
+            sweep.accuracy_samples, sweep.accuracy_threshold, sweep.target_yield
+        )
+        assert sweep.max_tolerable_sigma == expected
+
+    def test_report_mentions_spec_and_verdict(self, sweep):
+        report = sweep.report()
+        assert "Yield sweep" in report
+        assert "max tolerable sigma" in report
+        assert "MC iterations" in report
+
+    def test_worker_sharding_bit_identical(self, small_task):
+        kwargs = dict(sigmas=(0.05,), iterations=6, rng=9)
+        features, labels = small_task.test_features[:40], small_task.test_labels[:40]
+        serial = yield_sweep(small_task.spnn, features, labels, **kwargs)
+        sharded = yield_sweep(small_task.spnn, features, labels, workers=2, **kwargs)
+        assert np.array_equal(
+            serial.accuracy_samples[0.05], sharded.accuracy_samples[0.05]
+        )
+
+    def test_validation(self, small_task):
+        features, labels = small_task.test_features[:10], small_task.test_labels[:10]
+        with pytest.raises(ValueError):
+            yield_sweep(small_task.spnn, features, labels, sigmas=())
+        with pytest.raises(ValueError):
+            yield_sweep(small_task.spnn, features, labels, sigmas=(-0.1,))
+        with pytest.raises(ValueError):
+            yield_sweep(small_task.spnn, features, labels, sigmas=(0.05,), iterations=0)
+        with pytest.raises(ValueError):
+            yield_sweep(
+                small_task.spnn, features, labels, sigmas=(0.05,), iterations=2, case="nope"
+            )
+        with pytest.raises(ValueError):
+            yield_sweep(
+                small_task.spnn, features, labels, sigmas=(0.05,), iterations=2,
+                target_yield=0.0,
+            )
 
 
 def test_yield_from_exp1_style_samples(small_task):

@@ -37,7 +37,7 @@ class TestBaseline:
 class TestRegistry:
     def test_contains_every_paper_artifact(self):
         registry = build_registry()
-        assert set(registry) == {"fig2", "fig3", "exp1", "exp2", "baseline"}
+        assert set(registry) == {"fig2", "fig3", "exp1", "exp2", "yield", "baseline"}
 
     def test_specs_are_complete(self):
         for spec in build_registry().values():
@@ -55,10 +55,12 @@ class TestRegistry:
     def test_list_experiments_descriptions(self):
         listing = list_experiments()
         assert "Fig. 4" in listing["exp1"]
-        assert len(listing) == 5
+        assert "yield" in listing["yield"]
+        assert len(listing) == 6
 
     def test_smoke_configs_are_cheaper(self):
         registry = build_registry()
         assert registry["fig2"].smoke_config.grid_points < registry["fig2"].default_config.grid_points
         assert registry["exp1"].smoke_config.iterations < registry["exp1"].default_config.iterations
         assert registry["fig3"].smoke_config.iterations < registry["fig3"].default_config.iterations
+        assert registry["yield"].smoke_config.iterations < registry["yield"].default_config.iterations

@@ -10,7 +10,7 @@ from repro.cli import build_parser, main
 def test_list_command(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
-    for identifier in ("fig2", "fig3", "exp1", "exp2", "baseline"):
+    for identifier in ("fig2", "fig3", "exp1", "exp2", "yield", "baseline"):
         assert identifier in out
 
 
@@ -40,3 +40,36 @@ def test_parser_flags():
     parser = build_parser()
     args = parser.parse_args(["exp1", "--smoke", "--iterations", "7"])
     assert args.experiment == "exp1" and args.smoke and args.iterations == 7
+    assert args.workers is None
+    args = parser.parse_args(["yield", "--workers", "2"])
+    assert args.experiment == "yield" and args.workers == 2
+
+
+def test_workers_flag_rejects_non_positive_values(capsys):
+    # Validated at parse time, before any training starts.
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["yield", "--workers", "0"])
+    assert "must be >= 1" in capsys.readouterr().err
+
+
+def test_workers_flag_rejected_for_experiments_without_knob(capsys):
+    # fig2 is a deterministic surface scan with no Monte Carlo workers knob.
+    with pytest.raises(SystemExit):
+        main(["fig2", "--smoke", "--workers", "2"])
+    assert "does not support --workers" in capsys.readouterr().err
+    # summary/list do not run Monte Carlo either; the flag errors instead of
+    # being silently ignored.
+    with pytest.raises(SystemExit):
+        main(["summary", "--smoke", "--workers", "2"])
+    assert "does not support --workers" in capsys.readouterr().err
+
+
+def test_yield_smoke_runs_with_workers(tmp_path, capsys):
+    """End-to-end: the yield sweep through the CLI on the multiprocess path."""
+    output = tmp_path / "yield.json"
+    assert main(["yield", "--smoke", "--iterations", "4", "--workers", "2", "--output", str(output)]) == 0
+    out = capsys.readouterr().out
+    assert "Yield sweep" in out
+    assert "max tolerable sigma" in out
+    payload = json.loads(output.read_text())
+    assert "estimates" in payload and "nominal_accuracy" in payload
