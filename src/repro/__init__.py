@@ -24,7 +24,7 @@ The package is organized as a hierarchy mirroring the paper's methodology:
   :mod:`repro.utils`.
 """
 
-from . import analysis, autograd, datasets, execution, mesh, nn, onn, photonics, utils, variation
+from . import analysis, autograd, datasets, execution, mesh, nn, onn, photonics, training, utils, variation
 from .analysis import (
     MonteCarloRunner,
     device_sensitivity_map,
@@ -65,6 +65,7 @@ from .onn import (
     stack_network_perturbations,
 )
 from .photonics import MZI, BeamSplitter, PhaseShifter, mzi_transfer, mzi_transfer_nonideal
+from .training import NoiseAwareTrainer, NoiseInjector, PerturbationSchedule
 from .variation import (
     CorrelatedFPVModel,
     ThermalCrosstalkModel,
@@ -87,6 +88,7 @@ __all__ = [
     "nn",
     "onn",
     "photonics",
+    "training",
     "utils",
     "variation",
     # exceptions
@@ -135,4 +137,7 @@ __all__ = [
     "SerialBackend",
     "MultiprocessBackend",
     "resolve_backend",
+    "NoiseInjector",
+    "PerturbationSchedule",
+    "NoiseAwareTrainer",
 ]

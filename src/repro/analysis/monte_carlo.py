@@ -30,13 +30,13 @@ wall-clock optimizations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..exceptions import ShapeError
-from ..execution import Backend, BackendLike, resolve_backend
+from ..execution import Backend, BackendLike, pool_scope, resolve_backend
 from ..utils.rng import RNGLike, spawn_rngs
 from .statistics import SummaryStatistics, summarize
 
@@ -210,10 +210,18 @@ class MonteCarloRunner:
         EXP-style multi-case runs can use the fast path uniformly; each
         label still gets its own independent child stream, identical to the
         scalar route at the same seed.
+
+        The execution backend is resolved once for the whole call and its
+        worker pool (if any) is kept alive across the trials
+        (:func:`repro.execution.pool_scope`), so many small runs pay the
+        pool spin-up once instead of once per label.
         """
         streams = spawn_rngs(rng, len(trials))
-        evaluate = self.run_batched if batched else self.run
-        return {
-            label: evaluate(trial, rng=stream, label=label)
-            for (label, trial), stream in zip(trials.items(), streams)
-        }
+        backend = resolve_backend(self.backend, self.workers)
+        runner = replace(self, backend=backend, workers=None)
+        evaluate = runner.run_batched if batched else runner.run
+        with pool_scope(backend):
+            return {
+                label: evaluate(trial, rng=stream, label=label)
+                for (label, trial), stream in zip(trials.items(), streams)
+            }

@@ -20,7 +20,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..execution import BackendLike
+from ..execution import BackendLike, pool_scope, resolve_backend
 from ..utils.rng import RNGLike, spawn_rngs
 from ..utils.serialization import format_table
 from ..variation.models import UncertaintyModel
@@ -255,22 +255,26 @@ def yield_sweep(
 
     streams = spawn_rngs(rng, len(sigmas))
     samples_per_sigma: Dict[float, np.ndarray] = {}
-    for sigma, stream in zip(sigmas, streams):
-        model = UncertaintyModel.for_case(case, sigma, perturb_sigma_stage=perturb_sigma_stage)
-        if model.is_null:
-            samples_per_sigma[sigma] = np.full(iterations, nominal_accuracy)
-            continue
-        samples_per_sigma[sigma] = monte_carlo_accuracy(
-            spnn,
-            features,
-            labels,
-            model,
-            iterations=iterations,
-            rng=stream,
-            chunk_size=chunk_size,
-            backend=backend,
-            workers=workers,
-        )
+    # One backend for the whole sweep, with its worker pool (if any) kept
+    # alive across the per-sigma runs — forking a fresh pool per sigma would
+    # dominate small sharded runs.
+    resolved = resolve_backend(backend, workers)
+    with pool_scope(resolved):
+        for sigma, stream in zip(sigmas, streams):
+            model = UncertaintyModel.for_case(case, sigma, perturb_sigma_stage=perturb_sigma_stage)
+            if model.is_null:
+                samples_per_sigma[sigma] = np.full(iterations, nominal_accuracy)
+                continue
+            samples_per_sigma[sigma] = monte_carlo_accuracy(
+                spnn,
+                features,
+                labels,
+                model,
+                iterations=iterations,
+                rng=stream,
+                chunk_size=chunk_size,
+                backend=resolved,
+            )
     estimates = yield_vs_sigma(samples_per_sigma, accuracy_threshold)
     return YieldSweepResult(
         sigmas=sigmas,

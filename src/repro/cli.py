@@ -13,6 +13,7 @@ Examples
     spnn-repro exp1 --smoke --output exp1.json
     spnn-repro exp1 --workers 4   # shard MC realizations over 4 processes
     spnn-repro yield --smoke      # parametric yield vs sigma (§I motivation)
+    spnn-repro robust --smoke     # noise-aware training vs baseline (EXP 3)
     spnn-repro summary            # hardware inventory (1374 phase shifters)
 
 ``--workers N`` shards the Monte Carlo realizations of the supporting
@@ -65,7 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (fig2, fig3, exp1, exp2, yield, baseline), 'summary' or 'list'",
+        help=(
+            "experiment id (fig2, fig3, exp1, exp2, exp3/robust, yield, baseline), "
+            "'summary' or 'list'"
+        ),
     )
     parser.add_argument(
         "--smoke",

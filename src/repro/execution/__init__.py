@@ -11,6 +11,7 @@ from .backends import (
     MultiprocessBackend,
     SerialBackend,
     available_workers,
+    pool_scope,
     resolve_backend,
 )
 
@@ -21,5 +22,6 @@ __all__ = [
     "SerialBackend",
     "MultiprocessBackend",
     "available_workers",
+    "pool_scope",
     "resolve_backend",
 ]

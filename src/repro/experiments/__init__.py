@@ -10,9 +10,16 @@ from .exp1_global import (
     uncertainty_model_for_case,
 )
 from .exp2_zonal import Exp2Config, Exp2Result, ZonalHeatmap, run_exp2
+from .exp3_robust_training import Exp3Config, Exp3Result, run_exp3
 from .fig2_device_sensitivity import Fig2Config, Fig2Result, run_fig2
 from .fig3_layer_rvd import Fig3Config, Fig3Result, run_fig3
-from .registry import ExperimentSpec, build_registry, get_experiment, list_experiments
+from .registry import (
+    EXPERIMENT_ALIASES,
+    ExperimentSpec,
+    build_registry,
+    get_experiment,
+    list_experiments,
+)
 from .yield_experiment import DEFAULT_YIELD_SIGMAS, YieldConfig, run_yield
 
 __all__ = [
@@ -32,6 +39,9 @@ __all__ = [
     "Exp2Result",
     "ZonalHeatmap",
     "run_exp2",
+    "Exp3Config",
+    "Exp3Result",
+    "run_exp3",
     "BaselineConfig",
     "BaselineResult",
     "run_baseline",
@@ -39,6 +49,7 @@ __all__ = [
     "DEFAULT_YIELD_SIGMAS",
     "run_yield",
     "ExperimentSpec",
+    "EXPERIMENT_ALIASES",
     "build_registry",
     "get_experiment",
     "list_experiments",

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..analysis.monte_carlo import MonteCarloResult, MonteCarloRunner
 from ..analysis.statistics import summarize
-from ..execution import BackendLike
+from ..execution import BackendLike, pool_scope, resolve_backend
 from ..onn.builder import SPNNTask, SPNNTrainingConfig, build_trained_spnn
 from ..onn.inference import NetworkAccuracyBatchTrial, NetworkAccuracyTrial
 from ..onn.spnn import SPNN
@@ -149,36 +149,39 @@ def run_exp1(
     gen = ensure_rng(rng if rng is not None else config.seed)
     spnn: SPNN = task.spnn
     features, labels = task.test_features, task.test_labels
+    # One backend for the whole sweep; its worker pool (if any) stays alive
+    # across the (case, sigma) grid instead of re-forking per point.
+    backend = resolve_backend(config.backend, config.workers)
     runner = MonteCarloRunner(
         iterations=config.iterations,
         chunk_size=config.chunk_size,
-        backend=config.backend,
-        workers=config.workers,
+        backend=backend,
     )
 
     nominal_accuracy = spnn.accuracy(features, labels, use_hardware=True)
     results: Dict[str, List[MonteCarloResult]] = {case: [] for case in config.cases}
-    for case in config.cases:
-        for sigma in config.sigmas:
-            model = uncertainty_model_for_case(case, sigma, config.perturb_sigma_stage)
+    with pool_scope(backend):
+        for case in config.cases:
+            for sigma in config.sigmas:
+                model = uncertainty_model_for_case(case, sigma, config.perturb_sigma_stage)
 
-            if model.is_null:
-                samples = np.full(config.iterations, nominal_accuracy)
-                results[case].append(
-                    MonteCarloResult(samples=samples, summary=summarize(samples), label=f"{case}@{sigma}")
-                )
-                continue
+                if model.is_null:
+                    samples = np.full(config.iterations, nominal_accuracy)
+                    results[case].append(
+                        MonteCarloResult(samples=samples, summary=summarize(samples), label=f"{case}@{sigma}")
+                    )
+                    continue
 
-            # Module-level picklable trials so the chunks can be shipped to
-            # worker processes; both consume each child stream identically.
-            if config.vectorized:
-                batch_trial = NetworkAccuracyBatchTrial(
-                    spnn=spnn, features=features, labels=labels, model=model
-                )
-                results[case].append(runner.run_batched(batch_trial, rng=gen, label=f"{case}@{sigma}"))
-            else:
-                trial = NetworkAccuracyTrial(
-                    spnn=spnn, features=features, labels=labels, model=model
-                )
-                results[case].append(runner.run(trial, rng=gen, label=f"{case}@{sigma}"))
+                # Module-level picklable trials so the chunks can be shipped to
+                # worker processes; both consume each child stream identically.
+                if config.vectorized:
+                    batch_trial = NetworkAccuracyBatchTrial(
+                        spnn=spnn, features=features, labels=labels, model=model
+                    )
+                    results[case].append(runner.run_batched(batch_trial, rng=gen, label=f"{case}@{sigma}"))
+                else:
+                    trial = NetworkAccuracyTrial(
+                        spnn=spnn, features=features, labels=labels, model=model
+                    )
+                    results[case].append(runner.run(trial, rng=gen, label=f"{case}@{sigma}"))
     return Exp1Result(config=config, nominal_accuracy=nominal_accuracy, results=results)

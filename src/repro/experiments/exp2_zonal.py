@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..analysis.monte_carlo import MonteCarloRunner
-from ..execution import BackendLike
+from ..execution import BackendLike, pool_scope, resolve_backend
 from ..mesh.mesh import MZIMesh
 from ..mesh.svd_layer import LayerPerturbation, LayerPerturbationBatch
 from ..onn.builder import SPNNTask, SPNNTrainingConfig, build_trained_spnn
@@ -252,11 +252,13 @@ def run_exp2(
     gen = ensure_rng(rng if rng is not None else config.seed)
     spnn = task.spnn
     features, labels = task.test_features, task.test_labels
+    # One backend for the whole zone sweep (54 small Monte Carlo runs on the
+    # paper architecture); its worker pool survives across zones.
+    backend = resolve_backend(config.backend, config.workers)
     runner = MonteCarloRunner(
         iterations=config.iterations,
         chunk_size=config.chunk_size,
-        backend=config.backend,
-        workers=config.workers,
+        backend=backend,
     )
     background = UncertaintyModel.both(config.background_sigma, perturb_sigma_stage=False)
 
@@ -277,35 +279,36 @@ def run_exp2(
         )
         return runner.run(trial, rng=gen, label=label)
 
-    # Reference: global uncertainty at the background sigma (Sigma error-free),
-    # the number the paper compares every zone against (69.98% loss).
-    global_result = _run_zonal("", np.zeros(0), label="global-background")
-    global_loss = nominal_accuracy - global_result.mean
+    with pool_scope(backend):
+        # Reference: global uncertainty at the background sigma (Sigma error-free),
+        # the number the paper compares every zone against (69.98% loss).
+        global_result = _run_zonal("", np.zeros(0), label="global-background")
+        global_loss = nominal_accuracy - global_result.mean
 
-    named_meshes = dict(spnn.unitary_meshes())
-    if mesh_names is None:
-        mesh_names = list(named_meshes.keys())
+        named_meshes = dict(spnn.unitary_meshes())
+        if mesh_names is None:
+            mesh_names = list(named_meshes.keys())
 
-    heatmaps: Dict[str, ZonalHeatmap] = {}
-    for mesh_name in mesh_names:
-        if mesh_name not in named_meshes:
-            raise KeyError(f"unknown unitary mesh {mesh_name!r}; available: {sorted(named_meshes)}")
-        mesh: MZIMesh = named_meshes[mesh_name]
-        grid = ZoneGrid(mesh, zone_rows=config.zone_rows, zone_cols=config.zone_cols)
-        losses = np.full(grid.shape, np.nan)
-        counts = grid.occupancy_matrix()
-        for zone in grid.zones():
-            sigma_map = grid.sigma_map(zone, config.zone_sigma, config.background_sigma)
-            result = _run_zonal(
-                mesh_name, sigma_map, label=f"{mesh_name}[{zone.row_index},{zone.col_index}]"
+        heatmaps: Dict[str, ZonalHeatmap] = {}
+        for mesh_name in mesh_names:
+            if mesh_name not in named_meshes:
+                raise KeyError(f"unknown unitary mesh {mesh_name!r}; available: {sorted(named_meshes)}")
+            mesh: MZIMesh = named_meshes[mesh_name]
+            grid = ZoneGrid(mesh, zone_rows=config.zone_rows, zone_cols=config.zone_cols)
+            losses = np.full(grid.shape, np.nan)
+            counts = grid.occupancy_matrix()
+            for zone in grid.zones():
+                sigma_map = grid.sigma_map(zone, config.zone_sigma, config.background_sigma)
+                result = _run_zonal(
+                    mesh_name, sigma_map, label=f"{mesh_name}[{zone.row_index},{zone.col_index}]"
+                )
+                losses[zone.row_index, zone.col_index] = nominal_accuracy - result.mean
+            heatmaps[mesh_name] = ZonalHeatmap(
+                mesh_name=mesh_name,
+                zone_shape=grid.shape,
+                accuracy_loss=losses,
+                zone_counts=counts,
             )
-            losses[zone.row_index, zone.col_index] = nominal_accuracy - result.mean
-        heatmaps[mesh_name] = ZonalHeatmap(
-            mesh_name=mesh_name,
-            zone_shape=grid.shape,
-            accuracy_loss=losses,
-            zone_counts=counts,
-        )
     return Exp2Result(
         config=config,
         nominal_accuracy=nominal_accuracy,

@@ -15,9 +15,13 @@ from ..onn.builder import SPNNTrainingConfig
 from .baseline_accuracy import BaselineConfig, run_baseline
 from .exp1_global import Exp1Config, run_exp1
 from .exp2_zonal import Exp2Config, run_exp2
+from .exp3_robust_training import Exp3Config, run_exp3
 from .fig2_device_sensitivity import Fig2Config, run_fig2
 from .fig3_layer_rvd import Fig3Config, run_fig3
 from .yield_experiment import YieldConfig, run_yield
+
+#: Alternative names accepted by :func:`get_experiment` (CLI-friendly).
+EXPERIMENT_ALIASES = {"robust": "exp3"}
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,22 @@ def build_registry() -> Dict[str, ExperimentSpec]:
             default_config=Exp2Config(),
             smoke_config=Exp2Config(iterations=5, training=_smoke_training()),
         ),
+        "exp3": ExperimentSpec(
+            identifier="exp3",
+            description=(
+                "Noise-aware (variation-injected) training vs. baseline: accuracy "
+                "recovery and max-tolerable-sigma improvement (alias: robust)"
+            ),
+            paper_reference="beyond the paper (EXP 3)",
+            runner=run_exp3,
+            default_config=Exp3Config(),
+            smoke_config=Exp3Config(
+                train_sigmas=(0.0075,),
+                eval_sigmas=(0.0, 0.0075, 0.01),
+                iterations=40,
+                training=SPNNTrainingConfig(num_train=600, num_test=200, epochs=40),
+            ),
+        ),
         "yield": ExperimentSpec(
             identifier="yield",
             description="Parametric yield vs uncertainty level and max tolerable sigma",
@@ -100,12 +120,14 @@ def build_registry() -> Dict[str, ExperimentSpec]:
 
 
 def get_experiment(identifier: str) -> ExperimentSpec:
-    """Look up one experiment by id, raising a helpful error for unknown ids."""
+    """Look up one experiment by id or alias, raising a helpful error otherwise."""
     registry = build_registry()
     key = identifier.lower()
+    key = EXPERIMENT_ALIASES.get(key, key)
     if key not in registry:
+        names = sorted(set(registry) | set(EXPERIMENT_ALIASES))
         raise ExperimentError(
-            f"unknown experiment {identifier!r}; available: {', '.join(sorted(registry))}"
+            f"unknown experiment {identifier!r}; available: {', '.join(names)}"
         )
     return registry[key]
 

@@ -20,7 +20,7 @@ from .metrics import (
 )
 from .module import Module, Parameter, Sequential
 from .optim import SGD, Adam, Optimizer
-from .trainer import Trainer, TrainerConfig, iterate_minibatches
+from .trainer import EarlyStopFn, Trainer, TrainerConfig, iterate_minibatches
 
 __all__ = [
     "Module",
@@ -43,6 +43,7 @@ __all__ = [
     "Adam",
     "Trainer",
     "TrainerConfig",
+    "EarlyStopFn",
     "iterate_minibatches",
     "top1_accuracy",
     "confusion_matrix",

@@ -20,6 +20,10 @@ from .metrics import RunningAverage, TrainingHistory, top1_accuracy
 from .module import Module
 from .optim import Optimizer
 
+#: Early-stop hook signature: receives the history accumulated so far
+#: (including the epoch just finished) and returns ``True`` to stop training.
+EarlyStopFn = Callable[[TrainingHistory], bool]
+
 
 def iterate_minibatches(
     features: np.ndarray,
@@ -94,6 +98,10 @@ class Trainer:
         self.config = config if config is not None else TrainerConfig()
         self.rng = ensure_rng(rng)
         self.history = TrainingHistory()
+        #: Index of the epoch currently being trained (set by :meth:`fit`);
+        #: subclasses may read it inside :meth:`training_step` (e.g. to
+        #: evaluate a perturbation schedule).
+        self.epoch = 0
 
     # ------------------------------------------------------------------ #
     def _clip_gradients(self) -> None:
@@ -111,6 +119,20 @@ class Trainer:
                 if param.grad is not None:
                     param.grad = param.grad * scale
 
+    def training_step(self, batch_x: np.ndarray, batch_y: np.ndarray) -> Tuple[Tensor, Tensor, np.ndarray]:
+        """Forward pass + loss for one minibatch.
+
+        Returns ``(loss, outputs, targets)`` where ``targets`` are the labels
+        matching ``outputs`` row for row.  Subclasses override this single
+        hook to change how the loss is computed (e.g. noise-injected
+        training averages the loss over several perturbation draws and
+        returns the correspondingly tiled targets) while reusing the
+        epoch loop, gradient clipping and bookkeeping of the base class.
+        """
+        outputs = self.model(Tensor(batch_x))
+        loss = self.loss_fn(outputs, batch_y)
+        return loss, outputs, batch_y
+
     def train_epoch(self, features: np.ndarray, targets: np.ndarray) -> Tuple[float, float]:
         """Run one epoch; returns ``(mean_loss, mean_accuracy)``."""
         self.model.train()
@@ -120,22 +142,50 @@ class Trainer:
             features, targets, self.config.batch_size, shuffle=self.config.shuffle, rng=self.rng
         ):
             self.optimizer.zero_grad()
-            outputs = self.model(Tensor(batch_x))
-            loss = self.loss_fn(outputs, batch_y)
+            loss, outputs, step_targets = self.training_step(batch_x, batch_y)
             loss.backward()
             self._clip_gradients()
             self.optimizer.step()
             loss_avg.update(float(np.real(loss.item())), weight=len(batch_y))
-            acc_avg.update(top1_accuracy(outputs, batch_y), weight=len(batch_y))
+            acc_avg.update(top1_accuracy(outputs, step_targets), weight=len(batch_y))
         return loss_avg.value, acc_avg.value
 
-    def evaluate(self, features: np.ndarray, targets: np.ndarray, batch_size: Optional[int] = None) -> Tuple[float, float]:
-        """Return ``(mean_loss, accuracy)`` on a held-out set (no updates)."""
+    def evaluate(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        batch_size: Optional[int] = None,
+        shuffle: bool = False,
+        rng: RNGLike = None,
+        max_batches: Optional[int] = None,
+    ) -> Tuple[float, float]:
+        """Return ``(mean_loss, accuracy)`` on a held-out set (no updates).
+
+        Parameters
+        ----------
+        features, targets:
+            Evaluation set.
+        batch_size:
+            Evaluation batch size (defaults to the training batch size).
+        shuffle, rng:
+            Seedable batch order: with ``shuffle=True`` the batches are
+            drawn in a reproducible random order controlled by ``rng`` —
+            combined with ``max_batches`` this evaluates a seeded random
+            subsample (cheap periodic validation on large sets).
+        max_batches:
+            Stop after this many batches (``None`` evaluates everything).
+        """
         self.model.eval()
         batch_size = batch_size or self.config.batch_size
+        if max_batches is not None and max_batches < 1:
+            raise TrainingError(f"max_batches must be >= 1, got {max_batches}")
         loss_avg = RunningAverage()
         acc_avg = RunningAverage()
-        for batch_x, batch_y in iterate_minibatches(features, targets, batch_size, shuffle=False):
+        for index, (batch_x, batch_y) in enumerate(
+            iterate_minibatches(features, targets, batch_size, shuffle=shuffle, rng=rng)
+        ):
+            if max_batches is not None and index >= max_batches:
+                break
             outputs = self.model(Tensor(batch_x))
             loss = self.loss_fn(outputs, batch_y)
             loss_avg.update(float(np.real(loss.item())), weight=len(batch_y))
@@ -148,9 +198,24 @@ class Trainer:
         train_targets: np.ndarray,
         val_features: Optional[np.ndarray] = None,
         val_targets: Optional[np.ndarray] = None,
+        early_stop: Optional[EarlyStopFn] = None,
     ) -> TrainingHistory:
-        """Train for ``config.epochs`` epochs and return the history."""
+        """Train for ``config.epochs`` epochs and return the history.
+
+        Parameters
+        ----------
+        train_features, train_targets:
+            Training set.
+        val_features, val_targets:
+            Optional held-out set evaluated after every epoch.
+        early_stop:
+            Optional hook called after every recorded epoch with the
+            :class:`TrainingHistory` so far; returning ``True`` ends
+            training immediately (the history stays truthful — it contains
+            exactly the epochs that ran).
+        """
         for epoch in range(self.config.epochs):
+            self.epoch = epoch
             train_loss, train_acc = self.train_epoch(train_features, train_targets)
             if val_features is not None and val_targets is not None:
                 val_loss, val_acc = self.evaluate(val_features, val_targets)
@@ -164,4 +229,6 @@ class Trainer:
                 print(message)
             if not np.isfinite(train_loss):
                 raise TrainingError(f"training diverged at epoch {epoch + 1} (loss={train_loss})")
+            if early_stop is not None and early_stop(self.history):
+                break
         return self.history

@@ -6,6 +6,7 @@ from .builder import (
     build_software_model,
     build_trained_spnn,
     extract_weights,
+    prepare_feature_sets,
     spnn_from_model,
     train_software_model,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "SPNNTrainingConfig",
     "build_software_model",
     "train_software_model",
+    "prepare_feature_sets",
     "extract_weights",
     "spnn_from_model",
     "build_trained_spnn",

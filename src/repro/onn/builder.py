@@ -114,6 +114,33 @@ def train_software_model(
     return model, history
 
 
+def prepare_feature_sets(
+    config: SPNNTrainingConfig,
+    dataset_pair: Optional[Tuple[Dataset, Dataset]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Dataset -> FFT features: ``(train_x, train_y, test_x, test_y)``.
+
+    Shared by :func:`build_trained_spnn` and the experiments that train
+    several models on *identical* data (e.g. baseline vs. noise-aware in
+    the robustness study), so the corpus and feature extraction are
+    generated exactly once per configuration.
+    """
+    if dataset_pair is None:
+        dataset_pair = load_synthetic_mnist(
+            num_train=config.num_train, num_test=config.num_test, seed=config.seed
+        )
+    train_set, test_set = dataset_pair
+
+    train_features = fft_crop_features(train_set.images, crop=config.fft_crop)
+    test_features = fft_crop_features(test_set.images, crop=config.fft_crop)
+    if train_features.shape[1] != config.architecture.input_size:
+        raise ValueError(
+            f"FFT crop {config.fft_crop} produces {train_features.shape[1]} features but the "
+            f"architecture expects {config.architecture.input_size}"
+        )
+    return train_features, train_set.labels, test_features, test_set.labels
+
+
 def build_trained_spnn(
     config: Optional[SPNNTrainingConfig] = None,
     dataset_pair: Optional[Tuple[Dataset, Dataset]] = None,
@@ -134,36 +161,26 @@ def build_trained_spnn(
         ``config.seed``).
     """
     config = config if config is not None else SPNNTrainingConfig()
-    if dataset_pair is None:
-        dataset_pair = load_synthetic_mnist(
-            num_train=config.num_train, num_test=config.num_test, seed=config.seed
-        )
-    train_set, test_set = dataset_pair
-
-    train_features = fft_crop_features(train_set.images, crop=config.fft_crop)
-    test_features = fft_crop_features(test_set.images, crop=config.fft_crop)
-    if train_features.shape[1] != config.architecture.input_size:
-        raise ValueError(
-            f"FFT crop {config.fft_crop} produces {train_features.shape[1]} features but the "
-            f"architecture expects {config.architecture.input_size}"
-        )
+    train_features, train_labels, test_features, test_labels = prepare_feature_sets(
+        config, dataset_pair
+    )
 
     model, history = train_software_model(
         train_features,
-        train_set.labels,
+        train_labels,
         config,
         val_features=test_features,
-        val_labels=test_set.labels,
+        val_labels=test_labels,
         rng=rng,
     )
     spnn = spnn_from_model(model, config.architecture, compile_hardware=True)
-    baseline_accuracy = spnn.accuracy(test_features, test_set.labels, use_hardware=True)
+    baseline_accuracy = spnn.accuracy(test_features, test_labels, use_hardware=True)
     return SPNNTask(
         spnn=spnn,
         history=history,
         train_features=train_features,
-        train_labels=train_set.labels,
+        train_labels=train_labels,
         test_features=test_features,
-        test_labels=test_set.labels,
+        test_labels=test_labels,
         baseline_accuracy=baseline_accuracy,
     )

@@ -1,0 +1,234 @@
+"""Noise injection: turning variation models into training-time weight noise.
+
+The Monte Carlo experiments perturb a *finished* network; noise-aware
+training needs the same perturbations *while the weights are still moving*.
+:class:`NoiseInjector` bridges the two worlds: it periodically compiles the
+current software weights onto photonic hardware (SVD + Clements, exactly the
+mapping the finished network will undergo), draws ``K`` perturbation
+realizations per training step from the existing :mod:`repro.variation`
+models, and hands back the *effective weight offsets*
+
+.. math::
+
+    \\Delta W_k = M(\\text{hardware} \\mid \\text{perturbation}_k) - M(\\text{hardware} \\mid \\text{nominal})
+
+so the trainer can optimize the expected loss over the hardware the weights
+will actually become.  The offsets are stacked along a leading batch axis
+``(K, out, in)`` — the same vectorization the batched Monte Carlo engine
+uses — so one forward pass evaluates all ``K`` draws at once.
+
+Reproducibility: the injector consumes its own generator through
+:func:`repro.utils.rng.spawn_rngs` (one child stream per draw, exactly like
+the Monte Carlo engine), so a fixed seed reproduces the injected noise
+sequence bit for bit no matter how the surrounding evaluation is scheduled.
+
+Custom variation structure (zonal maps, thermal crosstalk, correlated FPV)
+plugs in through the ``sampler`` hook; :func:`per_mesh_sigma_sampler` builds
+the zonal case from the ``U_L*``/``VH_L*`` sigma maps of
+:class:`~repro.variation.zones.ZoneGrid`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..mesh.svd_layer import LayerPerturbationBatch, PhotonicLinearLayer
+from ..utils.rng import RNGLike, ensure_rng, spawn_rngs
+from ..variation.models import UncertaintyModel
+from ..variation.sampler import (
+    sample_diagonal_perturbation_batch,
+    sample_layer_perturbation_batch,
+    sample_mesh_perturbation_batch,
+)
+
+#: Batched network sampler hook: ``(layers, model, generators) -> one
+#: LayerPerturbationBatch per layer``.  The default is the global Gaussian
+#: sampler; zonal/thermal variation structure plugs in here.
+NetworkBatchSampler = Callable[
+    [Sequence[PhotonicLinearLayer], UncertaintyModel, Sequence[np.random.Generator]],
+    List[Optional[LayerPerturbationBatch]],
+]
+
+
+def global_network_sampler(
+    layers: Sequence[PhotonicLinearLayer],
+    model: UncertaintyModel,
+    generators: Sequence[np.random.Generator],
+) -> List[Optional[LayerPerturbationBatch]]:
+    """The default sampler: i.i.d. Gaussian perturbations on every MZI."""
+    return [sample_layer_perturbation_batch(layer, model, generators) for layer in layers]
+
+
+def per_mesh_sigma_sampler(sigma_maps: Dict[str, np.ndarray]) -> NetworkBatchSampler:
+    """Sampler with per-MZI normalized sigma overrides on selected meshes.
+
+    ``sigma_maps`` maps paper-style unitary names (``"U_L0"``, ``"VH_L2"``,
+    ...) to per-MZI normalized sigma arrays, e.g. the zonal maps produced by
+    :meth:`repro.variation.zones.ZoneGrid.sigma_map`.  Meshes without an
+    entry follow the injector's base model unchanged; Sigma stages always
+    follow the base model.
+    """
+    sigma_maps = {name: np.asarray(values, dtype=np.float64) for name, values in sigma_maps.items()}
+
+    def sampler(
+        layers: Sequence[PhotonicLinearLayer],
+        model: UncertaintyModel,
+        generators: Sequence[np.random.Generator],
+    ) -> List[Optional[LayerPerturbationBatch]]:
+        batches: List[Optional[LayerPerturbationBatch]] = []
+        for index, layer in enumerate(layers):
+            u_map = sigma_maps.get(f"U_L{index}")
+            v_map = sigma_maps.get(f"VH_L{index}")
+            batches.append(
+                LayerPerturbationBatch(
+                    u=sample_mesh_perturbation_batch(
+                        layer.mesh_u, model, generators,
+                        sigma_phs_per_mzi=u_map, sigma_bes_per_mzi=u_map,
+                    ),
+                    v=sample_mesh_perturbation_batch(
+                        layer.mesh_v, model, generators,
+                        sigma_phs_per_mzi=v_map, sigma_bes_per_mzi=v_map,
+                    ),
+                    sigma=sample_diagonal_perturbation_batch(
+                        layer.diagonal.num_mzis, model, generators
+                    ),
+                )
+            )
+        return batches
+
+    return sampler
+
+
+class NoiseInjector:
+    """Draws training-time weight offsets from a hardware variation model.
+
+    Parameters
+    ----------
+    model:
+        Base component-level uncertainty model (the *target* sigma; the
+        per-epoch schedule scales it).
+    draws:
+        Number of perturbation realizations ``K`` per training step.  The
+        trainer averages the loss over the draws, giving a ``K``-sample
+        estimator of the expected loss under variations.
+    recompile_every:
+        Training steps between hardware recompilations of the moving
+        weights (SVD + mesh decomposition, the expensive part).  1 tracks
+        the weights exactly; larger values reuse the perturbation geometry
+        of a slightly stale snapshot — the offsets stay well-calibrated
+        because the decomposition changes slowly between optimizer steps.
+    scheme:
+        Mesh topology used for the snapshot compilation.
+    sampler:
+        Optional :data:`NetworkBatchSampler` replacing the global Gaussian
+        sampler (zonal / thermal / correlated variation structure).
+    rng:
+        Seed or generator for the injected noise (independent of the
+        trainer's batch-shuffling stream).
+    """
+
+    def __init__(
+        self,
+        model: UncertaintyModel,
+        draws: int = 1,
+        recompile_every: int = 1,
+        scheme: str = "clements",
+        sampler: Optional[NetworkBatchSampler] = None,
+        rng: RNGLike = None,
+    ):
+        if draws < 1:
+            raise ConfigurationError(f"draws must be >= 1, got {draws}")
+        if recompile_every < 1:
+            raise ConfigurationError(f"recompile_every must be >= 1, got {recompile_every}")
+        self.model = model
+        self.draws = int(draws)
+        self.recompile_every = int(recompile_every)
+        self.scheme = scheme
+        self.sampler: NetworkBatchSampler = sampler if sampler is not None else global_network_sampler
+        self.rng = ensure_rng(rng)
+        self._layers: List[PhotonicLinearLayer] = []
+        self._nominal: List[np.ndarray] = []
+        self._steps_since_compile: Optional[int] = None  # None = no snapshot yet
+
+    # ------------------------------------------------------------------ #
+    # snapshot management
+    # ------------------------------------------------------------------ #
+    @property
+    def snapshot_layers(self) -> List[PhotonicLinearLayer]:
+        """The photonic layers of the current hardware snapshot (may be empty)."""
+        return list(self._layers)
+
+    def refresh_snapshot(self, weights: Sequence[np.ndarray]) -> None:
+        """Recompile the hardware snapshot from the given weight matrices."""
+        self._layers = [PhotonicLinearLayer(weight, scheme=self.scheme) for weight in weights]
+        self._nominal = [layer.ideal_matrix() for layer in self._layers]
+        self._steps_since_compile = 0
+
+    def _maybe_refresh(self, weights: Sequence[np.ndarray]) -> None:
+        if (
+            self._steps_since_compile is None
+            or self._steps_since_compile >= self.recompile_every
+            or len(self._layers) != len(weights)
+        ):
+            self.refresh_snapshot(weights)
+
+    # ------------------------------------------------------------------ #
+    # offset sampling
+    # ------------------------------------------------------------------ #
+    def weight_offsets(
+        self, weights: Sequence[np.ndarray], sigma_scale: float = 1.0
+    ) -> Optional[List[np.ndarray]]:
+        """``K`` stacked effective-weight offsets per layer, or ``None``.
+
+        Parameters
+        ----------
+        weights:
+            Current software weight matrices, one per linear layer.
+        sigma_scale:
+            Schedule multiplier applied to the base model's sigmas; 0 (or a
+            null base model) skips the draw entirely and returns ``None``
+            (train this step noise-free).
+
+        Returns
+        -------
+        list of numpy.ndarray or None
+            One ``(K, out, in)`` complex offset array per layer: realization
+            ``k`` of layer ``l`` is ``perturbed_matrix - nominal_matrix`` of
+            the current hardware snapshot, to be *added* to the live weight.
+        """
+        if sigma_scale < 0:
+            raise ConfigurationError(f"sigma_scale must be non-negative, got {sigma_scale}")
+        scaled = self.model.with_sigma(
+            self.model.sigma_phs * sigma_scale, self.model.sigma_bes * sigma_scale
+        )
+        if sigma_scale == 0.0 or scaled.is_null:
+            # Still age the snapshot so the recompile cadence counts real
+            # optimizer steps, not just noisy ones (a ramp's early epochs
+            # must not freeze the snapshot at the initial weights).
+            if self._steps_since_compile is not None:
+                self._steps_since_compile += 1
+            return None
+        self._maybe_refresh(weights)
+        generators = spawn_rngs(self.rng, self.draws)
+        batches = self.sampler(self._layers, scaled, generators)
+        if len(batches) != len(self._layers):
+            raise ConfigurationError(
+                f"sampler returned {len(batches)} layer batches for {len(self._layers)} layers"
+            )
+        offsets: List[np.ndarray] = []
+        for layer, nominal, batch in zip(self._layers, self._nominal, batches):
+            if batch is None:
+                offsets.append(np.zeros((self.draws,) + nominal.shape, dtype=np.complex128))
+            else:
+                offsets.append(layer.matrix_batch(batch, batch_size=self.draws) - nominal)
+        self._steps_since_compile += 1
+        return offsets
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return (
+            f"NoiseInjector(draws={self.draws}, recompile_every={self.recompile_every}, "
+            f"sigma_phs={self.model.sigma_phs}, sigma_bes={self.model.sigma_bes})"
+        )

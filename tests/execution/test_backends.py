@@ -1,5 +1,7 @@
 """Tests for the pluggable execution backends and backend resolution."""
 
+import pickle
+
 import pytest
 
 from repro.execution import (
@@ -8,6 +10,7 @@ from repro.execution import (
     MultiprocessBackend,
     SerialBackend,
     available_workers,
+    pool_scope,
     resolve_backend,
 )
 
@@ -63,6 +66,74 @@ class TestMultiprocessBackend:
 
     def test_satisfies_protocol(self):
         assert isinstance(MultiprocessBackend(workers=2), Backend)
+
+
+class TestPersistentPool:
+    def test_pool_opens_and_closes_with_context(self):
+        backend = MultiprocessBackend(workers=2)
+        assert not backend.pool_is_open
+        with backend:
+            assert backend.pool_is_open
+        assert not backend.pool_is_open
+
+    def test_pool_is_reused_across_maps(self):
+        backend = MultiprocessBackend(workers=2)
+        with backend:
+            executor = backend._executor
+            first = backend.map(square, [1, 2, 3])
+            second = backend.map(square, [4, 5])
+            assert backend._executor is executor  # same pool, not re-forked
+        assert first == [1, 4, 9] and second == [16, 25]
+
+    def test_results_identical_with_and_without_persistent_pool(self):
+        backend = MultiprocessBackend(workers=2)
+        transient = backend.map(square, list(range(6)))
+        with backend:
+            persistent = backend.map(square, list(range(6)))
+        assert transient == persistent
+
+    def test_context_is_reentrant_outermost_exit_closes(self):
+        backend = MultiprocessBackend(workers=2)
+        with backend:
+            executor = backend._executor
+            with backend:
+                assert backend._executor is executor
+                assert backend.map(square, [3, 4]) == [9, 16]
+            assert backend.pool_is_open  # inner exit must not kill the pool
+        assert not backend.pool_is_open
+
+    def test_single_worker_context_opens_no_pool(self):
+        backend = MultiprocessBackend(workers=1)
+        with backend:
+            assert not backend.pool_is_open
+            assert backend.map(square, [2]) == [4]
+
+    def test_exception_inside_context_still_closes_pool(self):
+        backend = MultiprocessBackend(workers=2)
+        with pytest.raises(RuntimeError):
+            with backend:
+                raise RuntimeError("boom")
+        assert not backend.pool_is_open
+
+    def test_pickled_backend_drops_the_live_pool(self):
+        backend = MultiprocessBackend(workers=2)
+        with backend:
+            clone = pickle.loads(pickle.dumps(backend))
+        assert clone.workers == 2
+        assert not clone.pool_is_open
+
+    def test_pool_scope_passthrough_for_serial(self):
+        serial = SerialBackend()
+        with pool_scope(serial) as scoped:
+            assert scoped is serial
+            assert scoped.map(square, [3]) == [9]
+
+    def test_pool_scope_opens_multiprocess_pool(self):
+        backend = MultiprocessBackend(workers=2)
+        with pool_scope(backend) as scoped:
+            assert scoped is backend
+            assert backend.pool_is_open
+        assert not backend.pool_is_open
 
 
 class TestResolveBackend:

@@ -37,7 +37,7 @@ class TestBaseline:
 class TestRegistry:
     def test_contains_every_paper_artifact(self):
         registry = build_registry()
-        assert set(registry) == {"fig2", "fig3", "exp1", "exp2", "yield", "baseline"}
+        assert set(registry) == {"fig2", "fig3", "exp1", "exp2", "exp3", "yield", "baseline"}
 
     def test_specs_are_complete(self):
         for spec in build_registry().values():
@@ -48,6 +48,10 @@ class TestRegistry:
     def test_get_experiment_case_insensitive(self):
         assert get_experiment("FIG2").identifier == "fig2"
 
+    def test_get_experiment_alias(self):
+        assert get_experiment("robust").identifier == "exp3"
+        assert get_experiment("ROBUST").identifier == "exp3"
+
     def test_get_experiment_unknown(self):
         with pytest.raises(ExperimentError):
             get_experiment("fig9")
@@ -56,7 +60,8 @@ class TestRegistry:
         listing = list_experiments()
         assert "Fig. 4" in listing["exp1"]
         assert "yield" in listing["yield"]
-        assert len(listing) == 6
+        assert "robust" in listing["exp3"]
+        assert len(listing) == 7
 
     def test_smoke_configs_are_cheaper(self):
         registry = build_registry()
@@ -64,3 +69,4 @@ class TestRegistry:
         assert registry["exp1"].smoke_config.iterations < registry["exp1"].default_config.iterations
         assert registry["fig3"].smoke_config.iterations < registry["fig3"].default_config.iterations
         assert registry["yield"].smoke_config.iterations < registry["yield"].default_config.iterations
+        assert registry["exp3"].smoke_config.iterations < registry["exp3"].default_config.iterations

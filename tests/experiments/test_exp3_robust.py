@@ -1,0 +1,150 @@
+"""Tests for EXP 3 — noise-aware training vs. baseline (the robust experiment).
+
+The heavy pieces (two trainings + the Monte Carlo evaluation sweep) run once
+per pytest session on the registry's smoke configuration; the acceptance
+margin and the serial/multiprocess bit-identity are asserted on that shared
+result.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments import Exp3Config, run_exp3
+from repro.experiments.exp3_robust_training import BASELINE, robust_label
+from repro.experiments.registry import get_experiment
+
+
+@pytest.fixture(scope="session")
+def smoke_config():
+    return get_experiment("robust").smoke_config
+
+
+@pytest.fixture(scope="session")
+def exp3_result(smoke_config):
+    """Serial smoke run (the reference result)."""
+    return run_exp3(smoke_config)
+
+
+@pytest.fixture(scope="session")
+def exp3_result_workers(smoke_config):
+    """The same smoke run sharded across 2 worker processes."""
+    return run_exp3(dataclasses.replace(smoke_config, workers=2))
+
+
+class TestRobustnessRecovery:
+    def test_noise_aware_beats_baseline_at_trained_sigma(self, exp3_result, smoke_config):
+        """The acceptance margin: >= 5% mean-accuracy recovery at the trained sigma."""
+        sigma = smoke_config.train_sigmas[0]
+        recovery = exp3_result.recovery_at(sigma)
+        assert recovery >= 0.05, (
+            f"noise-aware training recovered only {100 * recovery:.2f}% accuracy "
+            f"at sigma {sigma} (expected >= 5%)"
+        )
+
+    def test_noise_aware_does_not_sacrifice_nominal_accuracy(self, exp3_result, smoke_config):
+        """Hardening must not cost more than a few percent of clean accuracy."""
+        key = robust_label(smoke_config.train_sigmas[0])
+        assert (
+            exp3_result.nominal_accuracy[key]
+            >= exp3_result.nominal_accuracy[BASELINE] - 0.03
+        )
+
+    def test_robust_model_dominates_across_eval_sweep(self, exp3_result, smoke_config):
+        """At and beyond the trained sigma the robust model should lead."""
+        key = robust_label(smoke_config.train_sigmas[0])
+        for sigma in smoke_config.eval_sigmas:
+            if sigma >= smoke_config.train_sigmas[0]:
+                assert exp3_result.mean_accuracy(key, sigma) > exp3_result.mean_accuracy(
+                    BASELINE, sigma
+                )
+
+    def test_samples_have_requested_shape(self, exp3_result, smoke_config):
+        for key in exp3_result.model_keys():
+            for sigma in smoke_config.eval_sigmas:
+                samples = exp3_result.accuracy_samples[key][sigma]
+                assert samples.shape == (smoke_config.iterations,)
+                assert np.all((samples >= 0.0) & (samples <= 1.0))
+
+    def test_yields_share_the_baseline_spec(self, exp3_result):
+        thresholds = {result.accuracy_threshold for result in exp3_result.yields.values()}
+        assert len(thresholds) == 1
+        assert exp3_result.yields[BASELINE].nominal_accuracy == exp3_result.nominal_accuracy[BASELINE]
+
+    def test_max_tolerable_helpers(self, exp3_result, smoke_config):
+        sigma = smoke_config.train_sigmas[0]
+        improvement = exp3_result.max_tolerable_improvement(sigma)
+        base = exp3_result.max_tolerable_sigma(BASELINE)
+        robust = exp3_result.max_tolerable_sigma(robust_label(sigma))
+        if base is None or robust is None:
+            assert improvement is None
+        else:
+            assert improvement == pytest.approx(robust - base)
+            assert improvement >= 0.0  # hardening must never shrink the tolerance
+
+    def test_report_contents(self, exp3_result, smoke_config):
+        report = exp3_result.report()
+        assert "EXP 3" in report
+        assert "accuracy recovery at trained sigma" in report
+        assert "max tolerable sigma" in report
+        assert robust_label(smoke_config.train_sigmas[0]) in report
+
+
+class TestBackendInvariance:
+    def test_bit_identical_across_serial_and_multiprocess(
+        self, exp3_result, exp3_result_workers, smoke_config
+    ):
+        """Acceptance: the whole result is bit-identical for workers in {1, 2}.
+
+        Training never touches the execution backend and the Monte Carlo
+        engine spawns its child streams before scheduling, so every sample
+        must match byte for byte.
+        """
+        for key in exp3_result.model_keys():
+            assert exp3_result.nominal_accuracy[key] == exp3_result_workers.nominal_accuracy[key]
+            for sigma in smoke_config.eval_sigmas:
+                assert np.array_equal(
+                    exp3_result.accuracy_samples[key][sigma],
+                    exp3_result_workers.accuracy_samples[key][sigma],
+                )
+        for key in exp3_result.model_keys():
+            assert np.array_equal(
+                exp3_result.yields[key].yield_curve(),
+                exp3_result_workers.yields[key].yield_curve(),
+            )
+
+
+class TestConfigValidation:
+    def test_rejects_bad_train_sigmas(self):
+        with pytest.raises(ValueError):
+            Exp3Config(train_sigmas=())
+        with pytest.raises(ValueError):
+            Exp3Config(train_sigmas=(0.0,))
+        with pytest.raises(ValueError):
+            Exp3Config(train_sigmas=(0.01, 0.01))
+
+    def test_rejects_bad_eval_sigmas_and_case(self):
+        with pytest.raises(ValueError):
+            Exp3Config(eval_sigmas=())
+        with pytest.raises(ValueError):
+            Exp3Config(case="thermal-only")
+
+    def test_rejects_train_sigma_missing_from_eval_sweep(self):
+        """Fail fast: the recovery report needs a baseline point per trained sigma."""
+        with pytest.raises(ValueError, match="must appear in eval_sigmas"):
+            Exp3Config(train_sigmas=(0.008,))
+
+    def test_rejects_duplicate_eval_sigmas(self):
+        with pytest.raises(ValueError, match="unique"):
+            Exp3Config(train_sigmas=(0.0075,), eval_sigmas=(0.0, 0.0075, 0.0075))
+
+    def test_rejects_out_of_range_yield_spec(self):
+        with pytest.raises(ValueError, match="accuracy_margin"):
+            Exp3Config(accuracy_margin=-0.1)
+        with pytest.raises(ValueError, match="target_yield"):
+            Exp3Config(target_yield=1.5)
+
+    def test_recovery_at_unknown_sigma_raises(self, exp3_result):
+        with pytest.raises(KeyError):
+            exp3_result.recovery_at(0.123)

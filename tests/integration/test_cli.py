@@ -10,7 +10,7 @@ from repro.cli import build_parser, main
 def test_list_command(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
-    for identifier in ("fig2", "fig3", "exp1", "exp2", "yield", "baseline"):
+    for identifier in ("fig2", "fig3", "exp1", "exp2", "exp3", "yield", "baseline"):
         assert identifier in out
 
 

@@ -1,0 +1,217 @@
+"""Edge-case tests for the Trainer loop (clipping, partial batches, hooks)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.exceptions import TrainingError
+from repro.nn import (
+    Adam,
+    ComplexLinear,
+    LogSoftmax,
+    ModulusSquared,
+    Sequential,
+    Trainer,
+    TrainerConfig,
+)
+
+
+def _toy_dataset(n=40, seed=0):
+    gen = np.random.default_rng(seed)
+    half = n // 2
+    noise = lambda: 0.3 * (gen.standard_normal((half, 4)) + 1j * gen.standard_normal((half, 4)))
+    class0 = noise()
+    class0[:, :2] += 3.0
+    class1 = noise()
+    class1[:, 2:] += 3.0
+    return np.concatenate([class0, class1]), np.array([0] * half + [1] * half)
+
+
+def _model(seed=0):
+    return Sequential(ComplexLinear(4, 2, rng=seed), ModulusSquared(), LogSoftmax())
+
+
+def _grad_norm(optimizer):
+    total = 0.0
+    for param in optimizer.parameters:
+        if param.grad is not None:
+            total += float(np.sum(np.abs(param.grad) ** 2))
+    return np.sqrt(total)
+
+
+class TestGradientClipScaling:
+    def test_clip_rescales_to_exactly_max_norm(self):
+        model = _model()
+        optimizer = Adam(model.parameters(), lr=0.01)
+        trainer = Trainer(model, optimizer, config=TrainerConfig(clip_grad_norm=0.5))
+        features, labels = _toy_dataset(16)
+        loss, _, _ = trainer.training_step(features, labels)
+        optimizer.zero_grad()
+        loss.backward()
+        before = _grad_norm(optimizer)
+        assert before > 0.5  # the toy problem produces large initial gradients
+        trainer._clip_gradients()
+        assert _grad_norm(optimizer) == pytest.approx(0.5, rel=1e-12)
+
+    def test_clip_preserves_gradient_direction(self):
+        model = _model()
+        optimizer = Adam(model.parameters(), lr=0.01)
+        trainer = Trainer(model, optimizer, config=TrainerConfig(clip_grad_norm=0.25))
+        features, labels = _toy_dataset(16)
+        loss, _, _ = trainer.training_step(features, labels)
+        optimizer.zero_grad()
+        loss.backward()
+        raw = [p.grad.copy() for p in optimizer.parameters]
+        norm = _grad_norm(optimizer)
+        trainer._clip_gradients()
+        for param, grad in zip(optimizer.parameters, raw):
+            assert np.allclose(param.grad, grad * (0.25 / norm))
+
+    def test_no_clip_below_threshold(self):
+        model = _model()
+        optimizer = Adam(model.parameters(), lr=0.01)
+        trainer = Trainer(model, optimizer, config=TrainerConfig(clip_grad_norm=1e9))
+        features, labels = _toy_dataset(16)
+        loss, _, _ = trainer.training_step(features, labels)
+        optimizer.zero_grad()
+        loss.backward()
+        raw = [p.grad.copy() for p in optimizer.parameters]
+        trainer._clip_gradients()
+        for param, grad in zip(optimizer.parameters, raw):
+            assert np.array_equal(param.grad, grad)
+
+
+class TestPartialMinibatch:
+    def test_final_partial_batch_is_trained_and_weighted(self):
+        """10 samples at batch_size 4 -> batches of 4, 4 and 2, all counted."""
+        features, labels = _toy_dataset(10)
+        seen = []
+
+        class SpyTrainer(Trainer):
+            def training_step(self, batch_x, batch_y):
+                seen.append(len(batch_y))
+                return super().training_step(batch_x, batch_y)
+
+        model = _model()
+        trainer = SpyTrainer(
+            model,
+            Adam(model.parameters(), lr=0.01),
+            config=TrainerConfig(epochs=1, batch_size=4, shuffle=False),
+        )
+        trainer.fit(features, labels)
+        assert seen == [4, 4, 2]
+
+    def test_epoch_metrics_weighted_by_batch_size(self):
+        """The epoch mean must equal the sample mean, not the batch mean."""
+        features, labels = _toy_dataset(10)
+        model = _model()
+        trainer = Trainer(
+            model,
+            Adam(model.parameters(), lr=1e-12),  # freeze the weights in all but name
+            config=TrainerConfig(epochs=1, batch_size=4, shuffle=False),
+        )
+        _, train_acc = trainer.train_epoch(features, labels)
+        # With a vanishing learning rate the weights barely move, so the
+        # weighted epoch accuracy must match evaluating the whole set at once.
+        _, full_acc = trainer.evaluate(features, labels, batch_size=len(labels))
+        assert train_acc == pytest.approx(full_acc, abs=1e-6)
+
+
+class TestDivergenceError:
+    def test_non_finite_loss_raises(self):
+        features, labels = _toy_dataset(16)
+
+        class ExplodingTrainer(Trainer):
+            def train_epoch(self, features, targets):
+                return float("nan"), 0.1  # a diverged epoch
+
+        model = _model()
+        trainer = ExplodingTrainer(
+            model,
+            Adam(model.parameters(), lr=0.01),
+            config=TrainerConfig(epochs=3, batch_size=8),
+        )
+        with pytest.raises(TrainingError, match="diverged at epoch 1"):
+            trainer.fit(features, labels)
+
+
+class TestSeedableEvaluate:
+    def test_shuffled_subsample_is_reproducible(self):
+        features, labels = _toy_dataset(40)
+        model = _model()
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01))
+        a = trainer.evaluate(features, labels, batch_size=8, shuffle=True, rng=3, max_batches=2)
+        b = trainer.evaluate(features, labels, batch_size=8, shuffle=True, rng=3, max_batches=2)
+        assert a == b
+
+    def test_different_seeds_cover_different_subsamples(self):
+        features, labels = _toy_dataset(40, seed=2)
+        model = _model(seed=5)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01))
+        results = {
+            trainer.evaluate(features, labels, batch_size=4, shuffle=True, rng=seed, max_batches=1)
+            for seed in range(8)
+        }
+        assert len(results) > 1  # at least two distinct single-batch subsamples
+
+    def test_max_batches_limits_work(self):
+        features, labels = _toy_dataset(40)
+        model = _model()
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01))
+        full = trainer.evaluate(features, labels, batch_size=10)
+        partial = trainer.evaluate(features, labels, batch_size=10, max_batches=1)
+        assert isinstance(partial[0], float)
+        # The unshuffled first batch is all class 0, so the subsample metric
+        # legitimately differs from the full-set metric.
+        assert full != partial
+
+    def test_max_batches_validation(self):
+        features, labels = _toy_dataset(8)
+        model = _model()
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01))
+        with pytest.raises(TrainingError):
+            trainer.evaluate(features, labels, max_batches=0)
+
+
+class TestEarlyStop:
+    def test_hook_stops_training_and_history_is_truthful(self):
+        features, labels = _toy_dataset(32)
+        model = _model()
+        trainer = Trainer(
+            model,
+            Adam(model.parameters(), lr=0.05),
+            config=TrainerConfig(epochs=50, batch_size=8),
+            rng=0,
+        )
+        history = trainer.fit(features, labels, early_stop=lambda h: h.epochs >= 3)
+        assert history.epochs == 3
+        assert history is trainer.history
+
+    def test_hook_receives_running_history(self):
+        features, labels = _toy_dataset(32)
+        model = _model()
+        epochs_seen = []
+
+        def hook(history):
+            epochs_seen.append(history.epochs)
+            return False
+
+        trainer = Trainer(
+            model,
+            Adam(model.parameters(), lr=0.05),
+            config=TrainerConfig(epochs=4, batch_size=8),
+            rng=0,
+        )
+        trainer.fit(features, labels, early_stop=hook)
+        assert epochs_seen == [1, 2, 3, 4]
+
+    def test_epoch_attribute_tracks_fit(self):
+        features, labels = _toy_dataset(16)
+        model = _model()
+        trainer = Trainer(
+            model,
+            Adam(model.parameters(), lr=0.05),
+            config=TrainerConfig(epochs=3, batch_size=8),
+        )
+        trainer.fit(features, labels)
+        assert trainer.epoch == 2  # zero-based index of the last epoch

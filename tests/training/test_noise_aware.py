@@ -1,0 +1,188 @@
+"""Tests for the noise-injected forward pass and the NoiseAwareTrainer."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn import Adam, CrossEntropyLoss, Trainer, TrainerConfig
+from repro.onn import build_software_model
+from repro.onn.spnn import SPNNArchitecture
+from repro.training import (
+    NoiseAwareTrainer,
+    NoiseInjector,
+    PerturbationSchedule,
+    complex_linear_modules,
+    forward_with_weight_offsets,
+)
+from repro.variation import UncertaintyModel
+
+ARCH = SPNNArchitecture(layer_dims=(6, 8, 5))
+
+
+def _dataset(n=48, seed=0, features=6, classes=5):
+    gen = np.random.default_rng(seed)
+    x = gen.standard_normal((n, features)) + 1j * gen.standard_normal((n, features))
+    y = gen.integers(0, classes, n)
+    return x, y
+
+
+def _zero_offsets(model, draws):
+    return [
+        np.zeros((draws, m.out_features, m.in_features), dtype=np.complex128)
+        for m in complex_linear_modules(model)
+    ]
+
+
+class TestForwardWithOffsets:
+    def test_zero_offsets_match_plain_forward_bit_for_bit(self):
+        model = build_software_model(ARCH, rng=0)
+        x, y = _dataset()
+        reference = model(Tensor(x))
+        out = forward_with_weight_offsets(model, x, _zero_offsets(model, 3))
+        assert out.shape == (3, len(y), ARCH.output_size)
+        for k in range(3):
+            assert np.array_equal(out.data[k], reference.data)
+
+    def test_zero_offsets_match_plain_gradients_bit_for_bit(self):
+        model = build_software_model(ARCH, rng=0)
+        x, y = _dataset()
+        loss_fn = CrossEntropyLoss(from_log_probs=True)
+        linears = complex_linear_modules(model)
+
+        reference_loss = loss_fn(model(Tensor(x)), y)
+        model.zero_grad()
+        reference_loss.backward()
+        reference_grads = [m.weight.grad.copy() for m in linears]
+
+        draws = 2
+        out = forward_with_weight_offsets(model, x, _zero_offsets(model, draws))
+        flat = out.reshape(draws * len(y), ARCH.output_size)
+        loss = loss_fn(flat, np.tile(y, draws))
+        model.zero_grad()
+        loss.backward()
+
+        assert loss.item() == reference_loss.item()
+        for module, grad in zip(linears, reference_grads):
+            assert np.array_equal(module.weight.grad, grad)
+
+    def test_per_draw_rows_match_individually_perturbed_models(self):
+        model = build_software_model(ARCH, rng=1)
+        x, _ = _dataset(seed=3)
+        gen = np.random.default_rng(9)
+        linears = complex_linear_modules(model)
+        offsets = [
+            0.05 * (gen.standard_normal((2,) + m.weight.shape) + 1j * gen.standard_normal((2,) + m.weight.shape))
+            for m in linears
+        ]
+        out = forward_with_weight_offsets(model, x, offsets)
+        for k in range(2):
+            perturbed = build_software_model(ARCH, rng=1)
+            for module, offset in zip(complex_linear_modules(perturbed), offsets):
+                module.set_weight_matrix(module.weight_matrix() + offset[k])
+            expected = perturbed(Tensor(x))
+            assert np.allclose(out.data[k], expected.data, atol=1e-12)
+
+    def test_loss_is_mean_over_draws(self):
+        model = build_software_model(ARCH, rng=1)
+        x, y = _dataset(n=16, seed=4)
+        loss_fn = CrossEntropyLoss(from_log_probs=True)
+        gen = np.random.default_rng(5)
+        linears = complex_linear_modules(model)
+        offsets = [
+            0.03 * (gen.standard_normal((3,) + m.weight.shape) + 1j * gen.standard_normal((3,) + m.weight.shape))
+            for m in linears
+        ]
+        out = forward_with_weight_offsets(model, x, offsets)
+        flat = out.reshape(3 * len(y), ARCH.output_size)
+        joint = loss_fn(flat, np.tile(y, 3)).item()
+        per_draw = [loss_fn(Tensor(out.data[k]), y).item() for k in range(3)]
+        assert joint == pytest.approx(np.mean(per_draw), rel=1e-12)
+
+    def test_validation_errors(self):
+        model = build_software_model(ARCH, rng=0)
+        x, _ = _dataset(n=4)
+        with pytest.raises(ShapeError):
+            forward_with_weight_offsets(model, x, _zero_offsets(model, 2)[:-1])
+        bad_shape = _zero_offsets(model, 2)
+        bad_shape[0] = bad_shape[0][:, :-1, :]
+        with pytest.raises(ShapeError):
+            forward_with_weight_offsets(model, x, bad_shape)
+        mismatched = _zero_offsets(model, 2)
+        mismatched[1] = mismatched[1][:1]
+        with pytest.raises(ShapeError):
+            forward_with_weight_offsets(model, x, mismatched)
+
+    def test_requires_sequential(self):
+        with pytest.raises(ConfigurationError):
+            complex_linear_modules("not a model")
+
+
+class TestNoiseAwareTrainer:
+    def _trainer(self, model, sigma=0.01, draws=2, schedule=None, epochs=3, noise_seed=7, rng=0):
+        injector = NoiseInjector(
+            UncertaintyModel.both(sigma), draws=draws, recompile_every=2, rng=noise_seed
+        )
+        return NoiseAwareTrainer(
+            model,
+            Adam(model.parameters(), lr=0.02),
+            injector,
+            schedule=schedule,
+            config=TrainerConfig(epochs=epochs, batch_size=16),
+            rng=rng,
+        )
+
+    def test_fixed_seed_training_is_bit_reproducible(self):
+        x, y = _dataset(n=64, seed=1)
+        model_a = build_software_model(ARCH, rng=3)
+        model_b = build_software_model(ARCH, rng=3)
+        self._trainer(model_a).fit(x, y)
+        self._trainer(model_b).fit(x, y)
+        state_a, state_b = model_a.state_dict(), model_b.state_dict()
+        assert set(state_a) == set(state_b)
+        for key in state_a:
+            assert np.array_equal(state_a[key], state_b[key])
+
+    def test_zero_scale_schedule_matches_plain_trainer_bit_for_bit(self):
+        """With the noise scheduled off, the subclass IS the base trainer."""
+        x, y = _dataset(n=64, seed=2)
+        noise_free = build_software_model(ARCH, rng=4)
+        plain = build_software_model(ARCH, rng=4)
+        self._trainer(noise_free, schedule=PerturbationSchedule.constant(0.0)).fit(x, y)
+        Trainer(
+            plain,
+            Adam(plain.parameters(), lr=0.02),
+            config=TrainerConfig(epochs=3, batch_size=16),
+            rng=0,
+        ).fit(x, y)
+        state_a, state_b = noise_free.state_dict(), plain.state_dict()
+        for key in state_a:
+            assert np.array_equal(state_a[key], state_b[key])
+
+    def test_noise_changes_the_solution(self):
+        x, y = _dataset(n=64, seed=2)
+        noisy = build_software_model(ARCH, rng=4)
+        plain = build_software_model(ARCH, rng=4)
+        self._trainer(noisy, sigma=0.02).fit(x, y)
+        self._trainer(plain, schedule=PerturbationSchedule.constant(0.0)).fit(x, y)
+        assert any(
+            not np.allclose(noisy.state_dict()[key], plain.state_dict()[key])
+            for key in noisy.state_dict()
+        )
+
+    def test_history_and_current_scale(self):
+        x, y = _dataset(n=32, seed=5)
+        model = build_software_model(ARCH, rng=0)
+        trainer = self._trainer(
+            model, schedule=PerturbationSchedule.curriculum((0.0, 1.0)), epochs=4
+        )
+        history = trainer.fit(x, y)
+        assert history.epochs == 4
+        assert trainer.current_sigma_scale == 1.0  # last epoch's scale
+
+    def test_early_stop_shared_with_base_loop(self):
+        x, y = _dataset(n=32, seed=5)
+        model = build_software_model(ARCH, rng=0)
+        trainer = self._trainer(model, epochs=10)
+        history = trainer.fit(x, y, early_stop=lambda h: h.epochs >= 2)
+        assert history.epochs == 2

@@ -1,0 +1,68 @@
+"""Tests for the perturbation schedules."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.training import SCHEDULE_KINDS, PerturbationSchedule
+
+
+class TestConstructors:
+    def test_constant(self):
+        schedule = PerturbationSchedule.constant(0.7)
+        assert schedule.scales(4) == (0.7, 0.7, 0.7, 0.7)
+
+    def test_linear_ramp_endpoints(self):
+        schedule = PerturbationSchedule.linear_ramp(0.0, 1.0)
+        scales = schedule.scales(5)
+        assert scales[0] == 0.0 and scales[-1] == 1.0
+        assert scales == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+    def test_linear_single_epoch_uses_end_scale(self):
+        assert PerturbationSchedule.linear_ramp(0.2, 0.9).scales(1) == (0.9,)
+
+    def test_curriculum_even_segments(self):
+        schedule = PerturbationSchedule.curriculum((0.0, 0.5, 1.0))
+        assert schedule.scales(6) == (0.0, 0.0, 0.5, 0.5, 1.0, 1.0)
+
+    def test_curriculum_uneven_epochs_last_level_absorbs_remainder(self):
+        schedule = PerturbationSchedule.curriculum((0.0, 1.0))
+        assert schedule.scales(5) == (0.0, 0.0, 0.0, 1.0, 1.0)
+
+    def test_curriculum_more_levels_than_epochs(self):
+        schedule = PerturbationSchedule.curriculum((0.1, 0.2, 0.3, 0.4))
+        assert schedule.scales(2) == (0.1, 0.3)
+
+    def test_named(self):
+        for name in SCHEDULE_KINDS:
+            assert PerturbationSchedule.named(name).kind == name
+        with pytest.raises(ConfigurationError):
+            PerturbationSchedule.named("exponential")
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            PerturbationSchedule(kind="exp")
+
+    def test_negative_scales(self):
+        with pytest.raises(ConfigurationError):
+            PerturbationSchedule(kind="linear", start_scale=-0.1)
+        with pytest.raises(ConfigurationError):
+            PerturbationSchedule.curriculum((0.5, -1.0))
+
+    def test_curriculum_requires_levels(self):
+        with pytest.raises(ConfigurationError):
+            PerturbationSchedule(kind="curriculum")
+
+    def test_levels_rejected_for_other_kinds(self):
+        with pytest.raises(ConfigurationError):
+            PerturbationSchedule(kind="constant", levels=(1.0,))
+
+    def test_epoch_bounds(self):
+        schedule = PerturbationSchedule.constant()
+        with pytest.raises(ConfigurationError):
+            schedule.scale(0, 0)
+        with pytest.raises(ConfigurationError):
+            schedule.scale(5, 5)
+        with pytest.raises(ConfigurationError):
+            schedule.scale(-1, 5)
