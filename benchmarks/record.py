@@ -1,0 +1,153 @@
+"""Record the performance trajectory: run key scenarios, write ``BENCH_pr4.json``.
+
+The benchmark suite asserts floors; this script *records* the measured
+numbers so the repo carries its own perf history.  It times the load-bearing
+scenarios of the current optimization work — the noise-aware training step
+(original vs. optimized), the warm vs. exact layer recompile, and the
+batched vs. looped Monte Carlo engine — and writes one JSON artifact with
+per-scenario timings and speedup ratios at the repo root.  CI uploads the
+file so every run of the pipeline leaves a comparable data point.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr4.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import numpy as np  # noqa: E402
+
+from bench_noise_aware_training import SPEEDUP_TIMING_EPOCHS, _timed_noise_aware_fit  # noqa: E402
+from repro.experiments.exp3_robust_training import train_baseline_model  # noqa: E402
+from repro.experiments.registry import get_experiment  # noqa: E402
+from repro.mesh.svd_layer import PhotonicLinearLayer  # noqa: E402
+from repro.onn.builder import build_trained_spnn, prepare_feature_sets  # noqa: E402
+from repro.onn.inference import monte_carlo_accuracy  # noqa: E402
+from repro.variation.models import UncertaintyModel  # noqa: E402
+
+#: Artifact label — bump per PR so the trajectory files line up with history.
+LABEL = "pr4"
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-N wall-clock seconds of ``fn()`` (min damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def record_noise_aware_step(config, train_x, train_y) -> dict:
+    """Per-step cost of the original vs. optimized noise-aware training."""
+    # warmup
+    _timed_noise_aware_fit(config, train_x, train_y, 1, optimized=True)
+    original = _timed_noise_aware_fit(
+        config, train_x, train_y, SPEEDUP_TIMING_EPOCHS, optimized=False
+    )
+    optimized = _timed_noise_aware_fit(
+        config, train_x, train_y, SPEEDUP_TIMING_EPOCHS, optimized=True
+    )
+    return {
+        "original_step_seconds": original,
+        "optimized_step_seconds": optimized,
+        "speedup": original / optimized,
+    }
+
+
+def record_layer_recompile() -> dict:
+    """Exact layer compile vs. warm in-place retune (16x16, paper-size mesh)."""
+    gen = np.random.default_rng(0)
+    weight = (gen.standard_normal((16, 16)) + 1j * gen.standard_normal((16, 16))) / 4.0
+    moved = weight + 0.01 * (gen.standard_normal((16, 16)) + 1j * gen.standard_normal((16, 16)))
+    layer = PhotonicLinearLayer(weight)
+    exact = _time(lambda: PhotonicLinearLayer(moved))
+    warm = _time(lambda: layer.retune_from_weight(moved))
+    return {"exact_seconds": exact, "warm_seconds": warm, "speedup": exact / warm}
+
+
+def record_mc_engine(config) -> dict:
+    """Looped vs. batched Monte Carlo accuracy on a small trained SPNN."""
+    task = build_trained_spnn(config.training)
+    features = task.test_features[:64]
+    labels = task.test_labels[:64]
+    model = UncertaintyModel.both(0.01)
+    kwargs = dict(iterations=200, rng=7)
+    looped = _time(
+        lambda: monte_carlo_accuracy(
+            task.spnn, features, labels, model, vectorized=False, **kwargs
+        ),
+        repeats=1,
+    )
+    batched = _time(
+        lambda: monte_carlo_accuracy(task.spnn, features, labels, model, **kwargs),
+        repeats=1,
+    )
+    return {"looped_seconds": looped, "batched_seconds": batched, "speedup": looped / batched}
+
+
+def record_plain_training(config, train_x, train_y) -> dict:
+    """The plain software loop — the denominator of the overhead headline."""
+    seconds = _time(lambda: train_baseline_model(train_x, train_y, config), repeats=1)
+    return {"seconds": seconds}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / f"BENCH_{LABEL}.json",
+        help="where to write the JSON artifact (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    config = get_experiment("robust").smoke_config
+    train_x, train_y, _, _ = prepare_feature_sets(config.training)
+
+    scenarios = {}
+    print("recording noise-aware step timings ...")
+    scenarios["noise_aware_step"] = record_noise_aware_step(config, train_x, train_y)
+    print("recording layer recompile timings ...")
+    scenarios["layer_recompile"] = record_layer_recompile()
+    print("recording Monte Carlo engine timings ...")
+    scenarios["mc_engine"] = record_mc_engine(config)
+    print("recording plain training baseline ...")
+    scenarios["plain_training"] = record_plain_training(config, train_x, train_y)
+
+    report = {
+        "schema": 1,
+        "label": LABEL,
+        "recorded_at_unix": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scenarios": scenarios,
+        "speedups": {
+            name: values["speedup"]
+            for name, values in scenarios.items()
+            if "speedup" in values
+        },
+    }
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for name, ratio in report["speedups"].items():
+        print(f"  {name}: {ratio:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

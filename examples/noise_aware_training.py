@@ -29,7 +29,12 @@ from repro.onn import (
     prepare_feature_sets,
     spnn_from_model,
 )
-from repro.training import NoiseAwareTrainer, NoiseInjector, PerturbationSchedule
+from repro.training import (
+    NoiseAwareTrainer,
+    NoiseInjector,
+    PerturbationSchedule,
+    process_workspace,
+)
 from repro.utils.rng import ensure_rng
 from repro.variation import UncertaintyModel
 
@@ -70,12 +75,29 @@ def main() -> None:
     # 100% of the target sigma.  Also try PerturbationSchedule.linear_ramp()
     # or PerturbationSchedule.constant() here.
     schedule = PerturbationSchedule.curriculum((0.0, 0.0, 0.5, 1.0))
+    print(
+        f"  sigma scale steps at epochs {schedule.change_epochs(CONFIG.epochs)} "
+        "(each boundary re-draws/rescales the amortized noise cache)"
+    )
     gen = ensure_rng(CONFIG.seed)
     robust = build_software_model(architecture, rng=gen)
     start = time.perf_counter()
+    # The three performance knobs (all opt-in, what EXP 3 runs with):
+    #   incremental_recompile — warm-start the SVD/Clements snapshot in
+    #     place instead of decomposing from scratch (exact fallback on
+    #     drift),
+    #   reuse_draws — draw the K offset batches once per recompile window
+    #     and reuse them across its steps (schedule-aware rescaling),
+    #   workspace — share one scratch-buffer arena across the stacked
+    #     (K·B, ...) kernels.
+    # Together they cut the noise-aware step ~3.5-4x at this scale; drop
+    # them (the defaults) for the original bit-stable per-step-draw path.
     NoiseAwareTrainer(
         robust, Adam(robust.parameters(), lr=CONFIG.learning_rate),
         injector, schedule=schedule, config=trainer_config, rng=gen,
+        incremental_recompile=True,
+        reuse_draws=True,
+        workspace=process_workspace(),
     ).fit(train_x, train_y)
     print(f"  noise-aware training took {time.perf_counter() - start:.1f}s")
 

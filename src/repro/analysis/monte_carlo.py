@@ -112,7 +112,12 @@ class MonteCarloRunner:
         bounds the peak memory of one vectorized call; for parallel backends
         it is also the work-unit granularity.  ``None`` picks a default:
         everything in one chunk on the serial backend, two chunks per worker
-        on parallel backends.  The chunking never changes the samples.
+        on parallel backends — in both cases additionally capped by the
+        trial's own ``preferred_chunk_size()`` hint when it provides one
+        (the network trials derive it from the evaluation-set size, so a
+        10k-sample eval set gets small, cache-friendly chunks instead of
+        one giant vectorized call).  The chunking never changes the
+        samples.
     backend, workers:
         Execution-backend selection, resolved via
         :func:`repro.execution.resolve_backend`: by default ``workers`` of
@@ -141,18 +146,40 @@ class MonteCarloRunner:
     # ------------------------------------------------------------------ #
     # chunk scheduling
     # ------------------------------------------------------------------ #
-    def _effective_chunk_size(self, backend: Backend) -> int:
+    def _trial_chunk_hint(self, trial: Union[Trial, BatchTrial, None]) -> Optional[int]:
+        """The trial's own chunk-size preference, when it advertises one.
+
+        Batch trials that know their per-realization working set (eval-set
+        slice of the activations, stacked matrices, sampling buffers)
+        expose ``preferred_chunk_size()``; the runner honors it whenever no
+        explicit ``chunk_size`` was configured, so default chunking scales
+        with the evaluation-set size instead of only the iteration count.
+        """
+        hint = getattr(trial, "preferred_chunk_size", None)
+        if not callable(hint):
+            return None
+        preferred = int(hint())
+        return preferred if preferred >= 1 else None
+
+    def _effective_chunk_size(
+        self, backend: Backend, trial: Union[Trial, BatchTrial, None] = None
+    ) -> int:
+        hint = self._trial_chunk_hint(trial) if self.chunk_size is None else None
         parallelism = backend.parallelism
         if parallelism <= 1:
-            return self.chunk_size if self.chunk_size is not None else self.iterations
+            if self.chunk_size is not None:
+                return self.chunk_size
+            return min(self.iterations, hint) if hint is not None else self.iterations
         # Two chunks per worker: coarse enough that per-task pickling stays
         # negligible, fine enough to absorb worker-speed imbalance.  An
-        # explicit chunk_size still caps the chunk (it bounds memory) but
-        # never inflates it: otherwise a small run with a large chunk_size
-        # would collapse to a single task and silently defeat the sharding.
-        # Shrinking chunks is always safe — samples are chunk-invariant.
+        # explicit chunk_size (or the trial's memory-derived hint) still
+        # caps the chunk but never inflates it: otherwise a small run with
+        # a large chunk_size would collapse to a single task and silently
+        # defeat the sharding.  Shrinking chunks is always safe — samples
+        # are chunk-invariant.
         target = max(1, -(-self.iterations // (2 * parallelism)))
-        return min(self.chunk_size, target) if self.chunk_size is not None else target
+        cap = self.chunk_size if self.chunk_size is not None else hint
+        return min(cap, target) if cap is not None else target
 
     def _schedule(
         self,
@@ -164,7 +191,7 @@ class MonteCarloRunner:
         """Spawn the child streams, shard them into chunks, reassemble."""
         generators = spawn_rngs(rng, self.iterations)
         backend = resolve_backend(self.backend, self.workers)
-        chunk = self._effective_chunk_size(backend)
+        chunk = self._effective_chunk_size(backend, trial)
         tasks: list[ChunkTask] = [
             (start, trial, tuple(generators[start : start + chunk]))
             for start in range(0, self.iterations, chunk)

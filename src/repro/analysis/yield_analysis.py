@@ -20,7 +20,10 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from contextlib import nullcontext
+
 from ..execution import BackendLike, pool_scope, resolve_backend
+from ..execution.shared import SharedArray, resolve_array, shared_eval_arrays
 from ..utils.rng import RNGLike, spawn_rngs
 from ..utils.serialization import format_table
 from ..variation.models import UncertaintyModel
@@ -130,6 +133,9 @@ class YieldSweepResult:
     case: str
     estimates: Dict[float, YieldEstimate]
     accuracy_samples: Dict[float, np.ndarray] = field(repr=False, default_factory=dict)
+    #: Optional bisection refinement of the max tolerable sigma (attached by
+    #: callers that run :func:`bisect_max_tolerable_sigma` after the sweep).
+    bisection: Optional["SigmaBisectionResult"] = field(default=None, repr=False)
 
     @property
     def max_tolerable_sigma(self) -> Optional[float]:
@@ -171,7 +177,14 @@ class YieldSweepResult:
             f"max tolerable sigma for >= {100.0 * self.target_yield:.0f}% yield: "
             f"{max_sigma if max_sigma is not None else 'none (design misses the spec at every swept sigma)'}"
         )
-        return "\n".join([header, format_table(headers, rows), footer])
+        sections = [header, format_table(headers, rows), footer]
+        if self.bisection is not None:
+            refined = self.bisection.max_tolerable_sigma
+            sections.append(
+                f"bisection refinement ({self.bisection.num_probes} probes): "
+                f"max tolerable sigma {refined if refined is not None else 'none'}"
+            )
+        return "\n".join(sections)
 
 
 def yield_sweep(
@@ -189,6 +202,7 @@ def yield_sweep(
     chunk_size: Optional[int] = None,
     backend: BackendLike = None,
     workers: Optional[int] = None,
+    use_workspace: bool = False,
 ) -> YieldSweepResult:
     """Sweep the uncertainty level and estimate the parametric yield at each.
 
@@ -206,7 +220,13 @@ def yield_sweep(
     spnn:
         Compiled :class:`~repro.onn.spnn.SPNN` under test.
     features, labels:
-        Evaluation set.
+        Evaluation set — plain arrays, or
+        :class:`~repro.execution.shared.SharedArray` handles hosted by a
+        caller that sweeps several designs over one worker pool (EXP 3).
+        Plain arrays are hosted in shared memory automatically for the
+        duration of the sweep when the backend shards across processes, so
+        the eval set is pickled into each worker once instead of once per
+        chunk.
     sigmas:
         Normalized uncertainty levels to sweep (``0.0`` short-circuits to
         the nominal accuracy without Monte Carlo work).
@@ -226,6 +246,9 @@ def yield_sweep(
     chunk_size, backend, workers:
         Forwarded to the Monte Carlo engine (see
         :func:`repro.onn.inference.monte_carlo_accuracy`).
+    use_workspace:
+        Recycle the vectorized engine's scratch buffers through each
+        process's workspace arena (bit-identical; allocation reuse only).
     """
     # Imported lazily: the analysis package must stay importable before the
     # onn package (which itself imports the Monte Carlo engine) is built.
@@ -247,7 +270,9 @@ def yield_sweep(
     if case.lower() not in UncertaintyModel.CASES:
         raise ValueError(f"unknown uncertainty case {case!r}; expected one of {UncertaintyModel.CASES}")
 
-    nominal_accuracy = spnn.accuracy(features, labels, use_hardware=True)
+    nominal_accuracy = spnn.accuracy(
+        resolve_array(features), resolve_array(labels), use_hardware=True
+    )
     if accuracy_threshold is None:
         accuracy_threshold = max(0.0, nominal_accuracy - accuracy_margin)
     if not 0.0 <= accuracy_threshold <= 1.0:
@@ -257,9 +282,17 @@ def yield_sweep(
     samples_per_sigma: Dict[float, np.ndarray] = {}
     # One backend for the whole sweep, with its worker pool (if any) kept
     # alive across the per-sigma runs — forking a fresh pool per sigma would
-    # dominate small sharded runs.
+    # dominate small sharded runs.  The eval arrays are hosted in shared
+    # memory for the same scope (unless the caller already hosts them), so
+    # they cross the process boundary once per worker, not once per chunk.
     resolved = resolve_backend(backend, workers)
-    with pool_scope(resolved):
+    already_shared = isinstance(features, SharedArray) or isinstance(labels, SharedArray)
+    hosting = (
+        nullcontext((features, labels))
+        if already_shared
+        else shared_eval_arrays(resolved, features, labels)
+    )
+    with pool_scope(resolved), hosting as (eval_features, eval_labels):
         for sigma, stream in zip(sigmas, streams):
             model = UncertaintyModel.for_case(case, sigma, perturb_sigma_stage=perturb_sigma_stage)
             if model.is_null:
@@ -267,13 +300,14 @@ def yield_sweep(
                 continue
             samples_per_sigma[sigma] = monte_carlo_accuracy(
                 spnn,
-                features,
-                labels,
+                eval_features,
+                eval_labels,
                 model,
                 iterations=iterations,
                 rng=stream,
                 chunk_size=chunk_size,
                 backend=resolved,
+                use_workspace=use_workspace,
             )
     estimates = yield_vs_sigma(samples_per_sigma, accuracy_threshold)
     return YieldSweepResult(
@@ -285,4 +319,193 @@ def yield_sweep(
         case=case.lower(),
         estimates=estimates,
         accuracy_samples=samples_per_sigma,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# bisection refinement of the max tolerable sigma
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class SigmaBisectionResult:
+    """Bisection-refined maximum tolerable sigma of one design.
+
+    ``max_tolerable_sigma`` is the largest *probed* sigma whose estimated
+    yield meets the target (``None`` when even the lower bracket edge
+    fails); ``upper_bound`` is the smallest probed sigma known to fail
+    (``None`` when even the upper bracket edge passes).  The final bracket
+    width is the resolution of the answer.
+    """
+
+    target_yield: float
+    accuracy_threshold: float
+    iterations: int
+    case: str
+    max_tolerable_sigma: Optional[float]
+    upper_bound: Optional[float]
+    #: Yield estimate at every probed sigma, in probe order.
+    probes: Dict[float, YieldEstimate]
+
+    @property
+    def resolution(self) -> Optional[float]:
+        """Width of the final bracket (``None`` for degenerate brackets)."""
+        if self.max_tolerable_sigma is None or self.upper_bound is None:
+            return None
+        return float(self.upper_bound - self.max_tolerable_sigma)
+
+    @property
+    def num_probes(self) -> int:
+        return len(self.probes)
+
+    def report(self) -> str:
+        """One-design bisection summary table."""
+        headers = ["probed sigma", "yield [%]", "mean acc [%]"]
+        rows = [
+            [sigma, 100.0 * estimate.yield_fraction, 100.0 * estimate.mean_accuracy]
+            for sigma, estimate in self.probes.items()
+        ]
+        max_sigma = self.max_tolerable_sigma
+        footer = (
+            f"max tolerable sigma (bisection, {self.num_probes} probes): "
+            f"{max_sigma if max_sigma is not None else 'none (fails at the lower bracket edge)'}"
+        )
+        if self.resolution is not None:
+            footer += f" (+{self.resolution:g} bracket)"
+        return "\n".join([format_table(headers, rows), footer])
+
+
+def bisect_max_tolerable_sigma(
+    spnn,
+    features,
+    labels,
+    accuracy_threshold: float,
+    sigma_hi: float,
+    sigma_lo: float = 0.0,
+    tolerance: float = 5e-4,
+    target_yield: float = 0.9,
+    iterations: int = 1000,
+    case: str = "both",
+    perturb_sigma_stage: bool = True,
+    rng: RNGLike = None,
+    chunk_size: Optional[int] = None,
+    backend: BackendLike = None,
+    workers: Optional[int] = None,
+    use_workspace: bool = False,
+) -> SigmaBisectionResult:
+    """Refine the maximum tolerable sigma by bisection on the yield curve.
+
+    A coarse grid answers "which swept sigma still yields" at a cost of one
+    Monte Carlo run per grid point; this refines the answer to ``tolerance``
+    with ``O(log((sigma_hi - sigma_lo) / tolerance))`` runs instead of a
+    finer grid.  The parametric yield is monotonically non-increasing in
+    sigma (more variation never helps), which is what makes the bracket
+    [largest passing, smallest failing] well defined.
+
+    The bracket edges are probed first: if ``sigma_hi`` passes the answer
+    is ``sigma_hi`` (the bracket never contained the threshold), and if
+    ``sigma_lo`` fails the design misses the spec everywhere
+    (``max_tolerable_sigma`` is ``None``; a ``sigma_lo`` of 0 counts as
+    passing by construction when the nominal accuracy meets the spec).
+
+    Every probe draws its Monte Carlo samples from an independent child
+    stream spawned from ``rng`` up front, so the probed values are
+    reproducible; the worker pool (if any) and the shared-memory eval
+    hosting persist across all probes.
+    """
+    # Imported lazily, matching yield_sweep.
+    from ..onn.inference import monte_carlo_accuracy
+
+    if not 0.0 <= sigma_lo < sigma_hi:
+        raise ValueError(f"need 0 <= sigma_lo < sigma_hi, got [{sigma_lo}, {sigma_hi}]")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if not 0.0 <= accuracy_threshold <= 1.0:
+        raise ValueError(f"accuracy_threshold must be in [0, 1], got {accuracy_threshold}")
+    if not 0.0 < target_yield <= 1.0:
+        raise ValueError(f"target_yield must be in (0, 1], got {target_yield}")
+    if case.lower() not in UncertaintyModel.CASES:
+        raise ValueError(f"unknown uncertainty case {case!r}; expected one of {UncertaintyModel.CASES}")
+
+    # Upper bound on the probes actually needed: the two bracket edges plus
+    # the halvings down to the tolerance, plus slack for the floating-point
+    # halving leaving the bracket marginally above the tolerance for one
+    # extra iteration when range/tolerance is a near-power of two.
+    # Spawning the streams up front keeps every probe's samples independent
+    # of how the bracket evolves; unconsumed streams are free.
+    max_probes = 4 + max(1, int(np.ceil(np.log2(max(2.0, (sigma_hi - sigma_lo) / tolerance)))))
+    streams = iter(spawn_rngs(rng, max_probes))
+
+    probes: Dict[float, YieldEstimate] = {}
+    nominal_accuracy = spnn.accuracy(
+        resolve_array(features), resolve_array(labels), use_hardware=True
+    )
+
+    resolved = resolve_backend(backend, workers)
+    already_shared = isinstance(features, SharedArray) or isinstance(labels, SharedArray)
+    hosting = (
+        nullcontext((features, labels))
+        if already_shared
+        else shared_eval_arrays(resolved, features, labels)
+    )
+    with pool_scope(resolved), hosting as (eval_features, eval_labels):
+
+        def probe(sigma: float) -> bool:
+            model = UncertaintyModel.for_case(case, sigma, perturb_sigma_stage=perturb_sigma_stage)
+            if model.is_null:
+                samples = np.full(iterations, nominal_accuracy)
+            else:
+                samples = monte_carlo_accuracy(
+                    spnn,
+                    eval_features,
+                    eval_labels,
+                    model,
+                    iterations=iterations,
+                    rng=next(streams),
+                    chunk_size=chunk_size,
+                    backend=resolved,
+                    use_workspace=use_workspace,
+                )
+            estimate = estimate_yield(samples, accuracy_threshold)
+            probes[float(sigma)] = estimate
+            return estimate.yield_fraction >= target_yield
+
+        if probe(sigma_hi):
+            return SigmaBisectionResult(
+                target_yield=float(target_yield),
+                accuracy_threshold=float(accuracy_threshold),
+                iterations=int(iterations),
+                case=case.lower(),
+                max_tolerable_sigma=float(sigma_hi),
+                upper_bound=None,
+                probes=probes,
+            )
+        if not probe(sigma_lo):
+            return SigmaBisectionResult(
+                target_yield=float(target_yield),
+                accuracy_threshold=float(accuracy_threshold),
+                iterations=int(iterations),
+                case=case.lower(),
+                max_tolerable_sigma=None,
+                upper_bound=float(sigma_lo),
+                probes=probes,
+            )
+        lo, hi = float(sigma_lo), float(sigma_hi)
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            if probe(mid):
+                lo = mid
+            else:
+                hi = mid
+
+    return SigmaBisectionResult(
+        target_yield=float(target_yield),
+        accuracy_threshold=float(accuracy_threshold),
+        iterations=int(iterations),
+        case=case.lower(),
+        max_tolerable_sigma=lo,
+        upper_bound=hi,
+        probes=probes,
     )

@@ -92,6 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--bisect",
+        action="store_true",
+        help=(
+            "refine the max tolerable sigma by bisection after the coarse sweep "
+            "(O(log) extra Monte Carlo runs; 'yield' and 'exp3'/'robust' only)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=str,
         default=None,
@@ -108,6 +116,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     identifier = args.experiment.lower()
     if identifier in ("list", "summary") and args.workers is not None:
         parser.error(f"{identifier!r} does not support --workers")
+    if identifier in ("list", "summary") and args.bisect:
+        parser.error(f"{identifier!r} does not support --bisect")
     if identifier == "list":
         _print_experiment_list()
         return 0
@@ -125,6 +135,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not hasattr(config, "workers"):
             parser.error(f"experiment {spec.identifier!r} does not support --workers")
         config = dataclasses.replace(config, workers=args.workers)
+    if args.bisect:
+        if not hasattr(config, "bisect"):
+            parser.error(f"experiment {spec.identifier!r} does not support --bisect")
+        config = dataclasses.replace(config, bisect=True)
 
     start = time.time()
     result = spec.runner(config)

@@ -1,7 +1,9 @@
 """Execution layer: pluggable backends that schedule Monte Carlo work.
 
 See :mod:`repro.execution.backends` for the protocol and the determinism /
-picklability contracts shared by every backend.
+picklability contracts shared by every backend, and
+:mod:`repro.execution.shared` for shared-memory hosting of the (otherwise
+per-chunk re-pickled) evaluation arrays.
 """
 
 from .backends import (
@@ -14,6 +16,12 @@ from .backends import (
     pool_scope,
     resolve_backend,
 )
+from .shared import (
+    SharedArray,
+    resolve_array,
+    shared_eval_arrays,
+    shared_memory_available,
+)
 
 __all__ = [
     "Backend",
@@ -24,4 +32,8 @@ __all__ = [
     "available_workers",
     "pool_scope",
     "resolve_backend",
+    "SharedArray",
+    "resolve_array",
+    "shared_eval_arrays",
+    "shared_memory_available",
 ]

@@ -1,0 +1,221 @@
+"""Shared-memory hosting of read-only arrays for process backends.
+
+The multiprocess backend pickles every task payload into its workers.  For
+Monte Carlo trials the payload includes the evaluation set — a few hundred
+kilobytes at smoke scale, megabytes at the paper's full 10k MNIST test set
+— re-serialized for *every chunk* of every run of a sweep.  This module
+removes that tax: :class:`SharedArray` places an array in POSIX shared
+memory (:mod:`multiprocessing.shared_memory`) once, and its pickled form is
+just the segment name plus the array metadata.  Workers attach lazily on
+first access and cache the mapping per process, so a sweep's worth of
+chunks ships the eval set exactly once per worker instead of once per task.
+
+:func:`shared_eval_arrays` is the ergonomic entry point: wrapped around a
+sweep (inside its ``pool_scope``), it hosts the eval arrays in shared
+memory when the backend actually shards across processes and hands back the
+original arrays untouched otherwise.  Consumers resolve either form with
+:func:`resolve_array`, which is what the Monte Carlo trial dataclasses do —
+so the same trial code runs on plain arrays and shared handles, with
+bit-identical results (the shared segment holds a byte-exact copy).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: Worker-side cache of attached segments: name -> (SharedMemory, ndarray).
+#: Module-level so one worker process attaches each segment exactly once no
+#: matter how many chunks reference it.
+_ATTACHED: dict = {}
+
+#: Attached-segment cache bound.  A long-lived worker pool serving many
+#: hostings (one sweep after another) would otherwise keep every unlinked
+#: segment mapped forever; evicting the oldest mappings caps that at a few
+#: eval sets while still deduplicating attachments within any one sweep.
+_MAX_ATTACHED = 8
+
+
+def _evict_stale_attachments() -> None:
+    """Drop the oldest cached mappings beyond the cache bound."""
+    while len(_ATTACHED) > _MAX_ATTACHED:
+        name = next(iter(_ATTACHED))
+        shm, _view = _ATTACHED.pop(name)
+        try:
+            shm.close()
+        except BufferError:  # a task still holds the view; GC reclaims later
+            pass
+
+
+def shared_memory_available() -> bool:
+    """Whether :mod:`multiprocessing.shared_memory` is usable here."""
+    return _shared_memory is not None
+
+
+def _unregister_from_resource_tracker(name: str) -> None:
+    """Detach a worker-side segment from the resource tracker.
+
+    Attaching to an existing segment registers it with the process's
+    resource tracker on some Python versions, which then tries to unlink it
+    again at worker exit — after the owner already has — and logs spurious
+    leak warnings.  The owner of the segment is the parent process; workers
+    must only close their mapping.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedArray:
+    """Picklable handle to a NumPy array hosted in shared memory.
+
+    Created by the owning (parent) process via :meth:`create`; its pickled
+    form carries only ``(name, shape, dtype)``.  Any process resolves the
+    handle back to an ndarray through :attr:`array` — the owner sees its
+    own mapping, workers attach to the named segment on first access (and
+    cache the attachment per process).  The array view is marked read-only:
+    the segment is shared, and the Monte Carlo contract is that eval data
+    is immutable.
+    """
+
+    def __init__(self, name: str, shape: Tuple[int, ...], dtype: np.dtype):
+        self.name = name
+        self.shape = tuple(int(extent) for extent in shape)
+        self.dtype = np.dtype(dtype)
+        self._shm = None
+        self._array: Optional[np.ndarray] = None
+        self._owner = False
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedArray":
+        """Copy ``array`` into a fresh shared-memory segment and wrap it."""
+        if _shared_memory is None:  # pragma: no cover - platform guard
+            raise RuntimeError("multiprocessing.shared_memory is unavailable on this platform")
+        array = np.ascontiguousarray(array)
+        if array.nbytes == 0:
+            raise ValueError("cannot host an empty array in shared memory")
+        shm = _shared_memory.SharedMemory(create=True, size=array.nbytes)
+        handle = cls(shm.name, array.shape, array.dtype)
+        handle._shm = shm
+        handle._owner = True
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        view.flags.writeable = False
+        handle._array = view
+        return handle
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+
+    @property
+    def array(self) -> np.ndarray:
+        """The hosted array (attaching to the segment if needed)."""
+        if self._array is None:
+            cached = _ATTACHED.get(self.name)
+            if cached is None:
+                shm = _shared_memory.SharedMemory(name=self.name)
+                _unregister_from_resource_tracker(self.name)
+                view = np.ndarray(self.shape, dtype=self.dtype, buffer=shm.buf)
+                view.flags.writeable = False
+                _ATTACHED[self.name] = (shm, view)
+                cached = _ATTACHED[self.name]
+                _evict_stale_attachments()
+            self._array = cached[1]
+        return self._array
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop this process's mapping (owner side; workers use the cache)."""
+        self._array = None
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; safe to call once)."""
+        if self._owner and _shared_memory is not None:
+            try:
+                shm = self._shm if self._shm is not None else _shared_memory.SharedMemory(name=self.name)
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            self._shm = None
+            self._array = None
+
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        return {"name": self.name, "shape": self.shape, "dtype": self.dtype.str}
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.shape = tuple(state["shape"])
+        self.dtype = np.dtype(state["dtype"])
+        self._shm = None
+        self._array = None
+        self._owner = False
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return f"SharedArray(name={self.name!r}, shape={self.shape}, dtype={self.dtype})"
+
+
+#: What array-consuming trial code accepts: a plain ndarray or a handle.
+ArrayLike = Union[np.ndarray, SharedArray]
+
+
+def resolve_array(value: ArrayLike) -> np.ndarray:
+    """The ndarray behind ``value`` (attaching shared handles as needed)."""
+    if isinstance(value, SharedArray):
+        return value.array
+    return np.asarray(value)
+
+
+def _backend_shards(backend) -> bool:
+    """Whether ``backend`` actually crosses a process boundary."""
+    try:
+        parallelism = int(backend.parallelism)
+    except (AttributeError, TypeError):
+        return False
+    # The serial backend (and a 1-worker multiprocess backend) evaluates
+    # inline; hosting shared memory for it would be pure overhead.
+    from .backends import MultiprocessBackend
+
+    return parallelism > 1 and isinstance(backend, MultiprocessBackend)
+
+
+@contextmanager
+def shared_eval_arrays(backend, *arrays: np.ndarray) -> Iterator[Tuple[ArrayLike, ...]]:
+    """Host ``arrays`` in shared memory for the duration of a sweep.
+
+    Yields one value per input: :class:`SharedArray` handles when
+    ``backend`` shards tasks across processes (and the platform supports
+    shared memory), the original arrays unchanged otherwise.  Wrap this
+    around a sweep *inside* its ``pool_scope`` so the hosting happens once
+    per pool, not once per Monte Carlo run; segments are closed and
+    unlinked on exit (Linux keeps them alive for workers that are still
+    attached).  Results are bit-identical either way — the segments hold
+    byte-exact copies.
+    """
+    if not shared_memory_available() or not _backend_shards(backend):
+        yield tuple(np.asarray(array) for array in arrays)
+        return
+    handles = [SharedArray.create(np.asarray(array)) for array in arrays]
+    try:
+        yield tuple(handles)
+    finally:
+        for handle in handles:
+            handle.close()
+            handle.unlink()

@@ -29,8 +29,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..analysis.yield_analysis import YieldSweepResult, yield_sweep
-from ..execution import BackendLike, pool_scope, resolve_backend
+from ..analysis.yield_analysis import (
+    SigmaBisectionResult,
+    YieldSweepResult,
+    bisect_max_tolerable_sigma,
+    yield_sweep,
+)
+from ..execution import BackendLike, pool_scope, resolve_backend, shared_eval_arrays
 from ..nn.optim import Adam
 from ..nn.trainer import TrainerConfig
 from ..onn.builder import (
@@ -44,6 +49,7 @@ from ..onn.spnn import SPNN
 from ..training.injector import NoiseInjector
 from ..training.noise_aware import NoiseAwareTrainer
 from ..training.schedule import PerturbationSchedule
+from ..training.workspace import process_workspace
 from ..utils.rng import RNGLike, ensure_rng, spawn_rngs
 from ..utils.serialization import format_table
 from ..variation.models import UncertaintyModel
@@ -90,6 +96,21 @@ class Exp3Config:
     seed: int = 17
     #: Seed of the injected training noise (independent of data/init seeds).
     noise_seed: int = 12345
+    #: Amortize the K perturbation draws over each recompile window (the
+    #: injector's ``reuse_draws`` mode — a different but equally valid noise
+    #: stream, several times cheaper per step).
+    reuse_draws: bool = True
+    #: Recompile the injector's hardware snapshot incrementally (warm-started
+    #: SVD + in-place mesh retune, exact fallback on drift).
+    incremental_recompile: bool = True
+    #: Share one process-local scratch arena between the trainer and the
+    #: Monte Carlo evaluation (bit-identical; allocation reuse only).
+    use_workspace: bool = True
+    #: Refine each model's max tolerable sigma by bisection after the coarse
+    #: sweep (O(log) extra Monte Carlo runs instead of a finer grid).
+    bisect: bool = False
+    #: Bracket resolution of the bisection refinement (absolute sigma).
+    bisect_tolerance: float = 5e-4
     chunk_size: Optional[int] = 250
     #: Execution backend for the evaluation sweeps: ``workers=N`` shards the
     #: Monte Carlo chunks across N processes, bit-identical to serial.
@@ -143,6 +164,8 @@ class Exp3Result:
     accuracy_samples: Dict[str, Dict[float, np.ndarray]] = field(repr=False)
     #: Parametric yield sweep per model (shared accuracy spec).
     yields: Dict[str, YieldSweepResult] = field(repr=False, default_factory=dict)
+    #: Bisection-refined max tolerable sigma per model (``config.bisect``).
+    bisections: Dict[str, SigmaBisectionResult] = field(repr=False, default_factory=dict)
 
     # ------------------------------------------------------------------ #
     def model_keys(self) -> List[str]:
@@ -164,6 +187,17 @@ class Exp3Result:
     def max_tolerable_sigma(self, key: str) -> Optional[float]:
         """Largest evaluated sigma at which the model still meets the yield target."""
         return self.yields[key].max_tolerable_sigma
+
+    def refined_max_tolerable_sigma(self, key: str) -> Optional[float]:
+        """Bisection-refined max tolerable sigma (falls back to the grid value).
+
+        The fallback also covers a bisection whose fresh Monte Carlo probe
+        failed the grid's borderline passing sigma (refined ``None``): the
+        coarse estimate remains the best available answer.
+        """
+        if key in self.bisections and self.bisections[key].max_tolerable_sigma is not None:
+            return self.bisections[key].max_tolerable_sigma
+        return self.max_tolerable_sigma(key)
 
     def max_tolerable_improvement(self, train_sigma: float) -> Optional[float]:
         """Gain in max tolerable sigma of the robust model over the baseline.
@@ -210,6 +244,20 @@ class Exp3Result:
                 for sigma in self.config.train_sigmas
             )
         )
+        if self.bisections:
+            refined = []
+            for key in self.model_keys():
+                if key not in self.bisections:
+                    continue
+                bisection = self.bisections[key]
+                value = bisection.max_tolerable_sigma
+                refined.append(
+                    f"{key} {value:.4f}" if value is not None else f"{key} none"
+                )
+                refined[-1] += f" ({bisection.num_probes} probes)"
+            footer_lines.append(
+                "bisection-refined max tolerable sigma: " + ", ".join(refined)
+            )
         return "\n".join([header, format_table(headers, rows)] + footer_lines)
 
 
@@ -247,6 +295,8 @@ def train_noise_aware_model(
         recompile_every=config.recompile_every,
         scheme=training.architecture.scheme,
         rng=config.noise_seed,
+        incremental=config.incremental_recompile,
+        reuse_draws=config.reuse_draws,
     )
     trainer = NoiseAwareTrainer(
         model,
@@ -255,6 +305,7 @@ def train_noise_aware_model(
         schedule=config.schedule,
         config=TrainerConfig(epochs=training.epochs, batch_size=training.batch_size),
         rng=gen,
+        workspace=process_workspace() if config.use_workspace else None,
     )
     history = trainer.fit(features, labels)
     return model, history
@@ -304,36 +355,69 @@ def run_exp3(config: Exp3Config = Exp3Config(), rng: RNGLike = None) -> Exp3Resu
     # ------------------------------------------------------------------ #
     gen = ensure_rng(rng if rng is not None else config.seed)
     backend = resolve_backend(config.backend, config.workers)
-    # One independent stream per (model, eval sigma), spawned up front so
-    # the samples do not depend on evaluation order or scheduling.
-    model_streams = spawn_rngs(gen, len(spnns))
+    # One independent stream per (model, eval sigma) — plus one bisection
+    # stream per model — spawned up front so the samples do not depend on
+    # evaluation order or scheduling.
+    model_streams = spawn_rngs(gen, 2 * len(spnns))
 
     accuracy_samples: Dict[str, Dict[float, np.ndarray]] = {}
     yields: Dict[str, YieldSweepResult] = {}
-    with pool_scope(backend):
-        for (key, spnn), stream in zip(spnns.items(), model_streams):
-            # yield_sweep spawns one child stream per sigma from `stream` and
-            # runs the vectorized engine on the shared backend — one sweep
-            # call per model delivers both the samples and the yield curve.
+    bisections: Dict[str, SigmaBisectionResult] = {}
+    # One pool and one shared-memory hosting of the eval set serve every
+    # model's sweep (and bisection): the ~hundreds-of-KB eval arrays cross
+    # the process boundary once per worker for the whole experiment.
+    with pool_scope(backend), shared_eval_arrays(backend, test_x, test_y) as (
+        eval_x,
+        eval_y,
+    ):
+        for index, (key, spnn) in enumerate(spnns.items()):
+            # yield_sweep spawns one child stream per sigma from its stream
+            # and runs the vectorized engine on the shared backend — one
+            # sweep call per model delivers both the samples and the yield
+            # curve.
             sweep = yield_sweep(
                 spnn,
-                test_x,
-                test_y,
+                eval_x,
+                eval_y,
                 sigmas=config.eval_sigmas,
                 accuracy_threshold=accuracy_threshold,
                 target_yield=config.target_yield,
                 iterations=config.iterations,
                 case=config.case,
-                rng=stream,
+                rng=model_streams[2 * index],
                 chunk_size=config.chunk_size,
                 backend=backend,
+                use_workspace=config.use_workspace,
             )
             accuracy_samples[key] = sweep.accuracy_samples
             yields[key] = sweep
+            if config.bisect:
+                # Bracket from the coarse sweep: refine between the largest
+                # passing and the largest evaluated sigma at O(log) cost.
+                lo = sweep.max_tolerable_sigma or 0.0
+                hi = max(config.eval_sigmas)
+                if hi > lo:
+                    bisections[key] = bisect_max_tolerable_sigma(
+                        spnn,
+                        eval_x,
+                        eval_y,
+                        accuracy_threshold=accuracy_threshold,
+                        sigma_hi=hi,
+                        sigma_lo=lo,
+                        tolerance=config.bisect_tolerance,
+                        target_yield=config.target_yield,
+                        iterations=config.iterations,
+                        case=config.case,
+                        rng=model_streams[2 * index + 1],
+                        chunk_size=config.chunk_size,
+                        backend=backend,
+                        use_workspace=config.use_workspace,
+                    )
 
     return Exp3Result(
         config=config,
         nominal_accuracy=nominal,
         accuracy_samples=accuracy_samples,
         yields=yields,
+        bisections=bisections,
     )

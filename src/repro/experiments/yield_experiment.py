@@ -18,10 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from ..analysis.yield_analysis import YieldSweepResult, yield_sweep
+from ..analysis.yield_analysis import (
+    YieldSweepResult,
+    bisect_max_tolerable_sigma,
+    yield_sweep,
+)
 from ..execution import BackendLike
 from ..onn.builder import SPNNTask, SPNNTrainingConfig, build_trained_spnn
-from ..utils.rng import RNGLike
+from ..utils.rng import RNGLike, ensure_rng, spawn_rngs
 from .exp1_global import DEFAULT_SIGMAS
 
 #: Default sigma sweep: the EXP 1 levels, where the paper's accuracy cliff lives.
@@ -50,6 +54,11 @@ class YieldConfig:
     #: shards realization chunks across N processes, bit-identical to serial.
     backend: BackendLike = None
     workers: Optional[int] = None
+    #: Refine the max tolerable sigma by bisection after the coarse sweep
+    #: (O(log) extra Monte Carlo runs; CLI: ``spnn-repro yield --bisect``).
+    bisect: bool = False
+    #: Bracket resolution of the bisection refinement (absolute sigma).
+    bisect_tolerance: float = 5e-4
     #: Training configuration used only when no pre-built task is supplied.
     training: SPNNTrainingConfig = field(default_factory=SPNNTrainingConfig)
 
@@ -73,7 +82,14 @@ def run_yield(
     """
     if task is None:
         task = build_trained_spnn(config.training)
-    return yield_sweep(
+    # The default (no-bisect) run feeds the seed straight into the sweep,
+    # keeping its samples bit-identical to every earlier release; only the
+    # opt-in bisect mode splits off an independent refinement stream.
+    sweep_stream = rng if rng is not None else config.seed
+    bisect_stream = None
+    if config.bisect:
+        sweep_stream, bisect_stream = spawn_rngs(ensure_rng(sweep_stream), 2)
+    sweep = yield_sweep(
         task.spnn,
         task.test_features,
         task.test_labels,
@@ -84,8 +100,30 @@ def run_yield(
         iterations=config.iterations,
         case=config.case,
         perturb_sigma_stage=config.perturb_sigma_stage,
-        rng=rng if rng is not None else config.seed,
+        rng=sweep_stream,
         chunk_size=config.chunk_size,
         backend=config.backend,
         workers=config.workers,
     )
+    if config.bisect:
+        lo = sweep.max_tolerable_sigma or 0.0
+        hi = max(sweep.sigmas)
+        if hi > lo:
+            sweep.bisection = bisect_max_tolerable_sigma(
+                task.spnn,
+                task.test_features,
+                task.test_labels,
+                accuracy_threshold=sweep.accuracy_threshold,
+                sigma_hi=hi,
+                sigma_lo=lo,
+                tolerance=config.bisect_tolerance,
+                target_yield=config.target_yield,
+                iterations=config.iterations,
+                case=config.case,
+                perturb_sigma_stage=config.perturb_sigma_stage,
+                rng=bisect_stream,
+                chunk_size=config.chunk_size,
+                backend=config.backend,
+                workers=config.workers,
+            )
+    return sweep

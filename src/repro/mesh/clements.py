@@ -19,6 +19,8 @@ an output phase screen.
 
 from __future__ import annotations
 
+import cmath
+import math
 from typing import List, Tuple
 
 import numpy as np
@@ -27,6 +29,7 @@ from ..exceptions import DecompositionError
 from ..photonics.mzi import mzi_transfer
 from ..utils.linalg import assert_unitary
 from .decomposition import (
+    NULLING_TOLERANCE,
     MeshDecomposition,
     MZIConfig,
     assign_columns,
@@ -35,6 +38,8 @@ from .decomposition import (
     solve_right_nulling,
     wrap_phase,
 )
+
+_TWO_PI = 2.0 * math.pi
 
 
 def clements_decompose(unitary: np.ndarray, atol: float = 1e-8) -> MeshDecomposition:
@@ -138,3 +143,191 @@ def clements_mzi_count(n: int) -> int:
     if n < 1:
         raise DecompositionError(f"n must be >= 1, got {n}")
     return n * (n - 1) // 2
+
+
+# --------------------------------------------------------------------------- #
+# trusted fast path: phase-only re-decomposition for incremental recompiles
+# --------------------------------------------------------------------------- #
+#
+# The nulling *structure* of the Clements algorithm — which mode pair is
+# nulled at which point of which sweep, and hence the propagation order and
+# physical column of every MZI — depends only on ``n``, never on the matrix
+# values.  A mesh compiled once can therefore be *retuned* to a nearby
+# unitary by recomputing only the phases, reusing the cached layout, column
+# grouping and device bookkeeping.  The helpers below do exactly that, with
+# scalar ``math``/``cmath`` arithmetic in the inner loops and none of the
+# defensive validation of :func:`clements_decompose` (input unitarity check,
+# per-block refactoring checks, full propagation-order reconstruction).
+# They are meant for *trusted* inputs — unitary factors freshly produced by
+# LAPACK — and callers are expected to validate the retuned mesh against its
+# target cheaply (one vectorized ``matrix()`` evaluation) and fall back to
+# the exact, fully validated decomposition when the check fails; that is how
+# :meth:`repro.mesh.svd_layer.PhotonicLinearLayer.retune_from_weight` uses
+# them.
+
+
+def _fast_mzi_block(theta: float, phi: float) -> np.ndarray:
+    """Scalar 2x2 MZI transfer matrix (Eq. 1), no broadcasting machinery."""
+    e_theta = cmath.exp(1j * theta)
+    e_phi = cmath.exp(1j * phi)
+    bar = (e_theta - 1.0) / 2.0
+    cross = 1j * (e_theta + 1.0) / 2.0
+    out = np.empty((2, 2), dtype=np.complex128)
+    out[0, 0] = e_phi * bar
+    out[0, 1] = cross
+    out[1, 0] = e_phi * cross
+    out[1, 1] = -bar
+    return out
+
+
+def _fast_mzi_block_inverse(theta: float, phi: float) -> np.ndarray:
+    """``T(theta, phi)^H`` assembled directly (the blocks are unitary)."""
+    e_theta = cmath.exp(-1j * theta)
+    e_phi = cmath.exp(-1j * phi)
+    bar = (e_theta - 1.0) / 2.0
+    cross = -1j * (e_theta + 1.0) / 2.0
+    out = np.empty((2, 2), dtype=np.complex128)
+    out[0, 0] = e_phi * bar
+    out[0, 1] = e_phi * cross
+    out[1, 0] = cross
+    out[1, 1] = -bar
+    return out
+
+
+def _fast_solve_right(u_left: complex, u_right: complex) -> Tuple[float, float]:
+    """Scalar :func:`~repro.mesh.decomposition.solve_right_nulling`."""
+    if abs(u_left) < NULLING_TOLERANCE:
+        if abs(u_right) < NULLING_TOLERANCE:
+            return 0.0, 0.0
+        return math.pi, 0.0
+    ratio = -u_right / u_left
+    theta = 2.0 * math.atan(abs(ratio))
+    phi = -cmath.phase(ratio)
+    return theta % _TWO_PI, phi % _TWO_PI
+
+
+def _fast_solve_left(u_upper: complex, u_lower: complex) -> Tuple[float, float]:
+    """Scalar :func:`~repro.mesh.decomposition.solve_left_nulling`."""
+    if abs(u_lower) < NULLING_TOLERANCE:
+        if abs(u_upper) < NULLING_TOLERANCE:
+            return 0.0, 0.0
+        return math.pi, 0.0
+    ratio = u_upper / u_lower
+    theta = 2.0 * math.atan(abs(ratio))
+    phi = -cmath.phase(ratio)
+    return theta % _TWO_PI, phi % _TWO_PI
+
+
+def _fast_factor_diag_times_mzi(
+    w00: complex, w01: complex, w10: complex, w11: complex
+) -> Tuple[complex, complex, float, float]:
+    """Scalar, unvalidated :func:`~repro.mesh.decomposition.factor_diag_times_mzi`."""
+    sin_half = min(abs(w00), 1.0)
+    cos_half = min(abs(w01), 1.0)
+    theta = 2.0 * math.atan2(sin_half, cos_half)
+    half = cmath.exp(1j * theta / 2.0)
+    sin_half = math.sin(theta / 2.0)
+    cos_half = math.cos(theta / 2.0)
+    if sin_half > NULLING_TOLERANCE and cos_half > NULLING_TOLERANCE:
+        phi = cmath.phase(w00) - cmath.phase(w01)
+        a = w01 / (1j * half * cos_half)
+        b = -w11 / (1j * half * sin_half)
+    elif sin_half <= NULLING_TOLERANCE:
+        # theta ~ 0: the block is anti-diagonal.
+        phi = 0.0
+        a = w01 / (1j * half)
+        b = w10 / (1j * half)
+    else:
+        # theta ~ pi: the block is diagonal.
+        phi = 0.0
+        a = w00 / (1j * half)
+        b = -w11 / (1j * half)
+    return a, b, theta % _TWO_PI, phi % _TWO_PI
+
+
+def clements_phases(unitary: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Clements phases of a *trusted* unitary, skipping all validation.
+
+    Returns ``(thetas, phis, output_phases)`` in exactly the propagation
+    order :func:`clements_decompose` produces for the same ``n``, so the
+    result can be written straight into a cached
+    :class:`~repro.mesh.mesh.MZIMesh` via
+    :meth:`~repro.mesh.mesh.MZIMesh.retune`.
+
+    Compared to :func:`clements_decompose` this skips the input unitarity
+    assertion, the per-block refactoring checks and the full
+    propagation-order reconstruction check, and runs the 2x2 inner loops on
+    scalars — several times faster on the meshes of the paper's
+    architecture.  The only check kept is the residual-diagonality test of
+    the nulled work matrix, which catches grossly non-unitary input.
+    Callers own the final accuracy check (compare the retuned mesh against
+    the target) and the exact-recompile fallback.
+
+    Raises
+    ------
+    DecompositionError
+        If the nulling sweeps leave a non-diagonal residual (non-unitary or
+        badly conditioned input).
+    """
+    unitary = np.asarray(unitary, dtype=np.complex128)
+    if unitary.ndim != 2 or unitary.shape[0] != unitary.shape[1]:
+        raise DecompositionError(f"unitary must be square, got shape {unitary.shape}")
+    n = unitary.shape[0]
+    work = unitary.copy()
+
+    right_phases: List[Tuple[float, float]] = []
+    left_ops: List[Tuple[int, float, float]] = []
+
+    for sweep in range(n - 1):
+        if sweep % 2 == 0:
+            for j in range(sweep + 1):
+                mode = sweep - j
+                row = n - 1 - j
+                theta, phi = _fast_solve_right(
+                    complex(work[row, mode]), complex(work[row, mode + 1])
+                )
+                t_inv = _fast_mzi_block_inverse(theta, phi)
+                work[:, mode : mode + 2] = work[:, mode : mode + 2] @ t_inv
+                right_phases.append((theta, phi))
+        else:
+            for j in range(sweep + 1):
+                mode = n - 2 + j - sweep
+                col = j
+                theta, phi = _fast_solve_left(
+                    complex(work[mode, col]), complex(work[mode + 1, col])
+                )
+                t_mat = _fast_mzi_block(theta, phi)
+                work[mode : mode + 2, :] = t_mat @ work[mode : mode + 2, :]
+                left_ops.append((mode, theta, phi))
+
+    off_diagonal = work - np.diag(np.diagonal(work))
+    residual = float(np.max(np.abs(off_diagonal))) if n > 1 else 0.0
+    if residual > 1e-7:
+        raise DecompositionError(
+            f"fast Clements nulling failed: residual off-diagonal magnitude {residual:.3e}"
+        )
+    diag = [complex(value) for value in np.diagonal(work)]
+
+    # Commute the left-applied inverses through the diagonal, innermost
+    # first — same algebra as clements_decompose, scalar arithmetic
+    # (``T^H @ diag(d0, d1)`` written out elementwise).
+    commuted_phases: List[Tuple[float, float]] = []
+    for mode, theta, phi in reversed(left_ops):
+        e_theta = cmath.exp(-1j * theta)
+        e_phi = cmath.exp(-1j * phi)
+        bar = (e_theta - 1.0) / 2.0
+        cross = -1j * (e_theta + 1.0) / 2.0
+        d0 = diag[mode]
+        d1 = diag[mode + 1]
+        a, b, new_theta, new_phi = _fast_factor_diag_times_mzi(
+            e_phi * bar * d0, e_phi * cross * d1, cross * d0, -bar * d1
+        )
+        diag[mode] = a
+        diag[mode + 1] = b
+        commuted_phases.append((new_theta, new_phi))
+
+    ordered = right_phases + commuted_phases
+    thetas = np.array([pair[0] for pair in ordered], dtype=np.float64)
+    phis = np.array([pair[1] for pair in ordered], dtype=np.float64)
+    output_phases = np.mod(np.angle(np.array(diag, dtype=np.complex128)), _TWO_PI)
+    return thetas, phis, output_phases

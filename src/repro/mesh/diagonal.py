@@ -26,7 +26,6 @@ import numpy as np
 from ..exceptions import ConfigurationError, ShapeError
 from ..photonics.mzi import mzi_transfer_components
 from ._batch import PerturbationBatchFields
-from .decomposition import wrap_phase
 
 
 @dataclass
@@ -106,9 +105,7 @@ class DiagonalStage:
         values = np.asarray(singular_values, dtype=np.float64)
         if values.ndim != 1:
             raise ShapeError(f"singular_values must be 1-D, got shape {values.shape}")
-        if np.any(values < 0):
-            raise ConfigurationError("singular values must be non-negative")
-        self.singular_values = values.copy()
+        self.singular_values = values.copy()  # size anchor for retune
         k = values.shape[0]
         if shape is None:
             shape = (k, k)
@@ -118,14 +115,34 @@ class DiagonalStage:
                 f"shape {shape} is incompatible with {k} singular values (min(shape) must equal k)"
             )
         self.shape = (rows, cols)
+        # Value validation, gain selection and the attenuator set points
+        # live in retune() so a recompile tunes through the exact same code.
+        self.retune(values, gain)
 
+    # ------------------------------------------------------------------ #
+    def retune(self, singular_values: np.ndarray, gain: Optional[float] = None) -> None:
+        """Re-tune the attenuator bank to new singular values in place.
+
+        The bank keeps its size and embedding ``shape``; only the set
+        points (and the global gain) change — the cheap counterpart of
+        rebuilding the stage during an incremental recompile.  Gain
+        selection follows the constructor: ``None`` picks
+        ``max(singular_values)`` (or 1 for an all-zero spectrum).
+        """
+        values = np.asarray(singular_values, dtype=np.float64)
+        if values.shape != self.singular_values.shape:
+            raise ShapeError(
+                f"singular_values must have shape {self.singular_values.shape}, got {values.shape}"
+            )
+        if np.any(values < 0):
+            raise ConfigurationError("singular values must be non-negative")
+        self.singular_values = values.copy()
         if gain is None:
-            max_value = float(values.max()) if k else 1.0
+            max_value = float(values.max()) if values.size else 1.0
             gain = max_value if max_value > 0 else 1.0
         if gain <= 0:
             raise ConfigurationError(f"gain must be positive, got {gain}")
         self.gain = float(gain)
-
         normalized = values / self.gain
         if np.any(normalized > 1.0 + 1e-9):
             raise ConfigurationError(
@@ -133,10 +150,8 @@ class DiagonalStage:
                 f"(max normalized value {normalized.max():.6f})"
             )
         normalized = np.clip(normalized, 0.0, 1.0)
-        # Attenuator tuning: sin(theta/2) = s / beta, phi cancels the phase
-        # i * exp(i * theta / 2) of the bar-path amplitude.
         self.thetas = 2.0 * np.arcsin(normalized)
-        self.phis = np.array([wrap_phase(-0.5 * theta - 0.5 * np.pi) for theta in self.thetas])
+        self.phis = np.mod(-0.5 * self.thetas - 0.5 * np.pi, 2.0 * np.pi)
 
     # ------------------------------------------------------------------ #
     @property

@@ -281,6 +281,52 @@ class MZIMesh:
         return int(matches[0]) if matches.size else None
 
     # ------------------------------------------------------------------ #
+    # in-place retuning (incremental recompilation)
+    # ------------------------------------------------------------------ #
+    def retune(self, thetas: np.ndarray, phis: np.ndarray, output_phases: np.ndarray) -> None:
+        """Re-tune every phase in place, keeping the physical layout.
+
+        The mode/column structure of a Clements (or Reck) mesh depends only
+        on ``n``, so a mesh compiled once can realize any other unitary of
+        the same size by updating just its phase settings — this is what
+        makes incremental recompilation of a slowly moving weight matrix
+        cheap (see :func:`repro.mesh.clements.clements_phases`).  The cached
+        column grouping, propagation permutation and mode arrays are all
+        reused; ``configs`` and ``decomposition`` are rebuilt so structural
+        consumers (zone maps, per-MZI reports) stay consistent.
+
+        Parameters
+        ----------
+        thetas, phis:
+            New phase angles [rad] in propagation order, length ``num_mzis``.
+        output_phases:
+            New output phase screen, length ``n``.
+        """
+        thetas = np.asarray(thetas, dtype=np.float64)
+        phis = np.asarray(phis, dtype=np.float64)
+        output_phases = np.asarray(output_phases, dtype=np.float64)
+        if thetas.shape != (self.num_mzis,) or phis.shape != (self.num_mzis,):
+            raise ShapeError(
+                f"thetas/phis must have shape ({self.num_mzis},), "
+                f"got {thetas.shape} and {phis.shape}"
+            )
+        if output_phases.shape != (self.n,):
+            raise ShapeError(f"output_phases must have shape ({self.n},), got {output_phases.shape}")
+        self._thetas = thetas.copy()
+        self._phis = phis.copy()
+        self.output_phases = output_phases.copy()
+        self.configs = [
+            MZIConfig(mode=c.mode, theta=float(t), phi=float(p), column=c.column, index=c.index)
+            for c, t, p in zip(self.configs, thetas, phis)
+        ]
+        self.decomposition = MeshDecomposition(
+            n=self.n,
+            configs=self.configs,
+            output_phases=self.output_phases,
+            scheme=self.decomposition.scheme,
+        )
+
+    # ------------------------------------------------------------------ #
     # matrix evaluation
     # ------------------------------------------------------------------ #
     def ideal_matrix(self) -> np.ndarray:

@@ -16,9 +16,10 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..exceptions import ShapeError
+from ..exceptions import ConfigurationError, DecompositionError, ShapeError
 from ..utils.linalg import svd_decompose
 from ..utils.validation import as_complex_array
+from .clements import clements_phases
 from .diagonal import DiagonalPerturbation, DiagonalPerturbationBatch, DiagonalStage
 from .mesh import MeshPerturbation, MeshPerturbationBatch, MZIMesh
 
@@ -52,12 +53,21 @@ class LayerPerturbationBatch:
         raise ShapeError("empty LayerPerturbationBatch has no batch size")
 
     @classmethod
-    def stack(cls, perturbations: Sequence[LayerPerturbation]) -> "LayerPerturbationBatch":
+    def stack(
+        cls,
+        perturbations: Sequence[LayerPerturbation],
+        workspace=None,
+        workspace_key=None,
+    ) -> "LayerPerturbationBatch":
         """Stack per-iteration :class:`LayerPerturbation` draws into a batch.
 
         A stage that is ``None`` in every realization stays ``None``;
         stages present in only some realizations get all-``None`` placeholder
         rows, which the stage-level ``stack`` zero-fills field by field.
+        ``workspace``/``workspace_key`` optionally back the stacked arrays
+        with reusable buffers (see
+        :meth:`~repro.mesh._batch.PerturbationBatchFields.stack`); the
+        stage name is appended to the key so the three stages never alias.
         """
         perturbations = list(perturbations)
         if not perturbations:
@@ -68,14 +78,24 @@ class LayerPerturbationBatch:
         return cls(
             u=None
             if all(s is None for s in u_stages)
-            else MeshPerturbationBatch.stack([s if s is not None else MeshPerturbation() for s in u_stages]),
+            else MeshPerturbationBatch.stack(
+                [s if s is not None else MeshPerturbation() for s in u_stages],
+                workspace=workspace,
+                workspace_key=(workspace_key, "u"),
+            ),
             v=None
             if all(s is None for s in v_stages)
-            else MeshPerturbationBatch.stack([s if s is not None else MeshPerturbation() for s in v_stages]),
+            else MeshPerturbationBatch.stack(
+                [s if s is not None else MeshPerturbation() for s in v_stages],
+                workspace=workspace,
+                workspace_key=(workspace_key, "v"),
+            ),
             sigma=None
             if all(s is None for s in sigma_stages)
             else DiagonalPerturbationBatch.stack(
-                [s if s is not None else DiagonalPerturbation() for s in sigma_stages]
+                [s if s is not None else DiagonalPerturbation() for s in sigma_stages],
+                workspace=workspace,
+                workspace_key=(workspace_key, "sigma"),
             ),
         )
 
@@ -119,6 +139,9 @@ class PhotonicLinearLayer:
         self.mesh_u = MZIMesh.from_unitary(u, scheme=scheme)
         self.mesh_v = MZIMesh.from_unitary(vh, scheme=scheme)
         self.diagonal = DiagonalStage(s, shape=(self.out_features, self.in_features))
+        # Cached factors of the last compile: the warm-start basis for
+        # incremental recompiles (see retune_from_weight).
+        self._svd = (u, s, vh)
 
     # ------------------------------------------------------------------ #
     # structure
@@ -147,6 +170,61 @@ class PhotonicLinearLayer:
             "total_mzis": self.num_mzis,
             "phase_shifters": self.num_phase_shifters,
         }
+
+    # ------------------------------------------------------------------ #
+    # incremental recompilation
+    # ------------------------------------------------------------------ #
+    def retune_from_weight(self, weight: np.ndarray, max_error: float = 1e-7) -> bool:
+        """Warm-started in-place recompile of the layer onto new weights.
+
+        Instead of rebuilding the layer from scratch (fresh SVD, two fully
+        validated mesh decompositions, new stage objects), this
+
+        1. **rotation-updates the cached SVD**: with ``U, Vh`` from the last
+           compile, the core ``C = U^H W V`` is decomposed (for a slowly
+           moving ``W`` it is nearly diagonal, so the new factors
+           ``U' = U P`` and ``V'^H = Q^H V^H`` stay continuously connected
+           to the cached basis — no arbitrary column-phase jumps between
+           steps) — an *exact* SVD of ``W``, assembled in the old basis;
+        2. re-derives the Clements phases through the trusted fast path
+           (:func:`~repro.mesh.clements.clements_phases`) and retunes the
+           cached meshes and the attenuator bank **in place**, reusing
+           every piece of structural bookkeeping; and
+        3. validates the result against ``weight`` with one vectorized
+           reconstruction (``max |M_nominal - W| <= max_error``).
+
+        Returns ``True`` on success.  On ``False`` the warm start diverged
+        (or the layer uses a non-Clements scheme) and the layer state is
+        **unspecified** — the caller must rebuild the layer exactly, which
+        is precisely the fallback :class:`repro.training.injector.NoiseInjector`
+        implements.
+        """
+        if self.scheme != "clements":
+            return False
+        weight = as_complex_array(weight, "weight")
+        if weight.shape != (self.out_features, self.in_features):
+            raise ShapeError(
+                f"weight must have shape {(self.out_features, self.in_features)}, got {weight.shape}"
+            )
+        u_prev, _, vh_prev = self._svd
+        core = u_prev.conj().T @ weight @ vh_prev.conj().T
+        try:
+            p, s, qh = np.linalg.svd(core, full_matrices=True)
+        except np.linalg.LinAlgError:  # pragma: no cover - LAPACK non-convergence
+            return False
+        u = u_prev @ p
+        vh = qh @ vh_prev
+        try:
+            self.mesh_u.retune(*clements_phases(u))
+            self.mesh_v.retune(*clements_phases(vh))
+            self.diagonal.retune(s)
+        except (DecompositionError, ConfigurationError):
+            return False
+        self.weight = weight.copy()
+        self._svd = (u, s, vh)
+        if self.reconstruction_error() > max_error:
+            return False
+        return True
 
     # ------------------------------------------------------------------ #
     # matrix evaluation

@@ -35,10 +35,19 @@ import numpy as np
 
 from ..analysis.monte_carlo import MonteCarloRunner
 from ..execution import BackendLike
+from ..execution.shared import ArrayLike, resolve_array
+from ..training.workspace import process_workspace
 from ..utils.rng import RNGLike
 from ..variation.models import UncertaintyModel
 from ..variation.sampler import sample_network_perturbation, sample_network_perturbation_batch
 from .spnn import SPNN, NetworkPerturbation, stack_network_perturbations
+
+#: Target working-set bytes of one scheduled Monte Carlo chunk — matches the
+#: ~8 MB activation-chunk target of :meth:`SPNN.accuracy_batch`, so the
+#: runner's default chunking keeps a whole chunk (sampling buffers, stacked
+#: matrices and one forward block) near cache-friendly size no matter how
+#: large the evaluation set grows.
+CHUNK_TARGET_BYTES = 8 * 1024 * 1024
 
 
 def hardware_accuracy(
@@ -61,8 +70,8 @@ class NetworkAccuracyTrial:
     """
 
     spnn: SPNN
-    features: np.ndarray
-    labels: np.ndarray
+    features: ArrayLike
+    labels: ArrayLike
     model: Optional[UncertaintyModel] = None
     perturbation_factory: Optional[Callable[[np.random.Generator], NetworkPerturbation]] = None
 
@@ -73,7 +82,10 @@ class NetworkAccuracyTrial:
 
     def __call__(self, generator: np.random.Generator) -> float:
         return self.spnn.accuracy(
-            self.features, self.labels, perturbations=self.sample(generator), use_hardware=True
+            resolve_array(self.features),
+            resolve_array(self.labels),
+            perturbations=self.sample(generator),
+            use_hardware=True,
         )
 
 
@@ -89,37 +101,74 @@ class NetworkAccuracyBatchTrial:
     """
 
     spnn: SPNN
-    features: np.ndarray
-    labels: np.ndarray
+    features: ArrayLike
+    labels: ArrayLike
     model: Optional[UncertaintyModel] = None
     perturbation_factory: Optional[Callable[[np.random.Generator], NetworkPerturbation]] = None
     #: Realizations per forward-pass chunk inside ``accuracy_batch`` (memory
     #: bound); automatic when ``None``.  Does not change the samples.
     forward_chunk_size: Optional[int] = None
+    #: Recycle the per-chunk scratch buffers through the process-local
+    #: workspace arena (:func:`repro.training.workspace.process_workspace`).
+    #: Each worker process lazily creates its own arena, so buffer reuse is
+    #: aliasing-safe under every backend; samples are bit-identical.
+    use_workspace: bool = False
+
+    def preferred_chunk_size(self) -> int:
+        """Realizations per chunk keeping one vectorized call near the target.
+
+        Consulted by :class:`~repro.analysis.monte_carlo.MonteCarloRunner`
+        when no explicit ``chunk_size`` is given.  The estimate counts what
+        one realization adds to a chunk's working set — its slice of the
+        forward activations, the stacked per-layer hardware matrices, and
+        the perturbation sampling buffers — so the default chunk shrinks as
+        the evaluation set grows (the paper's 10k MNIST test set lands at a
+        handful of realizations per chunk) instead of letting a whole
+        1000-iteration run blow past the ~8 MB activation-chunk target in
+        one call.  Chunking never changes the samples.
+        """
+        features = resolve_array(self.features)
+        samples = int(features.shape[0]) if features.ndim > 1 else 1
+        architecture = self.spnn.architecture
+        width = max(architecture.layer_dims)
+        activation_bytes = samples * width * 16  # complex128 forward block
+        matrix_bytes = sum(out * inp for out, inp in architecture.weight_shapes()) * 16
+        mzis = (
+            sum(layer.num_mzis for layer in self.spnn.photonic_layers)
+            if self.spnn.is_compiled
+            else 0
+        )
+        # Four perturbed parameter families per MZI, drawn then scaled.
+        sampling_bytes = 2 * 4 * mzis * 8
+        per_realization = activation_bytes + matrix_bytes + sampling_bytes
+        return max(1, CHUNK_TARGET_BYTES // max(1, per_realization))
 
     def __call__(self, generators: Sequence[np.random.Generator]) -> np.ndarray:
         generators = list(generators)
+        workspace = process_workspace() if self.use_workspace else None
         if self.perturbation_factory is None:
             batch = sample_network_perturbation_batch(
-                self.spnn.photonic_layers, self.model, generators
+                self.spnn.photonic_layers, self.model, generators, workspace=workspace
             )
         else:
             batch = stack_network_perturbations(
-                [self.perturbation_factory(generator) for generator in generators]
+                [self.perturbation_factory(generator) for generator in generators],
+                workspace=workspace,
             )
         return self.spnn.accuracy_batch(
-            self.features,
-            self.labels,
+            resolve_array(self.features),
+            resolve_array(self.labels),
             batch,
             batch_size=len(generators),
             chunk_size=self.forward_chunk_size,
+            workspace=workspace,
         )
 
 
 def monte_carlo_accuracy(
     spnn: SPNN,
-    features: np.ndarray,
-    labels: np.ndarray,
+    features: ArrayLike,
+    labels: ArrayLike,
     model: UncertaintyModel,
     iterations: int,
     rng: RNGLike = None,
@@ -128,6 +177,7 @@ def monte_carlo_accuracy(
     chunk_size: Optional[int] = None,
     backend: BackendLike = None,
     workers: Optional[int] = None,
+    use_workspace: bool = False,
 ) -> np.ndarray:
     """Accuracy samples over ``iterations`` uncertainty realizations.
 
@@ -136,7 +186,11 @@ def monte_carlo_accuracy(
     spnn:
         Compiled network under test.
     features, labels:
-        Evaluation set (the paper uses the full MNIST test set).
+        Evaluation set (the paper uses the full MNIST test set).  Plain
+        arrays or :class:`~repro.execution.shared.SharedArray` handles —
+        sweeps over process backends host the eval set in shared memory
+        once (:func:`~repro.execution.shared.shared_eval_arrays`) so it is
+        not re-pickled into the workers for every chunk.
     model:
         Component uncertainty model used by the default sampler.
     iterations:
@@ -163,6 +217,10 @@ def monte_carlo_accuracy(
         Execution-backend knobs (see :func:`repro.execution.resolve_backend`):
         ``workers=N`` shards the realization chunks across ``N`` worker
         processes, bit-identical to the serial run at the same seed.
+    use_workspace:
+        Recycle the vectorized path's scratch buffers through the
+        process-local workspace arena (one per worker process).  Purely an
+        allocation optimization; samples are bit-identical.
 
     Returns
     -------
@@ -189,6 +247,7 @@ def monte_carlo_accuracy(
         labels=labels,
         model=model,
         perturbation_factory=perturbation_factory,
+        use_workspace=use_workspace,
     )
     return runner.run_batched(batch_trial, rng=rng).samples
 

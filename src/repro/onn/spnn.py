@@ -39,12 +39,17 @@ NetworkPerturbationBatch = List[Optional[LayerPerturbationBatch]]
 
 def stack_network_perturbations(
     realizations: Sequence[NetworkPerturbation],
+    workspace=None,
 ) -> NetworkPerturbationBatch:
     """Stack per-iteration network perturbations into a leading batch axis.
 
     ``realizations[b][l]`` is realization ``b`` of layer ``l``; the result
     has one :class:`LayerPerturbationBatch` per layer (or ``None`` when the
-    layer is unperturbed in every realization).
+    layer is unperturbed in every realization).  With a ``workspace`` the
+    stacked arrays live in reusable arena buffers keyed per layer and
+    stage, eliminating the per-call stack allocations of custom-sampler
+    Monte Carlo chunks; the batch is then valid until the next
+    workspace-backed stack.
     """
     realizations = list(realizations)
     if not realizations:
@@ -60,7 +65,9 @@ def stack_network_perturbations(
         else:
             batch.append(
                 LayerPerturbationBatch.stack(
-                    [stage if stage is not None else LayerPerturbation.none() for stage in stages]
+                    [stage if stage is not None else LayerPerturbation.none() for stage in stages],
+                    workspace=workspace,
+                    workspace_key=("network-stack", layer_index),
                 )
             )
     return batch
@@ -117,19 +124,24 @@ class SPNNArchitecture:
 # --------------------------------------------------------------------------- #
 
 
-def _softplus(x: np.ndarray, beta: float = 1.0, threshold: float = 30.0) -> np.ndarray:
-    scaled = beta * x
+def _softplus(
+    x: np.ndarray, beta: float = 1.0, threshold: float = 30.0, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    # `out` optionally supplies the result buffer (it must not alias `x`,
+    # which is still read for the saturated branch); values are identical
+    # with and without it.
+    scaled = np.multiply(beta, x, out=out) if out is not None else beta * x
     saturated = scaled > threshold
     any_saturated = bool(saturated.any())
     # Reuse one buffer for the chained elementwise steps (the arrays here are
     # the largest activations of the batched Monte Carlo path).
-    out = np.minimum(scaled, threshold, out=scaled)
-    np.exp(out, out=out)
-    np.log1p(out, out=out)
+    result = np.minimum(scaled, threshold, out=scaled)
+    np.exp(result, out=result)
+    np.log1p(result, out=result)
     if beta != 1.0:
-        out /= beta
-    # With no saturated entries the where() would copy `out` verbatim.
-    return np.where(saturated, x, out) if any_saturated else out
+        result /= beta
+    # With no saturated entries the where() would copy `result` verbatim.
+    return np.where(saturated, x, result) if any_saturated else result
 
 
 def _log_softmax(x: np.ndarray) -> np.ndarray:
@@ -137,7 +149,17 @@ def _log_softmax(x: np.ndarray) -> np.ndarray:
     return shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
 
 
-def _matmul_transposed(activations: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+def _matmul_result_shape(activations: np.ndarray, matrix: np.ndarray) -> Tuple[int, ...]:
+    """Shape of ``activations @ swapaxes(matrix, -2, -1)`` under broadcasting."""
+    return tuple(
+        np.broadcast_shapes(activations.shape[:-1], matrix.shape[:-2] + (1,))
+        + (matrix.shape[-2],)
+    )
+
+
+def _matmul_transposed(
+    activations: np.ndarray, matrix: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """``activations @ matrix.T`` with a real/complex split on the hot path.
 
     After the modulus-Softplus the activations are real while the hardware
@@ -145,16 +167,17 @@ def _matmul_transposed(activations: np.ndarray, matrix: np.ndarray) -> np.ndarra
     half its work on the zero imaginary part.  Computing the real and
     imaginary products separately halves that cost.  ``matrix`` may carry a
     leading batch axis (stacked matmuls run the same per-slice kernel as the
-    2-D ones, so the looped and batched paths stay bit-identical).
+    2-D ones, so the looped and batched paths stay bit-identical).  ``out``
+    optionally supplies the result buffer (a workspace view of shape
+    :func:`_matmul_result_shape`); the values do not depend on it.
     """
     transposed = np.swapaxes(matrix, -2, -1)
     if np.iscomplexobj(activations):
-        return activations @ transposed
-    out = np.empty(
-        np.broadcast_shapes(activations.shape[:-1], transposed.shape[:-2] + (1,))
-        + (transposed.shape[-1],),
-        dtype=np.complex128,
-    )
+        if out is None:
+            return activations @ transposed
+        return np.matmul(activations, transposed, out=out)
+    if out is None:
+        out = np.empty(_matmul_result_shape(activations, matrix), dtype=np.complex128)
     out.real = activations @ transposed.real
     out.imag = activations @ transposed.imag
     return out
@@ -325,6 +348,7 @@ class SPNN:
         features: np.ndarray,
         perturbations: Optional[NetworkPerturbationBatch] = None,
         batch_size: Optional[int] = None,
+        workspace=None,
     ) -> np.ndarray:
         """Log-probabilities for ``B`` uncertainty realizations at once.
 
@@ -339,6 +363,10 @@ class SPNN:
             ``*_batch`` samplers.
         batch_size:
             Required when ``perturbations`` is ``None`` or all-``None``.
+        workspace:
+            Optional :class:`~repro.training.workspace.VectorizedWorkspace`
+            backing the activation buffers with reusable allocations.
+            Values are bit-identical with and without it.
 
         Returns
         -------
@@ -348,7 +376,9 @@ class SPNN:
             on the individual realizations.
         """
         matrices = self.hardware_matrices_batch(perturbations, batch_size=batch_size)
-        return self._forward_batch_with_matrices(self._validated_features(features), matrices)
+        return self._forward_batch_with_matrices(
+            self._validated_features(features), matrices, workspace=workspace
+        )
 
     def _validated_features(self, features: np.ndarray) -> np.ndarray:
         features = as_complex_array(features, "features")
@@ -361,21 +391,54 @@ class SPNN:
         return features
 
     def _forward_batch_with_matrices(
-        self, features: np.ndarray, matrices: Sequence[np.ndarray]
+        self, features: np.ndarray, matrices: Sequence[np.ndarray], workspace=None
     ) -> np.ndarray:
         """Forward pass of validated ``(samples, n)`` features through stacked matrices."""
-        return _log_softmax(self._modulus_batch_with_matrices(features, matrices) ** 2)
+        return _log_softmax(
+            self._modulus_batch_with_matrices(features, matrices, workspace=workspace) ** 2
+        )
 
     def _modulus_batch_with_matrices(
-        self, features: np.ndarray, matrices: Sequence[np.ndarray]
+        self, features: np.ndarray, matrices: Sequence[np.ndarray], workspace=None
     ) -> np.ndarray:
-        """Batched counterpart of :meth:`_modulus_with_matrices`, ``(B, samples, out)``."""
+        """Batched counterpart of :meth:`_modulus_with_matrices`, ``(B, samples, out)``.
+
+        With a ``workspace`` the per-stage activation blocks (stacked
+        matmul results, modulus and Softplus outputs) live in reusable
+        arena buffers, one key per pipeline stage so no two live
+        intermediates alias; every buffer is fully overwritten, keeping the
+        values bit-identical to the allocating path.  The returned modulus
+        may be a workspace view — valid until the next workspace-backed
+        call.
+        """
         activations = features[np.newaxis, :, :]  # (1, samples, n) broadcasts over B
         last = len(matrices) - 1
+        beta = self.architecture.softplus_beta
         for index, matrix in enumerate(matrices):
-            activations = _matmul_transposed(activations, matrix)
+            out = None
+            if workspace is not None:
+                out = workspace.buffer(
+                    ("spnn/matmul", index), _matmul_result_shape(activations, matrix), np.complex128
+                )
+            activations = _matmul_transposed(activations, matrix, out=out)
             if index != last:
-                activations = _softplus(np.abs(activations), beta=self.architecture.softplus_beta)
+                if workspace is not None:
+                    modulus = np.abs(
+                        activations,
+                        out=workspace.buffer(("spnn/modulus", index), activations.shape, np.float64),
+                    )
+                    activations = _softplus(
+                        modulus,
+                        beta=beta,
+                        out=workspace.buffer(("spnn/softplus", index), activations.shape, np.float64),
+                    )
+                else:
+                    activations = _softplus(np.abs(activations), beta=beta)
+        if workspace is not None:
+            return np.abs(
+                activations,
+                out=workspace.buffer(("spnn/modulus", last), activations.shape, np.float64),
+            )
         return np.abs(activations)
 
     def accuracy_batch(
@@ -385,6 +448,7 @@ class SPNN:
         perturbations: Optional[NetworkPerturbationBatch] = None,
         batch_size: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        workspace=None,
     ) -> np.ndarray:
         """Classification accuracy per realization, shape ``(B,)``.
 
@@ -393,6 +457,9 @@ class SPNN:
         set runs in chunks of ``chunk_size`` realizations so the activation
         workspace stays cache-resident; the chunk size is picked
         automatically when omitted.  Chunking does not change the results.
+        A :class:`~repro.training.workspace.VectorizedWorkspace` passed as
+        ``workspace`` recycles the per-chunk activation buffers across
+        chunks (and across calls); results are bit-identical either way.
         """
         labels = np.asarray(labels, dtype=np.int64)
         if labels.ndim != 1:
@@ -417,7 +484,7 @@ class SPNN:
             # log-probabilities (see _modulus_with_matrices), so the
             # normalization is skipped on this hot path.
             modulus = self._modulus_batch_with_matrices(
-                features, [matrix[start:stop] for matrix in matrices]
+                features, [matrix[start:stop] for matrix in matrices], workspace=workspace
             )
             predictions = np.argmax(modulus, axis=-1)
             accuracies[start:stop] = np.mean(predictions == labels[np.newaxis, :], axis=1)

@@ -12,7 +12,16 @@ the software training loop:
   scaling of the injected sigma over the epochs,
 * :class:`NoiseAwareTrainer` — a :class:`repro.nn.Trainer` subclass whose
   training step averages the loss over ``K`` noise draws (vectorized along
-  a leading batch axis).
+  a leading batch axis),
+* :class:`VectorizedWorkspace` — the shared scratch-buffer arena behind
+  the stacked ``(K·B, ...)`` hot paths (also used by the batched Monte
+  Carlo engine).
+
+The injector's opt-in performance modes (``incremental`` warm-started
+recompilation, ``reuse_draws`` window-amortized draws) are what make
+noise-aware training cost a small multiple — not ~25x — of the plain loop;
+see :class:`NoiseInjector` and the ``benchmarks/bench_noise_aware_training``
+speed section.
 
 The end-to-end workload lives in
 :mod:`repro.experiments.exp3_robust_training` (CLI: ``spnn-repro robust``).
@@ -31,6 +40,7 @@ from .noise_aware import (
     make_noise_aware_trainer,
 )
 from .schedule import SCHEDULE_KINDS, PerturbationSchedule
+from .workspace import VectorizedWorkspace, process_workspace, reset_process_workspace
 
 __all__ = [
     "NoiseInjector",
@@ -43,4 +53,7 @@ __all__ = [
     "make_noise_aware_trainer",
     "forward_with_weight_offsets",
     "complex_linear_modules",
+    "VectorizedWorkspace",
+    "process_workspace",
+    "reset_process_workspace",
 ]

@@ -43,6 +43,7 @@ from ..variation.sampler import (
     sample_layer_perturbation_batch,
     sample_mesh_perturbation_batch,
 )
+from .workspace import VectorizedWorkspace
 
 #: Batched network sampler hook: ``(layers, model, generators) -> one
 #: LayerPerturbationBatch per layer``.  The default is the global Gaussian
@@ -128,6 +129,45 @@ class NoiseInjector:
     rng:
         Seed or generator for the injected noise (independent of the
         trainer's batch-shuffling stream).
+    incremental:
+        Recompile snapshots **incrementally**: instead of rebuilding every
+        :class:`~repro.mesh.svd_layer.PhotonicLinearLayer` from scratch,
+        the cached layers are warm-started in place
+        (:meth:`~repro.mesh.svd_layer.PhotonicLinearLayer.retune_from_weight`:
+        rotation-updated SVD in the cached basis + trusted fast Clements
+        phase re-nulling + structural reuse).  Every incremental recompile
+        is validated by reconstruction (``<= 1e-7``) and falls back to the
+        exact path when the warm start diverges; ``drift_threshold``
+        additionally promotes a refresh to an exact recompile when the
+        weights jumped far since the previous snapshot (warm starts are
+        built for the small moves between optimizer steps).  Off by
+        default — the
+        incremental snapshot is numerically equivalent but not bit-identical
+        to a fresh compile, so the default training path stays byte-stable.
+    drift_threshold:
+        Maximum relative Frobenius move ``|W - W_snapshot| / |W_snapshot|``
+        since the previous snapshot (the worst layer counts) tolerated
+        before an incremental refresh is promoted to an exact one.
+    reuse_draws:
+        Amortize the ``K`` perturbation draws over the recompile window:
+        the offsets depend only on the compiled snapshot and the scheduled
+        sigma — not on the minibatch — so one draw per window is a valid
+        estimator of the same expected loss with the per-step sampling and
+        stacked mesh evaluation removed.  The cache is invalidated by every
+        recompile; a sigma-scale change (a
+        :class:`~repro.training.schedule.PerturbationSchedule` epoch
+        boundary) rescales the cached draws in place for the built-in
+        Gaussian sampler (its perturbations are exactly proportional to the
+        jointly scaled sigmas) and redraws for custom samplers, whose scale
+        response is theirs to define.  Off by default (bit-identical PR 3
+        behavior: fresh draws every step).  In this mode the returned
+        offset arrays are owned by the injector and valid until the next
+        ``weight_offsets`` call.
+    workspace:
+        Optional :class:`~repro.training.workspace.VectorizedWorkspace`
+        supplying reusable offset buffers on the non-amortized path
+        (amortized draws already recycle their own cache).  Purely an
+        allocation optimization; values are bit-identical.
     """
 
     def __init__(
@@ -138,20 +178,40 @@ class NoiseInjector:
         scheme: str = "clements",
         sampler: Optional[NetworkBatchSampler] = None,
         rng: RNGLike = None,
+        incremental: bool = False,
+        drift_threshold: float = 1.0,
+        reuse_draws: bool = False,
+        workspace: Optional[VectorizedWorkspace] = None,
     ):
         if draws < 1:
             raise ConfigurationError(f"draws must be >= 1, got {draws}")
         if recompile_every < 1:
             raise ConfigurationError(f"recompile_every must be >= 1, got {recompile_every}")
+        if drift_threshold <= 0:
+            raise ConfigurationError(f"drift_threshold must be positive, got {drift_threshold}")
         self.model = model
         self.draws = int(draws)
         self.recompile_every = int(recompile_every)
         self.scheme = scheme
         self.sampler: NetworkBatchSampler = sampler if sampler is not None else global_network_sampler
         self.rng = ensure_rng(rng)
+        self.incremental = bool(incremental)
+        self.drift_threshold = float(drift_threshold)
+        self.reuse_draws = bool(reuse_draws)
+        self.workspace = workspace
         self._layers: List[PhotonicLinearLayer] = []
         self._nominal: List[np.ndarray] = []
         self._steps_since_compile: Optional[int] = None  # None = no snapshot yet
+        #: Weights of the previous snapshot (the drift-threshold anchor).
+        self._anchor_weights: List[np.ndarray] = []
+        # Amortized-draw cache: offsets + the perturbation batches that
+        # produced them, keyed by the sigma scale they were drawn at.
+        self._cached_offsets: Optional[List[np.ndarray]] = None
+        self._cached_batches: Optional[List[Optional[LayerPerturbationBatch]]] = None
+        self._cached_scale: Optional[float] = None
+        #: Exact recompiles / warm recompiles performed (observability).
+        self.exact_recompiles = 0
+        self.incremental_recompiles = 0
 
     # ------------------------------------------------------------------ #
     # snapshot management
@@ -166,6 +226,44 @@ class NoiseInjector:
         self._layers = [PhotonicLinearLayer(weight, scheme=self.scheme) for weight in weights]
         self._nominal = [layer.ideal_matrix() for layer in self._layers]
         self._steps_since_compile = 0
+        self._anchor_weights = [np.array(weight, dtype=np.complex128, copy=True) for weight in weights]
+        self._invalidate_draw_cache()
+        self.exact_recompiles += 1
+
+    def _relative_drift(self, weights: Sequence[np.ndarray]) -> float:
+        """Worst-layer relative Frobenius move since the previous snapshot."""
+        drift = 0.0
+        for weight, anchor in zip(weights, self._anchor_weights):
+            denominator = float(np.linalg.norm(anchor))
+            if denominator == 0.0:
+                return float("inf")
+            drift = max(drift, float(np.linalg.norm(weight - anchor)) / denominator)
+        return drift
+
+    def _refresh_snapshot_incremental(self, weights: Sequence[np.ndarray]) -> None:
+        """Warm-start the cached layers in place; exact recompile on any doubt."""
+        if (
+            len(self._layers) != len(weights)
+            or not self._anchor_weights
+            or any(
+                layer.weight.shape != np.shape(weight)
+                for layer, weight in zip(self._layers, weights)
+            )
+            or self._relative_drift(weights) > self.drift_threshold
+        ):
+            self.refresh_snapshot(weights)
+            return
+        for layer, weight in zip(self._layers, weights):
+            if not layer.retune_from_weight(weight):
+                # The warm start diverged; rebuild the whole snapshot
+                # exactly (retune leaves the failed layer unspecified).
+                self.refresh_snapshot(weights)
+                return
+        self._nominal = [layer.ideal_matrix() for layer in self._layers]
+        self._steps_since_compile = 0
+        self._anchor_weights = [np.array(weight, dtype=np.complex128, copy=True) for weight in weights]
+        self._invalidate_draw_cache()
+        self.incremental_recompiles += 1
 
     def _maybe_refresh(self, weights: Sequence[np.ndarray]) -> None:
         if (
@@ -173,7 +271,18 @@ class NoiseInjector:
             or self._steps_since_compile >= self.recompile_every
             or len(self._layers) != len(weights)
         ):
-            self.refresh_snapshot(weights)
+            if self.incremental and self._steps_since_compile is not None:
+                self._refresh_snapshot_incremental(weights)
+            else:
+                self.refresh_snapshot(weights)
+
+    # ------------------------------------------------------------------ #
+    # amortized-draw cache
+    # ------------------------------------------------------------------ #
+    def _invalidate_draw_cache(self) -> None:
+        self._cached_offsets = None
+        self._cached_batches = None
+        self._cached_scale = None
 
     # ------------------------------------------------------------------ #
     # offset sampling
@@ -212,23 +321,100 @@ class NoiseInjector:
                 self._steps_since_compile += 1
             return None
         self._maybe_refresh(weights)
+        if not self.reuse_draws:
+            offsets = self._draw_offsets(scaled, use_workspace=True)
+        elif self._cached_offsets is not None and sigma_scale == self._cached_scale:
+            # Same window, same schedule level: the draws only depend on the
+            # snapshot and the sigma, both unchanged — reuse them verbatim.
+            offsets = self._cached_offsets
+        elif self._cached_offsets is not None and self._can_rescale_cache():
+            self._rescale_draw_cache(sigma_scale / self._cached_scale)
+            self._cached_scale = float(sigma_scale)
+            offsets = self._cached_offsets
+        else:
+            # New window (or a custom sampler crossing a schedule level):
+            # one fresh draw serves every step until the next recompile.
+            batches = self._sample_batches(scaled)
+            self._cached_batches = batches
+            self._cached_offsets = self._offsets_from_batches(batches, use_workspace=False)
+            self._cached_scale = float(sigma_scale)
+            offsets = self._cached_offsets
+        self._steps_since_compile += 1
+        return offsets
+
+    # ------------------------------------------------------------------ #
+    # draw internals
+    # ------------------------------------------------------------------ #
+    def _sample_batches(self, scaled: UncertaintyModel) -> List[Optional[LayerPerturbationBatch]]:
         generators = spawn_rngs(self.rng, self.draws)
         batches = self.sampler(self._layers, scaled, generators)
         if len(batches) != len(self._layers):
             raise ConfigurationError(
                 f"sampler returned {len(batches)} layer batches for {len(self._layers)} layers"
             )
+        return batches
+
+    def _offsets_from_batches(
+        self,
+        batches: Sequence[Optional[LayerPerturbationBatch]],
+        use_workspace: bool,
+    ) -> List[np.ndarray]:
         offsets: List[np.ndarray] = []
-        for layer, nominal, batch in zip(self._layers, self._nominal, batches):
-            if batch is None:
+        workspace = self.workspace if use_workspace else None
+        for index, (layer, nominal, batch) in enumerate(zip(self._layers, self._nominal, batches)):
+            if workspace is not None:
+                out = workspace.buffer(
+                    ("injector/offsets", index), (self.draws,) + nominal.shape, np.complex128
+                )
+                if batch is None:
+                    out[...] = 0.0
+                else:
+                    np.subtract(layer.matrix_batch(batch, batch_size=self.draws), nominal, out=out)
+                offsets.append(out)
+            elif batch is None:
                 offsets.append(np.zeros((self.draws,) + nominal.shape, dtype=np.complex128))
             else:
                 offsets.append(layer.matrix_batch(batch, batch_size=self.draws) - nominal)
-        self._steps_since_compile += 1
         return offsets
+
+    def _draw_offsets(self, scaled: UncertaintyModel, use_workspace: bool) -> List[np.ndarray]:
+        return self._offsets_from_batches(self._sample_batches(scaled), use_workspace)
+
+    def _can_rescale_cache(self) -> bool:
+        """Whether cached draws may be rescaled across a schedule level.
+
+        The built-in Gaussian sampler produces perturbations exactly
+        proportional to the (jointly scaled) model sigmas, so multiplying
+        the cached fields by the scale ratio equals drawing the same
+        standard normals at the new sigma.  Custom samplers make no such
+        promise (e.g. zonal sigma maps override the model's sigma outright)
+        and redraw instead.
+        """
+        return self.sampler is global_network_sampler
+
+    def _rescale_draw_cache(self, ratio: float) -> None:
+        """Scale the cached perturbation batches in place and re-evaluate."""
+        for batch in self._cached_batches:
+            if batch is None:
+                continue
+            for stage in (batch.u, batch.v, batch.sigma):
+                if stage is not None:
+                    stage.scale_in_place(ratio)
+        for index, (layer, nominal, batch) in enumerate(
+            zip(self._layers, self._nominal, self._cached_batches)
+        ):
+            if batch is None:
+                self._cached_offsets[index][...] = 0.0
+            else:
+                np.subtract(
+                    layer.matrix_batch(batch, batch_size=self.draws),
+                    nominal,
+                    out=self._cached_offsets[index],
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - repr formatting
         return (
             f"NoiseInjector(draws={self.draws}, recompile_every={self.recompile_every}, "
-            f"sigma_phs={self.model.sigma_phs}, sigma_bes={self.model.sigma_bes})"
+            f"sigma_phs={self.model.sigma_phs}, sigma_bes={self.model.sigma_bes}, "
+            f"incremental={self.incremental}, reuse_draws={self.reuse_draws})"
         )

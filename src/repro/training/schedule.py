@@ -119,3 +119,19 @@ class PerturbationSchedule:
     def scales(self, total_epochs: int) -> Tuple[float, ...]:
         """The full per-epoch scale sequence (useful for reports and tests)."""
         return tuple(self.scale(epoch, total_epochs) for epoch in range(total_epochs))
+
+    def change_epochs(self, total_epochs: int) -> Tuple[int, ...]:
+        """Epochs whose sigma scale differs from the previous epoch's.
+
+        These are the schedule's level boundaries — the only points where a
+        draw-amortizing :class:`~repro.training.injector.NoiseInjector` has
+        to rescale (built-in sampler) or redraw (custom sampler) its cached
+        perturbations mid-window, so the length of this tuple bounds the
+        extra draw work a schedule adds per training run.  Constant
+        schedules return an empty tuple; a ``linear`` ramp changes at every
+        epoch.
+        """
+        scales = self.scales(total_epochs)
+        return tuple(
+            epoch for epoch in range(1, total_epochs) if scales[epoch] != scales[epoch - 1]
+        )

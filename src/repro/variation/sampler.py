@@ -176,19 +176,47 @@ def sample_network_perturbation(
 # --------------------------------------------------------------------------- #
 
 
-def _draw_rows(generators: Sequence[np.random.Generator], length: int) -> np.ndarray:
+def _draw_rows(
+    generators: Sequence[np.random.Generator], length: int, workspace=None, key=None
+) -> np.ndarray:
     """A ``(B, length)`` standard-normal matrix, row ``b`` drawn from stream ``b``.
 
     ``standard_normal(out=row)`` consumes each stream exactly like a plain
     ``standard_normal(length)`` call, so the rows are bit-identical to the
     per-iteration draws of the looped samplers while avoiding per-field
-    array allocations and Python overhead.
+    array allocations and Python overhead.  A ``workspace`` additionally
+    recycles the draw buffer itself across calls.
     """
-    draws = np.empty((len(generators), length), dtype=np.float64)
+    if workspace is not None:
+        draws = workspace.buffer((key, "draws"), (len(generators), length), np.float64)
+    else:
+        draws = np.empty((len(generators), length), dtype=np.float64)
     if length:
         for row, gen in zip(draws, generators):
             gen.standard_normal(out=row)
     return draws
+
+
+def _scaled_field(draws: np.ndarray, sigma, workspace, key) -> np.ndarray:
+    """``draws * sigma`` written into a reusable buffer when a workspace is given.
+
+    ``sigma`` may be a scalar or a per-device array; the multiply is the
+    same ufunc either way, so the values are bit-identical to the plain
+    product.
+    """
+    if workspace is None:
+        return draws * sigma
+    out = workspace.buffer(key, draws.shape, np.float64)
+    np.multiply(draws, sigma, out=out)
+    return out
+
+
+def _zero_field(shape, workspace, key) -> np.ndarray:
+    if workspace is None:
+        return np.zeros(shape)
+    out = workspace.buffer(key, shape, np.float64)
+    out[...] = 0.0
+    return out
 
 
 def sample_mesh_perturbation_batch(
@@ -197,13 +225,19 @@ def sample_mesh_perturbation_batch(
     generators: Sequence[np.random.Generator],
     sigma_phs_per_mzi: Optional[np.ndarray] = None,
     sigma_bes_per_mzi: Optional[np.ndarray] = None,
+    workspace=None,
+    workspace_key=None,
 ) -> MeshPerturbationBatch:
     """Draw ``B = len(generators)`` mesh realizations as ``(B, num_mzis)`` arrays.
 
     Row ``b`` consumes ``generators[b]`` exactly as
     :func:`sample_mesh_perturbation` would, so the stacked result is
     bit-identical to sampling the realizations one at a time from the same
-    streams.
+    streams.  ``workspace``/``workspace_key`` (a
+    :class:`~repro.training.workspace.VectorizedWorkspace` plus a key
+    unique to this mesh within the evaluation) back the draw buffer and
+    every perturbation field with reusable arena buffers; the batch is
+    then valid until the next workspace-backed draw under the same key.
     """
     generators = list(generators)
     if not generators:
@@ -212,13 +246,25 @@ def sample_mesh_perturbation_batch(
     phase_sigma = _phase_sigmas(model, count, sigma_phs_per_mzi)
     splitter_sigma = _splitter_sigmas(model, count, sigma_bes_per_mzi)
     extra = mesh.n if model.perturb_output_phases else 0
-    draws = _draw_rows(generators, 4 * count + extra)
+    draws = _draw_rows(generators, 4 * count + extra, workspace, workspace_key)
     return MeshPerturbationBatch(
-        delta_theta=draws[:, 0:count] * phase_sigma,
-        delta_phi=draws[:, count : 2 * count] * phase_sigma,
-        delta_r_in=draws[:, 2 * count : 3 * count] * splitter_sigma,
-        delta_r_out=draws[:, 3 * count : 4 * count] * splitter_sigma,
-        delta_output_phase=draws[:, 4 * count :] * model.phase_std if extra else None,
+        delta_theta=_scaled_field(
+            draws[:, 0:count], phase_sigma, workspace, (workspace_key, "delta_theta")
+        ),
+        delta_phi=_scaled_field(
+            draws[:, count : 2 * count], phase_sigma, workspace, (workspace_key, "delta_phi")
+        ),
+        delta_r_in=_scaled_field(
+            draws[:, 2 * count : 3 * count], splitter_sigma, workspace, (workspace_key, "delta_r_in")
+        ),
+        delta_r_out=_scaled_field(
+            draws[:, 3 * count : 4 * count], splitter_sigma, workspace, (workspace_key, "delta_r_out")
+        ),
+        delta_output_phase=_scaled_field(
+            draws[:, 4 * count :], model.phase_std, workspace, (workspace_key, "delta_output_phase")
+        )
+        if extra
+        else None,
     )
 
 
@@ -226,6 +272,8 @@ def sample_diagonal_perturbation_batch(
     num_mzis: int,
     model: UncertaintyModel,
     generators: Sequence[np.random.Generator],
+    workspace=None,
+    workspace_key=None,
 ) -> Optional[DiagonalPerturbationBatch]:
     """Draw ``B`` Sigma-bank realizations as ``(B, num_mzis)`` arrays."""
     if not model.perturb_sigma_stage or num_mzis == 0:
@@ -237,20 +285,34 @@ def sample_diagonal_perturbation_batch(
     splitter_sigma = model.splitter_std
     num_phase = 2 * num_mzis if phase_sigma else 0
     num_splitter = 2 * num_mzis if splitter_sigma else 0
-    draws = _draw_rows(generators, num_phase + num_splitter)
+    draws = _draw_rows(generators, num_phase + num_splitter, workspace, workspace_key)
     batch = len(generators)
     if phase_sigma:
-        delta_theta = draws[:, 0:num_mzis] * phase_sigma
-        delta_phi = draws[:, num_mzis : 2 * num_mzis] * phase_sigma
+        delta_theta = _scaled_field(
+            draws[:, 0:num_mzis], phase_sigma, workspace, (workspace_key, "delta_theta")
+        )
+        delta_phi = _scaled_field(
+            draws[:, num_mzis : 2 * num_mzis], phase_sigma, workspace, (workspace_key, "delta_phi")
+        )
     else:
-        delta_theta = np.zeros((batch, num_mzis))
-        delta_phi = np.zeros((batch, num_mzis))
+        delta_theta = _zero_field((batch, num_mzis), workspace, (workspace_key, "delta_theta"))
+        delta_phi = _zero_field((batch, num_mzis), workspace, (workspace_key, "delta_phi"))
     if splitter_sigma:
-        delta_r_in = draws[:, num_phase : num_phase + num_mzis] * splitter_sigma
-        delta_r_out = draws[:, num_phase + num_mzis :] * splitter_sigma
+        delta_r_in = _scaled_field(
+            draws[:, num_phase : num_phase + num_mzis],
+            splitter_sigma,
+            workspace,
+            (workspace_key, "delta_r_in"),
+        )
+        delta_r_out = _scaled_field(
+            draws[:, num_phase + num_mzis :],
+            splitter_sigma,
+            workspace,
+            (workspace_key, "delta_r_out"),
+        )
     else:
-        delta_r_in = np.zeros((batch, num_mzis))
-        delta_r_out = np.zeros((batch, num_mzis))
+        delta_r_in = _zero_field((batch, num_mzis), workspace, (workspace_key, "delta_r_in"))
+        delta_r_out = _zero_field((batch, num_mzis), workspace, (workspace_key, "delta_r_out"))
     return DiagonalPerturbationBatch(
         delta_theta=delta_theta,
         delta_phi=delta_phi,
@@ -263,19 +325,31 @@ def sample_layer_perturbation_batch(
     layer: PhotonicLinearLayer,
     model: UncertaintyModel,
     generators: Sequence[np.random.Generator],
+    workspace=None,
+    workspace_key=None,
 ) -> LayerPerturbationBatch:
     """Draw ``B`` realizations for a full photonic linear layer.
 
     Each generator is consumed in the same stage order (U mesh, V mesh,
     Sigma bank) as :func:`sample_layer_perturbation`; only the iteration
     over generators is hoisted inside each stage, which does not change any
-    stream's own draw sequence.
+    stream's own draw sequence.  The optional workspace key is extended per
+    stage so the three stages' buffers never alias.
     """
     generators = list(generators)
     return LayerPerturbationBatch(
-        u=sample_mesh_perturbation_batch(layer.mesh_u, model, generators),
-        v=sample_mesh_perturbation_batch(layer.mesh_v, model, generators),
-        sigma=sample_diagonal_perturbation_batch(layer.diagonal.num_mzis, model, generators),
+        u=sample_mesh_perturbation_batch(
+            layer.mesh_u, model, generators,
+            workspace=workspace, workspace_key=(workspace_key, "u"),
+        ),
+        v=sample_mesh_perturbation_batch(
+            layer.mesh_v, model, generators,
+            workspace=workspace, workspace_key=(workspace_key, "v"),
+        ),
+        sigma=sample_diagonal_perturbation_batch(
+            layer.diagonal.num_mzis, model, generators,
+            workspace=workspace, workspace_key=(workspace_key, "sigma"),
+        ),
     )
 
 
@@ -283,13 +357,23 @@ def sample_network_perturbation_batch(
     layers: Sequence[PhotonicLinearLayer],
     model: UncertaintyModel,
     generators: Sequence[np.random.Generator],
+    workspace=None,
 ) -> List[Optional[LayerPerturbationBatch]]:
     """Draw ``B`` realizations for every layer of an SPNN, stacked per layer.
 
     Equivalent to stacking ``[sample_network_perturbation(layers, model, g)
     for g in generators]`` — generator ``b`` is consumed exactly as in the
     looped path (layer by layer, stage by stage), so the batch reproduces
-    the loop sample for sample.
+    the loop sample for sample.  With a ``workspace`` the draw and field
+    buffers are recycled across calls (keyed per layer and stage),
+    eliminating the per-chunk sampling allocations of the batched Monte
+    Carlo engine; values are bit-identical either way.
     """
     generators = list(generators)
-    return [sample_layer_perturbation_batch(layer, model, generators) for layer in layers]
+    return [
+        sample_layer_perturbation_batch(
+            layer, model, generators,
+            workspace=workspace, workspace_key=("network-sample", index),
+        )
+        for index, layer in enumerate(layers)
+    ]

@@ -1,0 +1,126 @@
+"""Bisection refinement of the max tolerable sigma."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.yield_analysis import bisect_max_tolerable_sigma
+from repro.onn import SPNNArchitecture
+from repro.onn.spnn import SPNN
+from repro.variation.models import UncertaintyModel
+
+
+def _spnn_and_eval(seed=3, samples=60):
+    gen = np.random.default_rng(seed)
+    arch = SPNNArchitecture(layer_dims=(8, 8, 6))
+    weights = [
+        (gen.standard_normal(shape) + 1j * gen.standard_normal(shape)) / 3.0
+        for shape in arch.weight_shapes()
+    ]
+    spnn = SPNN(weights, arch)
+    features = gen.standard_normal((samples, 8)) + 1j * gen.standard_normal((samples, 8))
+    labels = np.argmax(spnn.forward_software(features), axis=-1)  # consistent labels
+    return spnn, features, labels
+
+
+class TestBisection:
+    def test_refines_between_passing_and_failing_sigma(self):
+        spnn, features, labels = _spnn_and_eval()
+        nominal = spnn.accuracy(features, labels, use_hardware=True)
+        threshold = max(0.0, nominal - 0.1)
+        result = bisect_max_tolerable_sigma(
+            spnn,
+            features,
+            labels,
+            accuracy_threshold=threshold,
+            sigma_hi=0.2,
+            sigma_lo=0.0,
+            tolerance=0.01,
+            iterations=12,
+            rng=5,
+        )
+        # sigma 0 passes by construction (nominal meets the spec) and a
+        # 20%-normalized sigma demolishes the accuracy, so the threshold is
+        # inside the bracket and got localized to the tolerance.
+        assert result.max_tolerable_sigma is not None
+        assert result.upper_bound is not None
+        assert result.resolution <= 0.01 + 1e-12
+        assert 0.0 <= result.max_tolerable_sigma < result.upper_bound <= 0.2
+        # O(log) cost: edges + halvings, nowhere near a fine grid.
+        assert result.num_probes <= 2 + int(np.ceil(np.log2(0.2 / 0.01))) + 1
+
+    def test_probe_count_is_logarithmic_in_the_resolution(self):
+        spnn, features, labels = _spnn_and_eval()
+        coarse = bisect_max_tolerable_sigma(
+            spnn, features, labels,
+            accuracy_threshold=0.5, sigma_hi=0.16, tolerance=0.04, iterations=8, rng=1,
+        )
+        fine = bisect_max_tolerable_sigma(
+            spnn, features, labels,
+            accuracy_threshold=0.5, sigma_hi=0.16, tolerance=0.005, iterations=8, rng=1,
+        )
+        assert fine.num_probes - coarse.num_probes == 3  # three extra halvings
+
+    def test_passing_everywhere_returns_the_upper_edge(self):
+        spnn, features, labels = _spnn_and_eval()
+        result = bisect_max_tolerable_sigma(
+            spnn, features, labels,
+            accuracy_threshold=0.0,  # everything meets a zero spec
+            sigma_hi=0.05, iterations=6, rng=2,
+        )
+        assert result.max_tolerable_sigma == 0.05
+        assert result.upper_bound is None
+        assert result.num_probes == 1
+
+    def test_failing_everywhere_returns_none(self):
+        spnn, features, labels = _spnn_and_eval()
+        result = bisect_max_tolerable_sigma(
+            spnn, features, labels,
+            accuracy_threshold=1.0,  # perfection required
+            sigma_lo=0.04,  # ... under substantial variation everywhere
+            sigma_hi=0.2, iterations=6, rng=2,
+        )
+        # Even the lower bracket edge misses the spec.
+        assert result.max_tolerable_sigma is None
+        assert result.upper_bound == 0.04
+
+    def test_deterministic_and_worker_invariant(self):
+        spnn, features, labels = _spnn_and_eval()
+        kwargs = dict(
+            accuracy_threshold=0.5, sigma_hi=0.2, tolerance=0.02, iterations=10, rng=42
+        )
+        serial = bisect_max_tolerable_sigma(spnn, features, labels, **kwargs)
+        again = bisect_max_tolerable_sigma(spnn, features, labels, **kwargs)
+        sharded = bisect_max_tolerable_sigma(spnn, features, labels, workers=2, **kwargs)
+        assert serial.max_tolerable_sigma == again.max_tolerable_sigma
+        assert serial.max_tolerable_sigma == sharded.max_tolerable_sigma
+        assert list(serial.probes) == list(sharded.probes)
+        for sigma in serial.probes:
+            assert serial.probes[sigma].yield_fraction == sharded.probes[sigma].yield_fraction
+
+    def test_power_of_two_bracket_does_not_exhaust_the_streams(self):
+        # Regression: when (hi - lo) / tolerance is a power of two, the
+        # floating-point halving can need one extra loop probe; the
+        # up-front stream budget must cover it.
+        spnn, features, labels = _spnn_and_eval()
+        result = bisect_max_tolerable_sigma(
+            spnn, features, labels,
+            accuracy_threshold=0.8,
+            sigma_lo=0.01, sigma_hi=0.011, tolerance=5e-4,
+            iterations=6, rng=1,
+        )
+        assert result.resolution is None or result.resolution <= 5e-4 + 1e-12
+
+    def test_validation(self):
+        spnn, features, labels = _spnn_and_eval()
+        with pytest.raises(ValueError):
+            bisect_max_tolerable_sigma(
+                spnn, features, labels, accuracy_threshold=0.5, sigma_hi=0.0
+            )
+        with pytest.raises(ValueError):
+            bisect_max_tolerable_sigma(
+                spnn, features, labels, accuracy_threshold=0.5, sigma_hi=0.1, tolerance=0.0
+            )
+        with pytest.raises(ValueError):
+            bisect_max_tolerable_sigma(
+                spnn, features, labels, accuracy_threshold=2.0, sigma_hi=0.1
+            )

@@ -1,0 +1,103 @@
+"""Eval-size-aware default chunking of the Monte Carlo runner.
+
+The ROADMAP open item: the serial default used to schedule *all* iterations
+as one vectorized chunk, so a 10k-sample MNIST eval set would stack every
+realization's working set in one call.  The batch trials now advertise a
+``preferred_chunk_size()`` derived from the evaluation-set size, and the
+runner honors it whenever no explicit ``chunk_size`` is configured.
+"""
+
+import numpy as np
+
+from repro.analysis.monte_carlo import MonteCarloRunner
+from repro.execution import MultiprocessBackend, SerialBackend
+from repro.onn import SPNNArchitecture
+from repro.onn.inference import CHUNK_TARGET_BYTES, NetworkAccuracyBatchTrial, monte_carlo_accuracy
+from repro.onn.spnn import SPNN
+from repro.variation.models import UncertaintyModel
+
+
+def _spnn(seed=1, dims=(16, 16, 16, 10)):
+    gen = np.random.default_rng(seed)
+    arch = SPNNArchitecture(layer_dims=dims)
+    weights = [
+        (gen.standard_normal(shape) + 1j * gen.standard_normal(shape)) / 4.0
+        for shape in arch.weight_shapes()
+    ]
+    return SPNN(weights, arch)
+
+
+def _eval_set(spnn, samples, seed=2):
+    gen = np.random.default_rng(seed)
+    width = spnn.architecture.input_size
+    features = gen.standard_normal((samples, width)) + 1j * gen.standard_normal((samples, width))
+    labels = gen.integers(0, spnn.architecture.output_size, samples)
+    return features, labels
+
+
+def _trial(spnn, features, labels, sigma=0.02):
+    return NetworkAccuracyBatchTrial(
+        spnn=spnn, features=features, labels=labels, model=UncertaintyModel.both(sigma)
+    )
+
+
+class TestPreferredChunkSize:
+    def test_shrinks_with_eval_set_size(self):
+        spnn = _spnn()
+        small = _trial(spnn, *_eval_set(spnn, 64))
+        large = _trial(spnn, *_eval_set(spnn, 10_000))
+        assert large.preferred_chunk_size() < small.preferred_chunk_size()
+        assert large.preferred_chunk_size() >= 1
+
+    def test_full_mnist_scale_respects_the_activation_target(self):
+        """At the paper's 10k test set one chunk stays near the ~8 MB target."""
+        spnn = _spnn()
+        features, labels = _eval_set(spnn, 10_000)
+        trial = _trial(spnn, features, labels)
+        chunk = trial.preferred_chunk_size()
+        width = max(spnn.architecture.layer_dims)
+        activation_bytes = chunk * features.shape[0] * width * 16
+        assert activation_bytes <= CHUNK_TARGET_BYTES
+
+    def test_runner_honors_the_hint_on_the_serial_backend(self):
+        spnn = _spnn()
+        trial = _trial(spnn, *_eval_set(spnn, 10_000))
+        runner = MonteCarloRunner(iterations=1000)
+        chunk = runner._effective_chunk_size(SerialBackend(), trial)
+        assert chunk == trial.preferred_chunk_size()
+        assert chunk < 1000
+
+    def test_explicit_chunk_size_still_wins(self):
+        spnn = _spnn()
+        trial = _trial(spnn, *_eval_set(spnn, 10_000))
+        runner = MonteCarloRunner(iterations=1000, chunk_size=77)
+        assert runner._effective_chunk_size(SerialBackend(), trial) == 77
+
+    def test_hint_caps_parallel_chunks_but_never_inflates_them(self):
+        spnn = _spnn()
+        # Tiny eval set -> huge hint; the two-chunks-per-worker target must
+        # still shard the run.
+        trial = _trial(spnn, *_eval_set(spnn, 8))
+        runner = MonteCarloRunner(iterations=40)
+        backend = MultiprocessBackend(workers=4)
+        assert runner._effective_chunk_size(backend, trial) == 5
+        # Huge eval set -> small hint; it caps the parallel chunk.
+        big_trial = _trial(spnn, *_eval_set(spnn, 10_000))
+        assert runner._effective_chunk_size(backend, big_trial) == big_trial.preferred_chunk_size()
+
+    def test_scalar_trials_keep_the_old_default(self):
+        runner = MonteCarloRunner(iterations=123)
+        assert runner._effective_chunk_size(SerialBackend(), trial=None) == 123
+
+
+class TestRegressionAt10k:
+    def test_synthetic_10k_eval_set_matches_explicit_chunking(self):
+        """Auto-chunked samples are bit-identical to explicitly chunked ones."""
+        spnn = _spnn()
+        features, labels = _eval_set(spnn, 10_000)
+        model = UncertaintyModel.both(0.02)
+        auto = monte_carlo_accuracy(spnn, features, labels, model, iterations=6, rng=9)
+        explicit = monte_carlo_accuracy(
+            spnn, features, labels, model, iterations=6, rng=9, chunk_size=2
+        )
+        assert auto.tobytes() == explicit.tobytes()

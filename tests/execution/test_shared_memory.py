@@ -1,0 +1,156 @@
+"""Shared-memory eval hosting: roundtrip, bit-identity, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.execution import (
+    MultiprocessBackend,
+    SerialBackend,
+    SharedArray,
+    pool_scope,
+    resolve_array,
+    shared_eval_arrays,
+    shared_memory_available,
+)
+from repro.onn import SPNNArchitecture
+from repro.onn.inference import monte_carlo_accuracy
+from repro.onn.spnn import SPNN
+from repro.variation.models import UncertaintyModel
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+def _small_spnn(seed=3):
+    gen = np.random.default_rng(seed)
+    arch = SPNNArchitecture(layer_dims=(8, 8, 6))
+    weights = [
+        (gen.standard_normal((8, 8)) + 1j * gen.standard_normal((8, 8))) / 3.0,
+        (gen.standard_normal((6, 8)) + 1j * gen.standard_normal((6, 8))) / 3.0,
+    ]
+    spnn = SPNN(weights, arch)
+    features = gen.standard_normal((50, 8)) + 1j * gen.standard_normal((50, 8))
+    labels = gen.integers(0, 6, 50)
+    return spnn, features, labels
+
+
+class TestSharedArray:
+    def test_roundtrip_preserves_bytes(self):
+        array = np.random.default_rng(0).standard_normal((17, 5))
+        handle = SharedArray.create(array)
+        try:
+            assert np.array_equal(handle.array, array)
+            assert handle.array.dtype == array.dtype
+            assert not handle.array.flags.writeable
+        finally:
+            handle.close()
+            handle.unlink()
+
+    def test_complex_and_integer_dtypes(self):
+        for array in (
+            np.arange(12, dtype=np.int64).reshape(3, 4),
+            (np.arange(6) + 1j * np.arange(6)).reshape(2, 3),
+        ):
+            handle = SharedArray.create(array)
+            try:
+                assert np.array_equal(handle.array, array)
+            finally:
+                handle.close()
+                handle.unlink()
+
+    def test_pickled_form_is_a_lightweight_handle(self):
+        import pickle
+
+        array = np.zeros((1000, 100))  # 800 KB payload
+        handle = SharedArray.create(array)
+        try:
+            payload = pickle.dumps(handle)
+            assert len(payload) < 1024  # name + metadata, not the data
+            clone = pickle.loads(payload)
+            assert np.array_equal(clone.array, array)
+        finally:
+            handle.close()
+            handle.unlink()
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ValueError):
+            SharedArray.create(np.zeros(0))
+
+    def test_resolve_array_passthrough(self):
+        plain = np.arange(4)
+        assert resolve_array(plain) is plain
+
+
+class TestSharedEvalArrays:
+    def test_serial_backend_passes_arrays_through(self):
+        features = np.arange(6.0)
+        with shared_eval_arrays(SerialBackend(), features) as (out,):
+            assert isinstance(out, np.ndarray)
+            assert np.array_equal(out, features)
+
+    def test_single_worker_multiprocess_passes_through(self):
+        features = np.arange(6.0)
+        with shared_eval_arrays(MultiprocessBackend(workers=1), features) as (out,):
+            assert isinstance(out, np.ndarray)
+
+    def test_sharded_backend_hosts_handles_and_unlinks(self):
+        features = np.arange(6.0)
+        backend = MultiprocessBackend(workers=2)
+        with shared_eval_arrays(backend, features) as (handle,):
+            assert isinstance(handle, SharedArray)
+            name = handle.name
+            assert np.array_equal(handle.array, features)
+        # After the context the segment is gone.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestBitIdentity:
+    def test_shared_eval_bit_identical_for_every_worker_count(self):
+        """The ROADMAP contract: shared-memory hosting never changes samples."""
+        spnn, features, labels = _small_spnn()
+        model = UncertaintyModel.both(0.02)
+        reference = monte_carlo_accuracy(spnn, features, labels, model, iterations=24, rng=11)
+        for workers in (1, 2, 4):
+            backend = MultiprocessBackend(workers=workers)
+            with pool_scope(backend), shared_eval_arrays(backend, features, labels) as (
+                shared_features,
+                shared_labels,
+            ):
+                samples = monte_carlo_accuracy(
+                    spnn,
+                    shared_features,
+                    shared_labels,
+                    model,
+                    iterations=24,
+                    rng=11,
+                    backend=backend,
+                )
+            assert samples.tobytes() == reference.tobytes(), f"workers={workers}"
+
+    def test_workspace_and_shared_memory_compose_bit_identically(self):
+        """Workspace arenas are per-process: reuse is aliasing-safe under sharding."""
+        spnn, features, labels = _small_spnn()
+        model = UncertaintyModel.both(0.02)
+        reference = monte_carlo_accuracy(spnn, features, labels, model, iterations=16, rng=5)
+        for workers in (1, 2):
+            backend = MultiprocessBackend(workers=workers)
+            with pool_scope(backend), shared_eval_arrays(backend, features, labels) as (
+                shared_features,
+                shared_labels,
+            ):
+                # Two consecutive runs through the same per-process arenas:
+                # buffer recycling must not leak state between runs.
+                first = monte_carlo_accuracy(
+                    spnn, shared_features, shared_labels, model,
+                    iterations=16, rng=5, backend=backend, use_workspace=True,
+                )
+                second = monte_carlo_accuracy(
+                    spnn, shared_features, shared_labels, model,
+                    iterations=16, rng=5, backend=backend, use_workspace=True,
+                )
+            assert first.tobytes() == reference.tobytes(), f"workers={workers}"
+            assert second.tobytes() == reference.tobytes(), f"workers={workers}"

@@ -148,3 +148,33 @@ class TestConfigValidation:
     def test_recovery_at_unknown_sigma_raises(self, exp3_result):
         with pytest.raises(KeyError):
             exp3_result.recovery_at(0.123)
+
+
+class TestBisectMode:
+    def test_bisect_refines_the_yield_headline(self, smoke_config):
+        config = dataclasses.replace(
+            smoke_config, bisect=True, iterations=10, bisect_tolerance=2e-3
+        )
+        result = run_exp3(config)
+        # run_exp3 legitimately skips the refinement for a model that
+        # already passes at the largest evaluated sigma (degenerate
+        # bracket); every other model must have one.
+        expected = {
+            key
+            for key in result.model_keys()
+            if (result.max_tolerable_sigma(key) or 0.0) < max(config.eval_sigmas)
+        }
+        assert set(result.bisections) == expected
+        for key in sorted(result.bisections):
+            bisection = result.bisections[key]
+            refined = result.refined_max_tolerable_sigma(key)
+            grid = result.max_tolerable_sigma(key)
+            # The refinement never contradicts the coarse grid: it starts
+            # from the grid's bracket and only tightens it.
+            if grid is not None and refined is not None:
+                assert refined >= grid - 1e-12
+            # O(log) cost: edges plus halvings down to the tolerance.
+            bracket = max(config.eval_sigmas) - (grid or 0.0)
+            bound = 2 + int(np.ceil(np.log2(max(2.0, bracket / config.bisect_tolerance))))
+            assert bisection.num_probes <= bound + 1
+        assert "bisection-refined" in result.report()

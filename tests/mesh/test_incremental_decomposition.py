@@ -1,0 +1,173 @@
+"""Warm-start (incremental) recompilation vs. the exact decomposition.
+
+The incremental path deliberately skips the exact path's validation and is
+*not* bit-identical to it; these tests pin down the guarantees it does
+make: structural reuse, unitarity of what the retuned mesh implements, and
+reconstruction error within the same bounds the exact compile meets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.mesh.clements import clements_decompose, clements_phases
+from repro.mesh.mesh import MZIMesh
+from repro.mesh.svd_layer import PhotonicLinearLayer
+from repro.utils.linalg import is_unitary, random_unitary
+
+
+def _random_weight(rng, out_features, in_features, scale=0.35):
+    return scale * (
+        rng.standard_normal((out_features, in_features))
+        + 1j * rng.standard_normal((out_features, in_features))
+    )
+
+
+class TestClementsPhases:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 16])
+    def test_matches_exact_structure_and_reconstructs(self, n):
+        unitary = random_unitary(n, rng=100 + n)
+        exact = clements_decompose(unitary)
+        thetas, phis, output_phases = clements_phases(unitary)
+        assert thetas.shape == (exact.num_mzis,)
+        assert phis.shape == (exact.num_mzis,)
+        assert output_phases.shape == (n,)
+        # Retuning a mesh compiled for a *different* unitary of the same
+        # size must land exactly on the new target: the fast path emits
+        # phases in the exact path's propagation order.
+        mesh = MZIMesh.from_unitary(random_unitary(n, rng=200 + n))
+        mesh.retune(thetas, phis, output_phases)
+        reconstruction = mesh.matrix(None)
+        assert np.max(np.abs(reconstruction - unitary)) < 1e-8
+        assert is_unitary(reconstruction, atol=1e-8)
+
+    def test_phases_land_in_canonical_range(self):
+        thetas, phis, output_phases = clements_phases(random_unitary(6, rng=5))
+        for values in (thetas, phis, output_phases):
+            assert np.all(values >= 0.0)
+            assert np.all(values < 2.0 * np.pi)
+
+    def test_rejects_non_square_input(self):
+        from repro.exceptions import DecompositionError
+
+        with pytest.raises(DecompositionError):
+            clements_phases(np.ones((3, 4), dtype=np.complex128))
+
+    def test_grossly_non_unitary_input_fails_residual_check(self):
+        from repro.exceptions import DecompositionError
+
+        rng = np.random.default_rng(0)
+        garbage = rng.standard_normal((6, 6)) + 1j * rng.standard_normal((6, 6))
+        with pytest.raises(DecompositionError):
+            clements_phases(garbage)
+
+
+class TestMeshRetune:
+    def test_structure_is_preserved(self):
+        u_first = random_unitary(8, rng=1)
+        u_second = random_unitary(8, rng=2)
+        mesh = MZIMesh.from_unitary(u_first)
+        modes_before = mesh.modes()
+        columns_before = mesh.columns()
+        mesh.retune(*clements_phases(u_second))
+        assert np.array_equal(mesh.modes(), modes_before)
+        assert np.array_equal(mesh.columns(), columns_before)
+        # configs stay consistent with the retuned phase arrays
+        assert np.allclose(mesh.thetas(), [c.theta for c in mesh.configs])
+        assert np.allclose(mesh.phis(), [c.phi for c in mesh.configs])
+
+    def test_batched_path_follows_the_retune(self):
+        mesh = MZIMesh.from_unitary(random_unitary(5, rng=3))
+        target = random_unitary(5, rng=4)
+        mesh.retune(*clements_phases(target))
+        batched = mesh.matrix_batch(None, batch_size=3)
+        assert np.max(np.abs(batched - target)) < 1e-8
+
+    def test_shape_validation(self):
+        mesh = MZIMesh.from_unitary(random_unitary(4, rng=6))
+        with pytest.raises(ShapeError):
+            mesh.retune(np.zeros(3), np.zeros(mesh.num_mzis), np.zeros(4))
+        with pytest.raises(ShapeError):
+            mesh.retune(np.zeros(mesh.num_mzis), np.zeros(mesh.num_mzis), np.zeros(5))
+
+
+class TestLayerWarmRecompile:
+    def test_warm_equals_exact_within_reconstruction_bounds(self):
+        rng = np.random.default_rng(7)
+        weight = _random_weight(rng, 10, 16)
+        layer = PhotonicLinearLayer(weight)
+        moved = weight + 0.02 * _random_weight(rng, 10, 16, scale=1.0)
+        assert layer.retune_from_weight(moved)
+        exact = PhotonicLinearLayer(moved)
+        # Same guarantee the exact compile gives: the nominal hardware
+        # matrix reproduces the weights to numerical precision.
+        assert layer.reconstruction_error() < 1e-9
+        assert exact.reconstruction_error() < 1e-9
+        assert np.max(np.abs(layer.ideal_matrix() - exact.ideal_matrix())) < 1e-9
+        # Both unitary factors stay unitary.
+        assert is_unitary(layer.mesh_u.matrix(None), atol=1e-8)
+        assert is_unitary(layer.mesh_v.matrix(None), atol=1e-8)
+        # The singular spectra agree (the gain normalization too).
+        assert np.allclose(layer.diagonal.singular_values, exact.diagonal.singular_values)
+        assert np.isclose(layer.gain, exact.gain)
+
+    def test_many_successive_warm_updates_stay_accurate(self):
+        rng = np.random.default_rng(8)
+        weight = _random_weight(rng, 16, 16)
+        layer = PhotonicLinearLayer(weight)
+        for _ in range(30):
+            weight = weight + 0.01 * _random_weight(rng, 16, 16, scale=1.0)
+            assert layer.retune_from_weight(weight)
+        assert layer.reconstruction_error() < 1e-9
+
+    def test_warm_update_handles_large_jumps(self):
+        # The rotation update is an exact SVD at any distance; even a jump
+        # to an unrelated weight matrix must either retune correctly or
+        # report failure — never silently return a wrong layer.
+        rng = np.random.default_rng(9)
+        layer = PhotonicLinearLayer(_random_weight(rng, 8, 8))
+        far = _random_weight(rng, 8, 8)
+        if layer.retune_from_weight(far):
+            assert layer.reconstruction_error() < 1e-7
+
+    def test_reck_scheme_refuses_warm_path(self):
+        rng = np.random.default_rng(10)
+        layer = PhotonicLinearLayer(_random_weight(rng, 5, 5), scheme="reck")
+        assert layer.retune_from_weight(_random_weight(rng, 5, 5)) is False
+
+    def test_shape_mismatch_raises(self):
+        rng = np.random.default_rng(11)
+        layer = PhotonicLinearLayer(_random_weight(rng, 6, 8))
+        with pytest.raises(ShapeError):
+            layer.retune_from_weight(_random_weight(rng, 8, 6))
+
+    def test_perturbed_evaluation_matches_fresh_layer(self):
+        """Monte Carlo evaluation on a retuned layer equals a fresh compile.
+
+        The perturbation machinery reads the mesh phase arrays, so a warm
+        retune must leave the perturbed matrices equivalent (up to the
+        tiny SVD-basis difference) to those of an exactly compiled layer.
+        """
+        from repro.variation.models import UncertaintyModel
+        from repro.variation.sampler import sample_layer_perturbation
+
+        rng = np.random.default_rng(12)
+        weight = _random_weight(rng, 8, 8)
+        layer = PhotonicLinearLayer(weight)
+        moved = weight + 0.01 * _random_weight(rng, 8, 8, scale=1.0)
+        assert layer.retune_from_weight(moved)
+        fresh = PhotonicLinearLayer(moved)
+        model = UncertaintyModel.both(0.01)
+        warm_pert = sample_layer_perturbation(layer, model, rng=77)
+        fresh_pert = sample_layer_perturbation(fresh, model, rng=77)
+        # The draw depends only on the mesh structure (preserved by the
+        # retune) and the stream, so both layers receive identical deltas.
+        assert np.array_equal(warm_pert.u.delta_theta, fresh_pert.u.delta_theta)
+        assert np.array_equal(warm_pert.v.delta_r_in, fresh_pert.v.delta_r_in)
+        # Identical deltas produce comparably sized matrix deviations; the
+        # layers are not bit-identical (different SVD bases -> different
+        # phase operating points) but describe the same physics.
+        warm_dev = np.linalg.norm(layer.matrix(warm_pert) - layer.ideal_matrix())
+        fresh_dev = np.linalg.norm(fresh.matrix(fresh_pert) - fresh.ideal_matrix())
+        assert warm_dev > 0 and fresh_dev > 0
+        assert 1.0 / 3.0 < warm_dev / fresh_dev < 3.0

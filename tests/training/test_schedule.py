@@ -66,3 +66,21 @@ class TestValidation:
             schedule.scale(5, 5)
         with pytest.raises(ConfigurationError):
             schedule.scale(-1, 5)
+
+
+class TestChangeEpochs:
+    def test_constant_never_changes(self):
+        assert PerturbationSchedule.constant(1.0).change_epochs(10) == ()
+
+    def test_linear_ramp_changes_every_epoch(self):
+        schedule = PerturbationSchedule.linear_ramp(0.0, 1.0)
+        assert schedule.change_epochs(5) == (1, 2, 3, 4)
+
+    def test_curriculum_changes_at_level_boundaries(self):
+        schedule = PerturbationSchedule.curriculum((0.0, 0.0, 0.5, 1.0))
+        # 8 epochs, 4 levels of 2 epochs each; the first boundary is silent
+        # (0.0 -> 0.0), the others step the scale.
+        assert schedule.change_epochs(8) == (4, 6)
+
+    def test_single_epoch_has_no_boundaries(self):
+        assert PerturbationSchedule.linear_ramp().change_epochs(1) == ()
