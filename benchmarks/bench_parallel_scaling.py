@@ -19,13 +19,16 @@ report the measured ratios.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 
 import numpy as np
 import pytest
 
 from repro.execution import available_workers
+from repro.execution.shared import SharedNetwork, shared_memory_available
 from repro.onn import monte_carlo_accuracy
+from repro.onn.inference import NetworkAccuracyBatchTrial
 from repro.variation import UncertaintyModel
 
 #: Monte Carlo iterations of the paper's experiments (the acceptance scenario).
@@ -58,6 +61,58 @@ def test_multiprocess_smoke_bit_identical(spnn_task):
     serial = monte_carlo_accuracy(**kwargs)
     sharded = monte_carlo_accuracy(workers=2, **kwargs)
     assert np.array_equal(serial, sharded)
+
+
+def measure_shared_network_payload(spnn_task) -> dict:
+    """Per-chunk task payload bytes: compiled SPNN vs shared-memory handle.
+
+    The multiprocess backend pickles the trial into the workers for every
+    chunk; hosting the compiled mesh parameters in shared memory
+    (:class:`repro.execution.shared.SharedNetwork`) shrinks that payload to
+    segment names plus the perturbation-draw generators.  Returns the two
+    sizes and their ratio (also recorded in ``BENCH_pr5.json``).
+    """
+    scenario = _engine_dominated_scenario(spnn_task)
+    spnn = scenario["spnn"]
+    features, labels = scenario["features"], scenario["labels"]
+    model = scenario["model"]
+    full_trial = NetworkAccuracyBatchTrial(
+        spnn=spnn, features=features, labels=labels, model=model
+    )
+    full_bytes = len(pickle.dumps(full_trial))
+    handle = SharedNetwork.create(spnn)
+    try:
+        shared_trial = NetworkAccuracyBatchTrial(
+            spnn=handle, features=features, labels=labels, model=model
+        )
+        shared_bytes = len(pickle.dumps(shared_trial))
+    finally:
+        handle.close()
+        handle.unlink()
+    return {
+        "full_trial_bytes": full_bytes,
+        "shared_trial_bytes": shared_bytes,
+        "reduction": full_bytes / shared_bytes,
+    }
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared memory here")
+def test_shared_network_payload_reduction(spnn_task):
+    """Hosting the mesh parameters must shrink the per-chunk payload a lot.
+
+    On the paper architecture the pickled compiled SPNN is dominated by the
+    six tuned meshes (687 MZIs of structural bookkeeping); the shared
+    handle carries segment names instead.  A 5x floor leaves generous slack
+    under the >20x a paper-size network measures — shrinking below it means
+    the handle started dragging compiled state along again.
+    """
+    payload = measure_shared_network_payload(spnn_task)
+    print(
+        f"\nper-chunk payload: full {payload['full_trial_bytes']} B, "
+        f"shared {payload['shared_trial_bytes']} B "
+        f"({payload['reduction']:.1f}x smaller)"
+    )
+    assert payload["reduction"] >= 5.0
 
 
 def _best_of(repeats, fn):

@@ -1,16 +1,19 @@
-"""Record the performance trajectory: run key scenarios, write ``BENCH_pr4.json``.
+"""Record the performance trajectory: run key scenarios, write ``BENCH_pr5.json``.
 
 The benchmark suite asserts floors; this script *records* the measured
 numbers so the repo carries its own perf history.  It times the load-bearing
 scenarios of the current optimization work — the noise-aware training step
-(original vs. optimized), the warm vs. exact layer recompile, and the
-batched vs. looped Monte Carlo engine — and writes one JSON artifact with
-per-scenario timings and speedup ratios at the repo root.  CI uploads the
-file so every run of the pipeline leaves a comparable data point.
+(original vs. optimized), the warm vs. exact layer recompile, the batched
+vs. looped Monte Carlo engine, the per-chunk payload of the shared-memory
+network hosting, and the device-resident engine behind ``--device gpu`` —
+and writes one JSON artifact with per-scenario timings and ratios at the
+repo root.  CI uploads the file so every run of the pipeline leaves a
+comparable data point; compare artifacts across PRs with
+``python benchmarks/trajectory.py``.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr4.json]
+    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr5.json]
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ from repro.onn.inference import monte_carlo_accuracy  # noqa: E402
 from repro.variation.models import UncertaintyModel  # noqa: E402
 
 #: Artifact label — bump per PR so the trajectory files line up with history.
-LABEL = "pr4"
+LABEL = "pr5"
 
 
 def _time(fn, repeats: int = 3) -> float:
@@ -105,6 +108,49 @@ def record_plain_training(config, train_x, train_y) -> dict:
     return {"seconds": seconds}
 
 
+def record_shared_network_payload(config) -> dict:
+    """Per-chunk task payload: compiled SPNN vs the shared-memory handle."""
+    from bench_parallel_scaling import measure_shared_network_payload
+
+    task = build_trained_spnn(config.training)
+    return measure_shared_network_payload(task)
+
+
+def record_device_engine(config) -> dict:
+    """The device-resident engine (``--device gpu``) vs the serial CPU path.
+
+    On GPU machines this exercises CuPy; CPU-only machines fall back to the
+    strict mock namespace, where the value of the record is the invariance
+    check (mock results are bit-identical by contract) plus the overhead of
+    the seam, not a speedup.
+    """
+    from repro.arrays import available_array_backends
+    from repro.execution import GpuBackend, default_gpu_array_backend
+
+    preferred = default_gpu_array_backend()
+    available = available_array_backends()
+    array_backend = preferred if preferred in available else "mock_device"
+
+    task = build_trained_spnn(config.training)
+    features = task.test_features[:64]
+    labels = task.test_labels[:64]
+    model = UncertaintyModel.both(0.01)
+    kwargs = dict(iterations=200, rng=7)
+    serial_samples = monte_carlo_accuracy(task.spnn, features, labels, model, **kwargs)
+    backend = GpuBackend(array_backend=array_backend)
+    start = time.perf_counter()
+    device_samples = monte_carlo_accuracy(
+        task.spnn, features, labels, model, backend=backend, **kwargs
+    )
+    device_seconds = time.perf_counter() - start
+    return {
+        "array_backend": array_backend,
+        "seconds": device_seconds,
+        "matches_serial": bool(np.allclose(device_samples, serial_samples)),
+        "bit_identical_to_serial": bool(np.array_equal(device_samples, serial_samples)),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -127,6 +173,10 @@ def main(argv=None) -> int:
     scenarios["mc_engine"] = record_mc_engine(config)
     print("recording plain training baseline ...")
     scenarios["plain_training"] = record_plain_training(config, train_x, train_y)
+    print("recording shared-network payload ...")
+    scenarios["shared_network_payload"] = record_shared_network_payload(config)
+    print("recording device-resident engine ...")
+    scenarios["device_engine"] = record_device_engine(config)
 
     report = {
         "schema": 1,

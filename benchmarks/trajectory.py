@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Compare the accumulated ``BENCH_*.json`` perf-trajectory artifacts.
+
+Every PR's :mod:`benchmarks.record` run leaves one labelled artifact at the
+repo root (``BENCH_pr4.json``, ``BENCH_pr5.json``, ...).  This tool lines
+them up: one row per recorded metric, one column per label, so a perf
+regression (or win) across the PR history is visible at a glance.
+
+Usage::
+
+    python benchmarks/trajectory.py                  # repo-root artifacts
+    python benchmarks/trajectory.py --dir artifacts  # e.g. CI downloads
+    python benchmarks/trajectory.py --json           # machine-readable merge
+
+Artifacts recorded by different PRs cover different scenario sets (the
+suite grows); missing cells print as ``-``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Metrics promoted into the comparison table, as (scenario, key) pairs;
+#: anything numeric not listed here still lands in the --json merge.
+HEADLINE_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("noise_aware_step", "speedup"),
+    ("layer_recompile", "speedup"),
+    ("mc_engine", "speedup"),
+    ("plain_training", "seconds"),
+    ("shared_network_payload", "reduction"),
+    ("device_engine", "seconds"),
+)
+
+
+def _label_sort_key(label: str) -> Tuple[int, str]:
+    match = re.fullmatch(r"pr(\d+)", label)
+    return (int(match.group(1)) if match else sys.maxsize, label)
+
+
+def load_artifacts(directory: Path) -> Dict[str, dict]:
+    """Label -> report for every ``BENCH_*.json`` under ``directory``."""
+    artifacts: Dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"skipping {path.name}: {error}", file=sys.stderr)
+            continue
+        label = report.get("label") or path.stem.replace("BENCH_", "")
+        artifacts[label] = report
+    return dict(sorted(artifacts.items(), key=lambda item: _label_sort_key(item[0])))
+
+
+def metric_rows(artifacts: Dict[str, dict]) -> List[Tuple[str, Dict[str, float]]]:
+    """``(metric_name, {label: value})`` rows for the headline metrics."""
+    rows = []
+    for scenario, key in HEADLINE_METRICS:
+        values = {}
+        for label, report in artifacts.items():
+            value = report.get("scenarios", {}).get(scenario, {}).get(key)
+            if isinstance(value, (int, float)):
+                values[label] = float(value)
+        if values:
+            rows.append((f"{scenario}.{key}", values))
+    return rows
+
+
+def format_table(artifacts: Dict[str, dict]) -> str:
+    labels = list(artifacts)
+    rows = metric_rows(artifacts)
+    header = ["metric"] + labels
+    table = [header, ["-" * len(cell) for cell in header]]
+    for name, values in rows:
+        table.append(
+            [name] + [f"{values[label]:.2f}" if label in values else "-" for label in labels]
+        )
+    widths = [max(len(row[col]) for row in table) for col in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)) for row in table
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the BENCH_*.json artifacts (default: repo root)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the merged artifacts as JSON instead of a table",
+    )
+    args = parser.parse_args(argv)
+
+    artifacts = load_artifacts(args.dir)
+    if not artifacts:
+        print(f"no BENCH_*.json artifacts under {args.dir}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(artifacts, indent=2))
+        return 0
+    print(f"perf trajectory across {len(artifacts)} artifact(s): {', '.join(artifacts)}")
+    print()
+    print(format_table(artifacts))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,15 +16,18 @@ The package is organized as a hierarchy mirroring the paper's methodology:
   thermal crosstalk,
 * :mod:`repro.analysis` — RVD, sensitivity maps, Monte Carlo engine,
   criticality ranking, yield sweeps,
-* :mod:`repro.execution` — pluggable backends (serial / multiprocess) that
-  schedule the Monte Carlo chunks, bit-identical at every worker count,
+* :mod:`repro.arrays` — the device-agnostic array seam (pluggable ``xp``
+  namespaces: NumPy reference, optional CuPy, strict mock device),
+* :mod:`repro.execution` — pluggable backends (serial / multiprocess /
+  gpu) that schedule the Monte Carlo chunks, bit-identical at every
+  worker count (GPU: allclose at fixed seeds),
 * :mod:`repro.experiments` — runners that regenerate every figure and
   headline number of the paper,
 * substrates: :mod:`repro.autograd`, :mod:`repro.nn`, :mod:`repro.datasets`,
   :mod:`repro.utils`.
 """
 
-from . import analysis, autograd, datasets, execution, mesh, nn, onn, photonics, training, utils, variation
+from . import analysis, arrays, autograd, datasets, execution, mesh, nn, onn, photonics, training, utils, variation
 from .analysis import (
     MonteCarloRunner,
     device_sensitivity_map,
@@ -32,7 +35,7 @@ from .analysis import (
     rvd,
     yield_sweep,
 )
-from .execution import MultiprocessBackend, SerialBackend, resolve_backend
+from .execution import GpuBackend, MultiprocessBackend, SerialBackend, resolve_backend
 from .exceptions import (
     AutogradError,
     ConfigurationError,
@@ -81,6 +84,7 @@ __all__ = [
     "__version__",
     # subpackages
     "analysis",
+    "arrays",
     "autograd",
     "datasets",
     "execution",
@@ -136,6 +140,7 @@ __all__ = [
     "yield_sweep",
     "SerialBackend",
     "MultiprocessBackend",
+    "GpuBackend",
     "resolve_backend",
     "NoiseInjector",
     "PerturbationSchedule",

@@ -35,6 +35,7 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..arrays import to_host
 from ..exceptions import ShapeError
 from ..execution import Backend, BackendLike, pool_scope, resolve_backend
 from ..utils.rng import RNGLike, spawn_rngs
@@ -66,9 +67,15 @@ def evaluate_scalar_chunk(task: ChunkTask) -> Tuple[int, np.ndarray]:
 
 
 def evaluate_batch_chunk(task: ChunkTask) -> Tuple[int, np.ndarray]:
-    """Evaluate one chunk of a batch trial; returns ``(start, samples)``."""
+    """Evaluate one chunk of a batch trial; returns ``(start, samples)``.
+
+    A device-resident trial (run under a device array backend) keeps its
+    whole chunk on the device and only the per-realization samples are
+    transferred back here — the single host transfer of the chunk, at
+    reassembly.
+    """
     start, trial, generators = task
-    values = np.asarray(trial(list(generators)), dtype=np.float64)
+    values = np.asarray(to_host(trial(list(generators))), dtype=np.float64)
     if values.shape != (len(generators),):
         raise ShapeError(
             f"batch trial must return shape ({len(generators)},), got {values.shape}"

@@ -23,7 +23,14 @@ import numpy as np
 from contextlib import nullcontext
 
 from ..execution import BackendLike, pool_scope, resolve_backend
-from ..execution.shared import SharedArray, resolve_array, shared_eval_arrays
+from ..execution.shared import (
+    SharedArray,
+    SharedNetwork,
+    resolve_array,
+    resolve_network,
+    shared_eval_arrays,
+    shared_network,
+)
 from ..utils.rng import RNGLike, spawn_rngs
 from ..utils.serialization import format_table
 from ..variation.models import UncertaintyModel
@@ -202,6 +209,7 @@ def yield_sweep(
     chunk_size: Optional[int] = None,
     backend: BackendLike = None,
     workers: Optional[int] = None,
+    device: Optional[str] = None,
     use_workspace: bool = False,
 ) -> YieldSweepResult:
     """Sweep the uncertainty level and estimate the parametric yield at each.
@@ -246,6 +254,11 @@ def yield_sweep(
     chunk_size, backend, workers:
         Forwarded to the Monte Carlo engine (see
         :func:`repro.onn.inference.monte_carlo_accuracy`).
+    device:
+        ``"gpu"`` runs every sigma's realizations device-resident through
+        the :class:`~repro.execution.GpuBackend` (CuPy, or the strict mock
+        stand-in on CPU-only machines); ``"cpu"``/``None`` keeps the CPU
+        backends selected by ``backend``/``workers``.
     use_workspace:
         Recycle the vectorized engine's scratch buffers through each
         process's workspace arena (bit-identical; allocation reuse only).
@@ -270,7 +283,7 @@ def yield_sweep(
     if case.lower() not in UncertaintyModel.CASES:
         raise ValueError(f"unknown uncertainty case {case!r}; expected one of {UncertaintyModel.CASES}")
 
-    nominal_accuracy = spnn.accuracy(
+    nominal_accuracy = resolve_network(spnn).accuracy(
         resolve_array(features), resolve_array(labels), use_hardware=True
     )
     if accuracy_threshold is None:
@@ -282,24 +295,29 @@ def yield_sweep(
     samples_per_sigma: Dict[float, np.ndarray] = {}
     # One backend for the whole sweep, with its worker pool (if any) kept
     # alive across the per-sigma runs — forking a fresh pool per sigma would
-    # dominate small sharded runs.  The eval arrays are hosted in shared
-    # memory for the same scope (unless the caller already hosts them), so
-    # they cross the process boundary once per worker, not once per chunk.
-    resolved = resolve_backend(backend, workers)
+    # dominate small sharded runs.  The eval arrays *and* the compiled mesh
+    # parameters are hosted in shared memory for the same scope (unless the
+    # caller already hosts them), so they cross the process boundary once
+    # per worker, not once per chunk — the per-chunk payload shrinks to the
+    # perturbation draws.
+    resolved = resolve_backend(backend, workers, device)
     already_shared = isinstance(features, SharedArray) or isinstance(labels, SharedArray)
     hosting = (
         nullcontext((features, labels))
         if already_shared
         else shared_eval_arrays(resolved, features, labels)
     )
-    with pool_scope(resolved), hosting as (eval_features, eval_labels):
+    network_hosting = (
+        nullcontext(spnn) if isinstance(spnn, SharedNetwork) else shared_network(resolved, spnn)
+    )
+    with pool_scope(resolved), hosting as (eval_features, eval_labels), network_hosting as network:
         for sigma, stream in zip(sigmas, streams):
             model = UncertaintyModel.for_case(case, sigma, perturb_sigma_stage=perturb_sigma_stage)
             if model.is_null:
                 samples_per_sigma[sigma] = np.full(iterations, nominal_accuracy)
                 continue
             samples_per_sigma[sigma] = monte_carlo_accuracy(
-                spnn,
+                network,
                 eval_features,
                 eval_labels,
                 model,
@@ -391,6 +409,7 @@ def bisect_max_tolerable_sigma(
     chunk_size: Optional[int] = None,
     backend: BackendLike = None,
     workers: Optional[int] = None,
+    device: Optional[str] = None,
     use_workspace: bool = False,
 ) -> SigmaBisectionResult:
     """Refine the maximum tolerable sigma by bisection on the yield curve.
@@ -439,18 +458,21 @@ def bisect_max_tolerable_sigma(
     streams = iter(spawn_rngs(rng, max_probes))
 
     probes: Dict[float, YieldEstimate] = {}
-    nominal_accuracy = spnn.accuracy(
+    nominal_accuracy = resolve_network(spnn).accuracy(
         resolve_array(features), resolve_array(labels), use_hardware=True
     )
 
-    resolved = resolve_backend(backend, workers)
+    resolved = resolve_backend(backend, workers, device)
     already_shared = isinstance(features, SharedArray) or isinstance(labels, SharedArray)
     hosting = (
         nullcontext((features, labels))
         if already_shared
         else shared_eval_arrays(resolved, features, labels)
     )
-    with pool_scope(resolved), hosting as (eval_features, eval_labels):
+    network_hosting = (
+        nullcontext(spnn) if isinstance(spnn, SharedNetwork) else shared_network(resolved, spnn)
+    )
+    with pool_scope(resolved), hosting as (eval_features, eval_labels), network_hosting as network:
 
         def probe(sigma: float) -> bool:
             model = UncertaintyModel.for_case(case, sigma, perturb_sigma_stage=perturb_sigma_stage)
@@ -458,7 +480,7 @@ def bisect_max_tolerable_sigma(
                 samples = np.full(iterations, nominal_accuracy)
             else:
                 samples = monte_carlo_accuracy(
-                    spnn,
+                    network,
                     eval_features,
                     eval_labels,
                     model,

@@ -1,0 +1,49 @@
+"""Device-agnostic array layer: the pluggable ``xp`` namespace seam.
+
+See :mod:`repro.arrays.namespace` for the backend protocol, registry and
+active-backend context, :mod:`repro.arrays.kernels` for the namespace-
+generic out-buffer kernels of the numerics hot paths, and
+:mod:`repro.arrays.mock` / :mod:`repro.arrays.cupy_backend` for the strict
+conformance backend and the optional GPU backend.
+"""
+
+from . import kernels
+from .cupy_backend import CupyArrayBackend
+from .mock import MockArray, MockArrayBackend, MockNamespace
+from .namespace import (
+    HOST_BACKEND,
+    ArrayBackend,
+    NumpyArrayBackend,
+    active_array_backend,
+    array_backend_names,
+    available_array_backends,
+    backend_of,
+    get_array_backend,
+    get_namespace,
+    register_array_backend,
+    to_host,
+    use_array_backend,
+)
+
+register_array_backend("mock_device", MockArrayBackend)
+register_array_backend("cupy", CupyArrayBackend)
+
+__all__ = [
+    "kernels",
+    "ArrayBackend",
+    "NumpyArrayBackend",
+    "CupyArrayBackend",
+    "MockArray",
+    "MockArrayBackend",
+    "MockNamespace",
+    "HOST_BACKEND",
+    "active_array_backend",
+    "array_backend_names",
+    "available_array_backends",
+    "backend_of",
+    "get_array_backend",
+    "get_namespace",
+    "register_array_backend",
+    "to_host",
+    "use_array_backend",
+]

@@ -1,0 +1,64 @@
+"""CuPy array backend: the GPU namespace behind ``--device gpu``.
+
+CuPy is an *optional* dependency — this module imports it lazily and the
+backend reports itself unavailable (rather than raising at import time)
+when CuPy or a CUDA device is missing, so CPU-only machines and CI keep
+working untouched.  The strict mock backend (:mod:`repro.arrays.mock`)
+stands in for it there.
+
+**Tolerance contract.**  Randomness is drawn on the host from the same
+NumPy child streams as every other backend (see
+:meth:`~repro.arrays.namespace.ArrayBackend.standard_normal_rows`), so a
+GPU run consumes identical sampled values; only the floating-point
+reduction order of the device linear algebra differs from the reference
+path.  GPU results therefore agree with the NumPy path to ``allclose``
+tolerance at a fixed seed — asserted by the conformance suite whenever
+CuPy is importable — rather than the bit-identity the NumPy and mock
+backends guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .namespace import ArrayBackend
+
+__all__ = ["CupyArrayBackend"]
+
+try:  # pragma: no cover - exercised only on machines with CuPy
+    import cupy as _cupy
+except Exception:  # ImportError, or a broken CUDA installation
+    _cupy = None
+
+
+def _device_usable() -> bool:
+    if _cupy is None:
+        return False
+    try:  # pragma: no cover - requires a CUDA device
+        return int(_cupy.cuda.runtime.getDeviceCount()) > 0
+    except Exception:
+        return False
+
+
+class CupyArrayBackend(ArrayBackend):
+    """GPU backend binding the kernel namespace ``xp`` to CuPy."""
+
+    name = "cupy"
+    is_host = False
+
+    @classmethod
+    def available(cls) -> bool:
+        return _device_usable()
+
+    @property
+    def xp(self):  # pragma: no cover - requires a CUDA device
+        return _cupy
+
+    def owns(self, value: object) -> bool:  # pragma: no cover - requires CUDA
+        return _cupy is not None and isinstance(value, _cupy.ndarray)
+
+    def asarray(self, value, dtype=None):  # pragma: no cover - requires CUDA
+        return _cupy.asarray(value, dtype=dtype)
+
+    def to_host(self, value) -> np.ndarray:  # pragma: no cover - requires CUDA
+        return _cupy.asnumpy(value)

@@ -1,0 +1,188 @@
+"""Namespace-generic out-buffer kernels of the numerics hot paths.
+
+Every function here takes the array namespace ``xp`` explicitly and touches
+arrays only through it (or through operators, which dispatch on the array
+type) — this module never imports NumPy, which the seam lint
+(``tools/check_numpy_seam.py``) enforces.  With ``xp`` bound to NumPy these
+are the exact ufunc sequences the pre-seam implementations executed, so the
+reference path stays byte-for-byte identical; with a device namespace the
+same code runs on the device.
+
+The ``out=`` parameters follow the library-wide workspace contract: an out
+buffer only changes *where* the result lives, never its values, and callers
+fully overwrite any buffer they receive.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "broadcast_shapes",
+    "is_complex",
+    "matmul_result_shape",
+    "matmul_transposed",
+    "softplus",
+    "log_softmax",
+    "unit_phasor",
+    "mzi_block_components",
+    "apply_mzi_blocks",
+]
+
+
+def broadcast_shapes(*shapes: Tuple[int, ...]) -> Tuple[int, ...]:
+    """NumPy-style broadcast of shape tuples (pure host-side integer math)."""
+    ndim = max((len(shape) for shape in shapes), default=0)
+    result = []
+    for axis in range(ndim):
+        extent = 1
+        for shape in shapes:
+            index = axis - (ndim - len(shape))
+            if index < 0:
+                continue
+            dim = int(shape[index])
+            if dim == 1 or dim == extent:
+                continue
+            if extent == 1:
+                extent = dim
+            else:
+                raise ValueError(f"shapes {shapes} are not broadcastable")
+        result.append(extent)
+    return tuple(result)
+
+
+def is_complex(array) -> bool:
+    """Whether ``array`` holds complex values (dtype-kind test, any namespace)."""
+    return getattr(array, "dtype", None) is not None and array.dtype.kind == "c"
+
+
+def matmul_result_shape(activations, matrix) -> Tuple[int, ...]:
+    """Shape of ``activations @ swapaxes(matrix, -2, -1)`` under broadcasting."""
+    return broadcast_shapes(
+        tuple(activations.shape[:-1]), tuple(matrix.shape[:-2]) + (1,)
+    ) + (int(matrix.shape[-2]),)
+
+
+def matmul_transposed(xp, activations, matrix, out=None):
+    """``activations @ matrix.T`` with a real/complex split on the hot path.
+
+    After the modulus-Softplus the activations are real while the hardware
+    matrices stay complex; multiplying through a complex matmul would spend
+    half its work on the zero imaginary part, so the real and imaginary
+    products are computed separately.  ``matrix`` may carry a leading batch
+    axis (stacked matmuls run the same per-slice kernel as the 2-D ones on
+    the reference namespace, keeping the looped and batched paths
+    bit-identical).  ``out`` optionally supplies the result buffer.
+    """
+    transposed = xp.swapaxes(matrix, -2, -1)
+    if is_complex(activations):
+        if out is None:
+            return xp.matmul(activations, transposed)
+        return xp.matmul(activations, transposed, out=out)
+    if out is None:
+        out = xp.empty(matmul_result_shape(activations, matrix), dtype=xp.complex128)
+    out.real = xp.matmul(activations, transposed.real)
+    out.imag = xp.matmul(activations, transposed.imag)
+    return out
+
+
+def softplus(xp, x, beta: float = 1.0, threshold: float = 30.0, out=None):
+    """Numerically stable Softplus, ``log(1 + exp(beta x)) / beta``.
+
+    ``out`` optionally supplies the result buffer (it must not alias ``x``,
+    which is still read for the saturated branch); one buffer is reused for
+    the chained elementwise steps either way.
+    """
+    scaled = xp.multiply(beta, x, out=out) if out is not None else beta * x
+    saturated = scaled > threshold
+    any_saturated = bool(saturated.any())
+    result = xp.minimum(scaled, threshold, out=scaled)
+    xp.exp(result, out=result)
+    xp.log1p(result, out=result)
+    if beta != 1.0:
+        result /= beta
+    # With no saturated entries the where() would copy `result` verbatim.
+    return xp.where(saturated, x, result) if any_saturated else result
+
+
+def log_softmax(xp, x):
+    """Row-wise log-softmax over the last axis."""
+    shifted = x - xp.max(x, axis=-1, keepdims=True)
+    return shifted - xp.log(xp.sum(xp.exp(shifted), axis=-1, keepdims=True))
+
+
+def unit_phasor(xp, angle, out=None):
+    """``exp(1j * angle)`` assembled from real sin/cos into one buffer.
+
+    Bit-identical to ``exp(1j * angle)`` (complex exp of a purely imaginary
+    argument reduces to exactly this) while skipping the complex temporary
+    and the slower complex-exp kernel on the Monte Carlo hot path.
+    """
+    angle = xp.asarray(angle, dtype=xp.float64)
+    if out is None:
+        out = xp.empty(angle.shape, dtype=xp.complex128)
+    xp.cos(angle, out=out.real)
+    xp.sin(angle, out=out.imag)
+    return out
+
+
+def mzi_block_components(xp, theta, phi, r1, t1=None, r2=None, t2=None):
+    """The four elements of the non-ideal MZI transfer matrix (paper Eq. (5)).
+
+    Same physics as the assembled ``(..., 2, 2)`` matrix but returned as the
+    tuple ``(T00, T01, T10, T11)`` of broadcast-shaped arrays — the layout
+    the mesh evaluators consume directly.  All parameters broadcast.
+    """
+    theta = xp.asarray(theta, dtype=xp.float64)
+    phi = xp.asarray(phi, dtype=xp.float64)
+    r1 = xp.asarray(r1, dtype=xp.float64)
+    r2 = xp.asarray(r1 if r2 is None else r2, dtype=xp.float64)
+    t1 = (
+        xp.sqrt(xp.clip(1.0 - r1**2, 0.0, 1.0))
+        if t1 is None
+        else xp.asarray(t1, dtype=xp.float64)
+    )
+    t2 = (
+        xp.sqrt(xp.clip(1.0 - r2**2, 0.0, 1.0))
+        if t2 is None
+        else xp.asarray(t2, dtype=xp.float64)
+    )
+    e_theta = unit_phasor(xp, theta)
+    e_phi = unit_phasor(xp, phi)
+    e_both = e_phi * e_theta
+    # Shared splitter products; multiplying a real array by 1j is an exact
+    # placement into the imaginary part, so the factored forms below equal
+    # the textbook Eq. (5) expressions term for term.
+    rr = r1 * r2
+    tt = t1 * t2
+    i_rt = 1j * (r2 * t1)
+    i_tr = 1j * (t2 * r1)
+    i_tr2 = 1j * (t1 * r2)
+    return (
+        rr * e_both - tt * e_phi,
+        i_rt * e_theta + i_tr,
+        i_tr * e_both + i_tr2 * e_phi,
+        rr - tt * e_theta,
+    )
+
+
+def apply_mzi_blocks(matrices, components, groups) -> None:
+    """Apply MZI 2x2 blocks to ``matrices`` in place, column group by group.
+
+    ``matrices`` has shape ``(..., n, n)``; ``components`` are the four
+    block-element arrays (``(..., num_mzis)`` or ``(num_mzis,)``,
+    broadcasting over the leading dimensions); ``groups`` is a sequence of
+    ``(take, top_modes, bottom_modes)`` index triples — precomputed in the
+    matrices' namespace — selecting each column group's devices and the two
+    mode rows they couple.  Devices in one column act on disjoint mode
+    pairs, so their two-row updates are gathered and applied in a single
+    elementwise step; the arithmetic is pure elementwise multiply-add,
+    which makes the batched application bit-identical to the
+    single-realization one.
+    """
+    b00, b01, b10, b11 = components
+    for take, top_modes, bottom_modes in groups:
+        top = matrices[..., top_modes, :]
+        bottom = matrices[..., bottom_modes, :]
+        matrices[..., top_modes, :] = b00[..., take, None] * top + b01[..., take, None] * bottom
+        matrices[..., bottom_modes, :] = b10[..., take, None] * top + b11[..., take, None] * bottom

@@ -1,0 +1,314 @@
+"""A strict mock device namespace: NumPy semantics, CuPy discipline.
+
+:class:`MockArrayBackend` ("``mock_device``") executes every kernel with
+NumPy under the hood — so its results are **bit-identical** to the
+reference backend — while enforcing the host/device hygiene of a real
+device library:
+
+* a :class:`MockArray` refuses implicit conversion to a host ndarray
+  (``__array__`` raises), so any stray ``np.`` call on a device array —
+  the exact bug class this backend exists to catch — fails loudly instead
+  of silently computing on the host;
+* the namespace's functions reject plain host ndarrays as operands
+  (mirroring CuPy, which raises on ``cupy.multiply(device, host)``), so a
+  kernel that forgets to move an operand across the seam is caught on
+  CPU-only CI;
+* explicit transfers (``xp.asarray`` in, :meth:`MockArrayBackend.to_host`
+  out) are the only doors between the two worlds.
+
+Because the underlying arithmetic is NumPy's, the conformance suite can
+assert *exact* equality between the reference backend and this one — a
+stronger check than the ``allclose`` contract a real GPU gets.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .namespace import ArrayBackend
+
+__all__ = ["MockArray", "MockNamespace", "MockArrayBackend"]
+
+#: Functions allowed to receive host ndarrays (they ARE the transfer door).
+_TRANSFER_FUNCTIONS = frozenset({"asarray", "array", "ascontiguousarray"})
+
+
+def _reject_host(value, name: str):
+    if isinstance(value, np.ndarray) and value.ndim > 0:
+        raise TypeError(
+            f"mock device namespace: {name} received a host numpy array; "
+            "move it across the seam explicitly with xp.asarray(...) "
+            "(a real GPU namespace would raise here too)"
+        )
+    return value
+
+
+def _unwrap(value, name: str, strict: bool):
+    if isinstance(value, MockArray):
+        return value._data
+    if isinstance(value, (tuple, list)):
+        return type(value)(_unwrap(item, name, strict) for item in value)
+    return _reject_host(value, name) if strict else value
+
+
+def _wrap(value):
+    if isinstance(value, np.ndarray):
+        return MockArray(value)
+    if isinstance(value, tuple):
+        return tuple(_wrap(item) for item in value)
+    return value
+
+
+class MockArray:
+    """Host-memory array that behaves like (and is as strict as) a device array."""
+
+    __slots__ = ("_data",)
+    #: Opting out of the ufunc protocol makes every direct NumPy ufunc call
+    #: on a MockArray raise — and makes reflected operators work against
+    #: host scalars.
+    __array_ufunc__ = None
+
+    def __init__(self, data: np.ndarray):
+        self._data = np.asarray(data)
+
+    # -- the tripwire -------------------------------------------------- #
+    def __array__(self, *args, **kwargs):
+        raise TypeError(
+            "implicit host transfer of a mock device array; use the backend's "
+            "to_host(...) (this is exactly how a stray np.* call on a device "
+            "array fails on a real GPU)"
+        )
+
+    # -- metadata ------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def dtype(self):
+        return self._data.dtype
+
+    @property
+    def ndim(self) -> int:
+        return self._data.ndim
+
+    @property
+    def size(self) -> int:
+        return self._data.size
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes
+
+    @property
+    def T(self) -> "MockArray":
+        return MockArray(self._data.T)
+
+    # -- real/imag as writable device views ---------------------------- #
+    @property
+    def real(self) -> "MockArray":
+        return MockArray(self._data.real)
+
+    @real.setter
+    def real(self, value) -> None:
+        self._data.real = _unwrap(value, "real", strict=True)
+
+    @property
+    def imag(self) -> "MockArray":
+        return MockArray(self._data.imag)
+
+    @imag.setter
+    def imag(self, value) -> None:
+        self._data.imag = _unwrap(value, "imag", strict=True)
+
+    # -- indexing ------------------------------------------------------ #
+    def __getitem__(self, key):
+        return _wrap(self._data[_unwrap(key, "__getitem__", strict=False)])
+
+    def __setitem__(self, key, value) -> None:
+        # Assignment from a host array is allowed (CuPy's __setitem__ also
+        # accepts numpy values — it is an explicit elementwise transfer).
+        self._data[_unwrap(key, "__setitem__", strict=False)] = _unwrap(
+            value, "__setitem__", strict=False
+        )
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __float__(self) -> float:
+        return float(self._data)
+
+    def __int__(self) -> int:
+        return int(self._data)
+
+    # -- operators (strict: host ndarrays are rejected) ----------------- #
+    def _binary(self, other, op, name):
+        return _wrap(op(self._data, _unwrap(other, name, strict=True)))
+
+    def _rbinary(self, other, op, name):
+        return _wrap(op(_unwrap(other, name, strict=True), self._data))
+
+    def __add__(self, other):
+        return self._binary(other, lambda a, b: a + b, "__add__")
+
+    def __radd__(self, other):
+        return self._rbinary(other, lambda a, b: a + b, "__radd__")
+
+    def __sub__(self, other):
+        return self._binary(other, lambda a, b: a - b, "__sub__")
+
+    def __rsub__(self, other):
+        return self._rbinary(other, lambda a, b: a - b, "__rsub__")
+
+    def __mul__(self, other):
+        return self._binary(other, lambda a, b: a * b, "__mul__")
+
+    def __rmul__(self, other):
+        return self._rbinary(other, lambda a, b: a * b, "__rmul__")
+
+    def __truediv__(self, other):
+        return self._binary(other, lambda a, b: a / b, "__truediv__")
+
+    def __rtruediv__(self, other):
+        return self._rbinary(other, lambda a, b: a / b, "__rtruediv__")
+
+    def __pow__(self, other):
+        return self._binary(other, lambda a, b: a**b, "__pow__")
+
+    def __matmul__(self, other):
+        return self._binary(other, lambda a, b: a @ b, "__matmul__")
+
+    def __rmatmul__(self, other):
+        return self._rbinary(other, lambda a, b: a @ b, "__rmatmul__")
+
+    def __neg__(self):
+        return _wrap(-self._data)
+
+    def __gt__(self, other):
+        return self._binary(other, lambda a, b: a > b, "__gt__")
+
+    def __ge__(self, other):
+        return self._binary(other, lambda a, b: a >= b, "__ge__")
+
+    def __lt__(self, other):
+        return self._binary(other, lambda a, b: a < b, "__lt__")
+
+    def __le__(self, other):
+        return self._binary(other, lambda a, b: a <= b, "__le__")
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._binary(other, lambda a, b: a == b, "__eq__")
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._binary(other, lambda a, b: a != b, "__ne__")
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # in-place variants mutate the backing buffer (workspace reuse).
+    def __iadd__(self, other):
+        self._data += _unwrap(other, "__iadd__", strict=True)
+        return self
+
+    def __isub__(self, other):
+        self._data -= _unwrap(other, "__isub__", strict=True)
+        return self
+
+    def __imul__(self, other):
+        self._data *= _unwrap(other, "__imul__", strict=True)
+        return self
+
+    def __itruediv__(self, other):
+        self._data /= _unwrap(other, "__itruediv__", strict=True)
+        return self
+
+    # -- method delegation (any(), copy(), reshape(), astype(), ...) ---- #
+    def __getattr__(self, name: str):
+        if name.startswith("__"):
+            # Never leak NumPy's protocol probes (__array_interface__,
+            # __array_struct__, ...) from the wrapped array — that would
+            # hand raw buffer access to host NumPy and silently bypass the
+            # implicit-transfer tripwire.
+            raise AttributeError(name)
+        attr = getattr(self._data, name)
+        if callable(attr):
+            def method(*args, **kwargs):
+                args = tuple(_unwrap(a, name, strict=False) for a in args)
+                kwargs = {k: _unwrap(v, name, strict=False) for k, v in kwargs.items()}
+                return _wrap(attr(*args, **kwargs))
+
+            return method
+        return _wrap(attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return f"MockArray({self._data!r})"
+
+
+class MockNamespace:
+    """Module-like ``xp`` that delegates to NumPy through the strict wrapper.
+
+    Function attributes unwrap :class:`MockArray` operands (rejecting plain
+    host ndarrays, as a device library would), call the NumPy function, and
+    wrap ndarray results; non-callable attributes (dtypes, ``pi``,
+    ``newaxis``) pass through untouched.
+    """
+
+    def asarray(self, value, dtype=None):
+        if isinstance(value, MockArray):
+            data = np.asarray(value._data, dtype=dtype)
+            return value if data is value._data else MockArray(data)
+        return MockArray(np.asarray(value, dtype=dtype))
+
+    array = ascontiguousarray = asarray
+
+    def __getattr__(self, name: str):
+        attr = getattr(np, name)
+        if not callable(attr) or isinstance(attr, type):
+            return attr
+
+        strict = name not in _TRANSFER_FUNCTIONS
+
+        def function(*args, **kwargs):
+            args = tuple(_unwrap(a, name, strict=strict) for a in args)
+            kwargs = {k: _unwrap(v, name, strict=strict) for k, v in kwargs.items()}
+            return _wrap(attr(*args, **kwargs))
+
+        function.__name__ = name
+        return function
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return "MockNamespace(numpy)"
+
+
+class MockArrayBackend(ArrayBackend):
+    """The ``mock_device`` backend: strict device semantics, NumPy arithmetic."""
+
+    name = "mock_device"
+    is_host = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._namespace = MockNamespace()
+
+    @classmethod
+    def available(cls) -> bool:
+        return True
+
+    @property
+    def xp(self) -> MockNamespace:
+        return self._namespace
+
+    def owns(self, value: object) -> bool:
+        return isinstance(value, MockArray)
+
+    def asarray(self, value, dtype=None):
+        return self._namespace.asarray(value, dtype=dtype)
+
+    def to_host(self, value) -> np.ndarray:
+        if isinstance(value, MockArray):
+            return np.asarray(value._data)
+        return np.asarray(value)

@@ -1,0 +1,354 @@
+"""The array-namespace seam: pluggable ``xp`` backends for the numerics core.
+
+Every hot-path array operation in this library routes through an *array
+namespace* — ``xp`` in the NumPy array-API idiom — obtained from an
+:class:`ArrayBackend`.  The reference backend binds ``xp`` to NumPy itself,
+so the default path executes the exact same ufunc calls as before the seam
+existed and stays **byte-for-byte identical**.  Alternative backends retarget
+the same kernels at other array libraries:
+
+* :class:`~repro.arrays.cupy_backend.CupyArrayBackend` runs them on a GPU
+  (CuPy arrays, optional dependency), and
+* :class:`~repro.arrays.mock.MockArrayBackend` runs them on a strict
+  host-memory *device emulator* that raises on any implicit host/device
+  mixing — the conformance harness that catches stray ``np.`` calls on
+  CPU-only CI.
+
+**Determinism contract.**  Randomness never originates on a device: the
+namespace-aware RNG shim (:meth:`ArrayBackend.standard_normal_rows`, layered
+over :mod:`repro.utils.rng`) always consumes the NumPy child generators on
+the host — exactly as the serial path does — and only then transfers the
+draws.  The NumPy backend is therefore bit-identical to the pre-seam code,
+and a device backend sees the *same sampled values*; only the floating-point
+reduction order of its linear algebra may differ, which is the documented
+``allclose``-at-fixed-seeds tolerance contract of the GPU path.
+
+**Context discipline.**  Device-ness is contextual, not per-array: the
+execution layer (``GpuBackend``) activates a backend around each chunk
+evaluation via :func:`use_array_backend`, and the kernels pick their
+namespace up from :func:`active_array_backend`.  Host arrays entering a
+device context are moved across explicitly (``asarray`` /
+:meth:`ArrayBackend.asarray_cached`); results come back through
+:func:`to_host` at chunk reassembly — never implicitly in between.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyArrayBackend",
+    "HOST_BACKEND",
+    "register_array_backend",
+    "get_array_backend",
+    "array_backend_names",
+    "available_array_backends",
+    "active_array_backend",
+    "use_array_backend",
+    "get_namespace",
+    "backend_of",
+    "to_host",
+]
+
+
+class ArrayBackend:
+    """One retargetable array namespace plus its host<->device transfer rules.
+
+    Subclasses bind :attr:`xp` to a concrete array library (NumPy, CuPy, the
+    strict mock) and implement ownership tests and transfers.  Instances are
+    lightweight and stateless apart from the bounded transfer cache, so the
+    registry hands out one shared instance per backend name.
+    """
+
+    #: Registry name of the backend (``"numpy"``, ``"cupy"``, ``"mock_device"``).
+    name: str = "abstract"
+    #: Whether this backend's arrays live in host memory as plain ndarrays.
+    is_host: bool = False
+
+    #: Entries kept in the host->device transfer cache (eval sets, nominal
+    #: parameter arrays, index arrays — a handful of long-lived objects).
+    _CACHE_CAPACITY = 64
+
+    def __init__(self) -> None:
+        # id(host_array) -> (host_array, device_array); the stored host
+        # reference both keeps the id stable and lets lookups verify identity.
+        self._transfer_cache: Dict[int, Tuple[np.ndarray, object]] = {}
+
+    # ------------------------------------------------------------------ #
+    # availability / namespace
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def available(cls) -> bool:
+        """Whether the backing array library can be imported here."""
+        return True
+
+    @property
+    def xp(self):
+        """The array namespace (module-like object) of this backend."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # ownership and transfers
+    # ------------------------------------------------------------------ #
+    def owns(self, value: object) -> bool:
+        """Whether ``value`` is an array of this backend's namespace."""
+        raise NotImplementedError
+
+    def asarray(self, value, dtype=None):
+        """Move ``value`` into this backend's namespace (no-op if already there)."""
+        raise NotImplementedError
+
+    def to_host(self, value) -> np.ndarray:
+        """Copy/view ``value`` back to a host :class:`numpy.ndarray`."""
+        raise NotImplementedError
+
+    def empty(self, shape: Tuple[int, ...], dtype) -> object:
+        """An uninitialized array of this namespace (workspace allocations)."""
+        return self.xp.empty(shape, dtype=dtype)
+
+    def asarray_cached(self, array: np.ndarray):
+        """``asarray`` with a bounded identity-checked cache for host arrays.
+
+        Long-lived host arrays (evaluation sets, nominal mesh parameters,
+        structural index arrays) are transferred once per backend instead of
+        once per Monte Carlo chunk.  The cache key is the host array's
+        ``id`` *verified by identity* against the stored reference, so a
+        recycled id can never alias a stale device copy; replacing the host
+        array (e.g. ``MZIMesh.retune``) naturally invalidates its entry.
+        """
+        if not isinstance(array, np.ndarray):
+            return self.asarray(array)
+        key = id(array)
+        entry = self._transfer_cache.get(key)
+        if entry is not None and entry[0] is array:
+            return entry[1]
+        device = self.asarray(array)
+        if len(self._transfer_cache) >= self._CACHE_CAPACITY:
+            self._transfer_cache.pop(next(iter(self._transfer_cache)))
+        self._transfer_cache[key] = (array, device)
+        return device
+
+    def clear_cache(self) -> None:
+        """Drop every cached host->device transfer."""
+        self._transfer_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # namespace-aware RNG shim (over repro.utils.rng generators)
+    # ------------------------------------------------------------------ #
+    def standard_normal_rows(
+        self,
+        generators: Sequence[np.random.Generator],
+        length: int,
+        out=None,
+        host_staging: Optional[np.ndarray] = None,
+    ):
+        """A ``(B, length)`` standard-normal matrix, row ``b`` from stream ``b``.
+
+        The draws always happen on the host, consuming each NumPy child
+        generator exactly as the serial samplers do (``standard_normal(out=
+        row)`` equals a plain ``standard_normal(length)`` call bit for bit),
+        then move into this backend's namespace.  ``out`` optionally
+        supplies the destination buffer (a workspace view);
+        ``host_staging`` optionally supplies the host-side staging buffer a
+        device backend fills before the transfer.
+        """
+        draws = host_staging
+        if draws is None or draws.shape != (len(generators), length):
+            draws = np.empty((len(generators), length), dtype=np.float64)
+        if length:
+            for row, gen in zip(draws, generators):
+                gen.standard_normal(out=row)
+        if out is None:
+            return self.asarray(draws)
+        out[...] = self.asarray(draws)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NumpyArrayBackend(ArrayBackend):
+    """The reference backend: ``xp`` *is* NumPy, transfers are no-ops.
+
+    Routing a kernel through this backend executes exactly the same NumPy
+    calls as writing ``np.`` directly, which is what keeps the default path
+    of the refactored numerics core byte-for-byte identical to the pre-seam
+    implementation.
+    """
+
+    name = "numpy"
+    is_host = True
+
+    @property
+    def xp(self):
+        return np
+
+    def owns(self, value: object) -> bool:
+        return isinstance(value, np.ndarray)
+
+    def asarray(self, value, dtype=None):
+        return np.asarray(value, dtype=dtype)
+
+    def to_host(self, value) -> np.ndarray:
+        return np.asarray(value)
+
+    def asarray_cached(self, array):
+        # Host arrays are already "on device"; never cache, never copy.
+        return np.asarray(array)
+
+    def standard_normal_rows(self, generators, length, out=None, host_staging=None):
+        draws = out
+        if draws is None:
+            draws = np.empty((len(generators), length), dtype=np.float64)
+        if length:
+            for row, gen in zip(draws, generators):
+                gen.standard_normal(out=row)
+        return draws
+
+
+#: The process-wide reference backend instance.
+HOST_BACKEND = NumpyArrayBackend()
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+
+#: Registered backend factories by name (instantiated lazily, one per name).
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {"numpy": HOST_BACKEND}
+
+
+def register_array_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register a backend factory under ``name`` (idempotent per name)."""
+    _FACTORIES[name] = factory
+
+
+def array_backend_names() -> Tuple[str, ...]:
+    """Every registered backend name (available here or not)."""
+    return tuple(dict.fromkeys(list(_INSTANCES) + list(_FACTORIES)))
+
+
+def get_array_backend(backend: Union[str, ArrayBackend, None]) -> ArrayBackend:
+    """Resolve a name (or pass through an instance) to an :class:`ArrayBackend`.
+
+    ``None`` resolves to the NumPy reference backend.  Unknown names and
+    backends whose array library is not importable raise a
+    :class:`~repro.exceptions.ConfigurationError` with the available
+    choices, so a missing optional dependency (CuPy) fails loudly and
+    early instead of deep inside a kernel.
+    """
+    if backend is None:
+        return HOST_BACKEND
+    if isinstance(backend, ArrayBackend):
+        return backend
+    name = str(backend).lower()
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown array backend {backend!r}; registered: {sorted(array_backend_names())}"
+        )
+    instance = factory()
+    if not instance.available():
+        raise ConfigurationError(
+            f"array backend {name!r} is not available on this machine "
+            f"(its array library cannot be imported); available: {available_array_backends()}"
+        )
+    _INSTANCES[name] = instance
+    return instance
+
+
+def available_array_backends() -> Tuple[str, ...]:
+    """Names of the registered backends usable on this machine."""
+    names = []
+    for name in array_backend_names():
+        instance = _INSTANCES.get(name)
+        if instance is not None:
+            names.append(name)
+            continue
+        factory = _FACTORIES[name]
+        try:
+            if factory().available():
+                names.append(name)
+        except Exception:  # pragma: no cover - defensively treat as absent
+            continue
+    return tuple(names)
+
+
+# --------------------------------------------------------------------------- #
+# active-backend context
+# --------------------------------------------------------------------------- #
+
+#: The backend the numerics core currently targets (contextvar so nested
+#: scopes and any future task-based concurrency stay correctly isolated).
+_ACTIVE: ContextVar[ArrayBackend] = ContextVar("repro_active_array_backend", default=HOST_BACKEND)
+
+
+def active_array_backend() -> ArrayBackend:
+    """The backend array kernels currently allocate on (NumPy by default)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_array_backend(backend: Union[str, ArrayBackend, None]) -> Iterator[ArrayBackend]:
+    """Activate ``backend`` for the duration of the block.
+
+    The execution layer wraps each device chunk evaluation in this context;
+    everything underneath (samplers, mesh evaluation, forward kernels,
+    workspace allocation) then targets the backend's namespace without any
+    signature changes.
+    """
+    resolved = get_array_backend(backend)
+    token = _ACTIVE.set(resolved)
+    try:
+        yield resolved
+    finally:
+        _ACTIVE.reset(token)
+
+
+# --------------------------------------------------------------------------- #
+# array-API style helpers
+# --------------------------------------------------------------------------- #
+
+
+def backend_of(*arrays: object) -> ArrayBackend:
+    """The backend owning ``arrays`` (first non-host owner wins).
+
+    Mirrors the array-API ``get_namespace`` idiom: plain ndarrays (and
+    scalars / ``None``) resolve to the NumPy reference backend; an array of
+    an instantiated device backend resolves to that backend.  Mixing arrays
+    of two *different* device backends is a programming error and raises.
+    """
+    owner: Optional[ArrayBackend] = None
+    for value in arrays:
+        if value is None or isinstance(value, np.ndarray):
+            continue
+        for instance in _INSTANCES.values():
+            if instance.is_host or not instance.owns(value):
+                continue
+            if owner is not None and owner is not instance:
+                raise ConfigurationError(
+                    f"arrays from two different backends ({owner.name!r} and "
+                    f"{instance.name!r}) cannot be mixed"
+                )
+            owner = instance
+    return owner if owner is not None else HOST_BACKEND
+
+
+def get_namespace(*arrays: object):
+    """The ``xp`` namespace of the backend owning ``arrays`` (NumPy default)."""
+    return backend_of(*arrays).xp
+
+
+def to_host(value) -> np.ndarray:
+    """Copy ``value`` back to a host ndarray, whatever backend owns it."""
+    return backend_of(value).to_host(value)

@@ -92,6 +92,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--device",
+        choices=["cpu", "gpu"],
+        default=None,
+        help=(
+            "run the Monte Carlo realizations on this device: 'gpu' evaluates "
+            "chunks device-resident through the CuPy array backend (or the "
+            "strict mock stand-in selected by REPRO_GPU_ARRAY_BACKEND on "
+            "CPU-only machines); 'cpu' (default) keeps the serial/multiprocess "
+            "backends"
+        ),
+    )
+    parser.add_argument(
         "--bisect",
         action="store_true",
         help=(
@@ -118,6 +130,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"{identifier!r} does not support --workers")
     if identifier in ("list", "summary") and args.bisect:
         parser.error(f"{identifier!r} does not support --bisect")
+    if identifier in ("list", "summary") and args.device is not None:
+        parser.error(f"{identifier!r} does not support --device")
+    if args.device == "gpu" and args.workers is not None and args.workers > 1:
+        parser.error(
+            "--device gpu cannot be combined with --workers > 1 "
+            "(the GPU executes chunks in order; its concurrency lives in the device kernels)"
+        )
     if identifier == "list":
         _print_experiment_list()
         return 0
@@ -135,6 +154,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not hasattr(config, "workers"):
             parser.error(f"experiment {spec.identifier!r} does not support --workers")
         config = dataclasses.replace(config, workers=args.workers)
+    if args.device is not None:
+        if not hasattr(config, "device"):
+            parser.error(f"experiment {spec.identifier!r} does not support --device")
+        config = dataclasses.replace(config, device=args.device)
     if args.bisect:
         if not hasattr(config, "bisect"):
             parser.error(f"experiment {spec.identifier!r} does not support --bisect")

@@ -8,32 +8,44 @@ per-chunk re-pickled) evaluation arrays.
 
 from .backends import (
     BACKEND_NAMES,
+    DEVICE_NAMES,
     Backend,
     BackendLike,
+    GpuBackend,
     MultiprocessBackend,
     SerialBackend,
     available_workers,
+    default_gpu_array_backend,
     pool_scope,
     resolve_backend,
 )
 from .shared import (
     SharedArray,
+    SharedNetwork,
     resolve_array,
+    resolve_network,
     shared_eval_arrays,
     shared_memory_available,
+    shared_network,
 )
 
 __all__ = [
     "Backend",
     "BackendLike",
     "BACKEND_NAMES",
+    "DEVICE_NAMES",
     "SerialBackend",
     "MultiprocessBackend",
+    "GpuBackend",
     "available_workers",
+    "default_gpu_array_backend",
     "pool_scope",
     "resolve_backend",
     "SharedArray",
+    "SharedNetwork",
     "resolve_array",
+    "resolve_network",
     "shared_eval_arrays",
     "shared_memory_available",
+    "shared_network",
 ]

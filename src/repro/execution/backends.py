@@ -37,6 +37,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, List, Optional, Protocol, Sequence, Union, runtime_checkable
 
+from ..arrays import available_array_backends, get_array_backend, use_array_backend
+
 
 @runtime_checkable
 class Backend(Protocol):
@@ -166,6 +168,68 @@ class MultiprocessBackend:
             return [future.result() for future in futures]
 
 
+#: Environment knob selecting the array backend behind ``--device gpu``.
+#: CPU-only CI sets it to ``mock_device`` so the GPU execution path is
+#: exercised end to end (strict device semantics, bit-identical results)
+#: without CuPy; on GPU machines the default is CuPy.
+GPU_ARRAY_BACKEND_ENV = "REPRO_GPU_ARRAY_BACKEND"
+
+
+def default_gpu_array_backend() -> str:
+    """The array backend ``GpuBackend`` targets when none is named."""
+    return os.environ.get(GPU_ARRAY_BACKEND_ENV, "cupy")
+
+
+@dataclass(frozen=True)
+class GpuBackend:
+    """Run every chunk device-resident through a device array namespace.
+
+    The scheduling itself is inline (one device executes chunks in order —
+    the concurrency lives inside the device's kernels): ``map`` activates
+    the configured array backend (:func:`repro.arrays.use_array_backend`)
+    around the evaluations, so the samplers, mesh sweeps and forward
+    kernels underneath allocate and compute on the device, and only the
+    per-chunk sample vectors are transferred back at reassembly
+    (``evaluate_batch_chunk`` calls :func:`repro.arrays.to_host`).
+
+    ``array_backend`` names the namespace: ``None`` picks CuPy (or the
+    ``REPRO_GPU_ARRAY_BACKEND`` override — CI uses the strict
+    ``mock_device`` stand-in).  Construction fails loudly when the chosen
+    namespace is unavailable, listing what is.
+
+    **Determinism.**  Randomness is always drawn on the host from the
+    pre-spawned child streams, so a device run consumes the same sampled
+    values as the serial path; the mock namespace is bit-identical, a real
+    GPU matches to ``allclose`` at fixed seeds (reduction order).
+    """
+
+    array_backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Resolve eagerly: a missing CuPy should fail at configuration time
+        # with the available alternatives, not deep inside a Monte Carlo run.
+        object.__setattr__(self, "array_backend", self.resolved_array_backend().name)
+
+    def resolved_array_backend(self):
+        name = self.array_backend if self.array_backend is not None else default_gpu_array_backend()
+        try:
+            return get_array_backend(name)
+        except Exception as error:
+            raise type(error)(
+                f"{error} — the GPU execution backend needs a device array namespace; "
+                f"available array backends: {available_array_backends()} "
+                f"(set {GPU_ARRAY_BACKEND_ENV}=mock_device for the CPU-only stand-in)"
+            ) from error
+
+    @property
+    def parallelism(self) -> int:
+        return 1
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        with use_array_backend(self.resolved_array_backend()):
+            return [fn(task) for task in tasks]
+
+
 @contextmanager
 def pool_scope(backend: Backend) -> Iterator[Backend]:
     """Keep the backend's worker pool alive for the duration of the block.
@@ -189,22 +253,45 @@ def pool_scope(backend: Backend) -> Iterator[Backend]:
 BackendLike = Union[None, str, Backend]
 
 #: Registered backend names (the strings accepted by :func:`resolve_backend`).
-BACKEND_NAMES = ("serial", "multiprocess")
+BACKEND_NAMES = ("serial", "multiprocess", "gpu")
+
+#: Devices accepted by the ``device`` knob (experiment configs and the CLI).
+DEVICE_NAMES = ("cpu", "gpu")
 
 
-def resolve_backend(backend: BackendLike = None, workers: Optional[int] = None) -> Backend:
-    """Turn a ``backend``/``workers`` knob pair into a concrete backend.
+def resolve_backend(
+    backend: BackendLike = None,
+    workers: Optional[int] = None,
+    device: Optional[str] = None,
+) -> Backend:
+    """Turn a ``backend``/``workers``/``device`` knob trio into a backend.
 
     Resolution rules (shared by every layer that exposes the knobs):
 
     * an existing :class:`Backend` instance is returned unchanged
-      (``workers`` must then be left unset — the instance already decided),
+      (``workers``/``device`` must then be left unset — the instance
+      already decided),
+    * ``device="gpu"`` selects the device-resident :class:`GpuBackend`
+      (``workers`` must be unset or 1 — the GPU executes chunks in order,
+      the concurrency lives in its kernels); ``device="cpu"``/``None``
+      falls through to the CPU rules below,
     * ``None`` auto-selects: ``workers`` of ``None``/1 gives the serial
       backend, anything larger a multiprocess backend with that many
       workers,
-    * ``"serial"`` / ``"multiprocess"`` select explicitly; ``workers`` is
-      honored by the multiprocess backend and must be unset or 1 for serial.
+    * ``"serial"`` / ``"multiprocess"`` / ``"gpu"`` select explicitly;
+      ``workers`` is honored by the multiprocess backend and must be unset
+      or 1 otherwise.
     """
+    if device is not None:
+        name = str(device).lower()
+        if name not in DEVICE_NAMES:
+            raise ValueError(f"unknown device {device!r}; expected one of {DEVICE_NAMES}")
+        if name == "gpu":
+            if backend is not None:
+                raise ValueError("device='gpu' cannot be combined with an explicit backend")
+            if workers is not None and workers > 1:
+                raise ValueError("device='gpu' cannot be combined with workers > 1")
+            return GpuBackend()
     if backend is not None and not isinstance(backend, str):
         if not isinstance(backend, Backend):
             raise TypeError(
@@ -227,4 +314,8 @@ def resolve_backend(backend: BackendLike = None, workers: Optional[int] = None) 
         return SerialBackend()
     if name == "multiprocess":
         return MultiprocessBackend(workers=workers)
+    if name == "gpu":
+        if workers is not None and workers > 1:
+            raise ValueError(f"the gpu backend cannot use {workers} workers")
+        return GpuBackend()
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}")

@@ -21,6 +21,7 @@ bit-identical results (the shared segment holds a byte-exact copy).
 
 from __future__ import annotations
 
+import sys
 from contextlib import contextmanager
 from typing import Iterator, Optional, Tuple, Union
 
@@ -38,20 +39,32 @@ _ATTACHED: dict = {}
 
 #: Attached-segment cache bound.  A long-lived worker pool serving many
 #: hostings (one sweep after another) would otherwise keep every unlinked
-#: segment mapped forever; evicting the oldest mappings caps that at a few
-#: eval sets while still deduplicating attachments within any one sweep.
-_MAX_ATTACHED = 8
+#: segment mapped forever; evicting the oldest mappings caps that while
+#: still deduplicating attachments within any one sweep.  Sized to hold a
+#: full hosting comfortably: the eval arrays plus a shared-memory network
+#: (8 parameter arrays per photonic layer).
+_MAX_ATTACHED = 64
 
 
 def _evict_stale_attachments() -> None:
-    """Drop the oldest cached mappings beyond the cache bound."""
+    """Drop the oldest cached mappings beyond the cache bound.
+
+    A mapping may only be *closed* when nothing outside the cache holds its
+    view — closing the segment of a live view silently unmaps the memory it
+    reads.  The refcount probe below detects outstanding views (the cache
+    tuple plus the probe itself account for 2 references); still-referenced
+    evictees are merely forgotten, and the ordinary reference chain
+    (ndarray -> exported memoryview -> mmap) keeps their memory valid until
+    the last view dies.
+    """
     while len(_ATTACHED) > _MAX_ATTACHED:
         name = next(iter(_ATTACHED))
-        shm, _view = _ATTACHED.pop(name)
-        try:
-            shm.close()
-        except BufferError:  # a task still holds the view; GC reclaims later
-            pass
+        shm, view = _ATTACHED.pop(name)
+        if sys.getrefcount(view) <= 2:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - belt and braces
+                pass
 
 
 def shared_memory_available() -> bool:
@@ -181,6 +194,178 @@ def resolve_array(value: ArrayLike) -> np.ndarray:
     if isinstance(value, SharedArray):
         return value.array
     return np.asarray(value)
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory hosting of compiled networks (mesh parameter arrays)
+# --------------------------------------------------------------------------- #
+
+#: Worker-side cache of reconstructed networks, keyed by the tuple of shared
+#: segment names (unique per hosting).  Bounded like the attachment cache so
+#: a long-lived pool serving many sweeps does not accumulate networks.
+_NETWORK_CACHE: dict = {}
+_MAX_NETWORKS = 4
+
+
+def _wrap_array(array: np.ndarray):
+    """Host ``array`` in shared memory (tiny/empty arrays travel inline)."""
+    array = np.ascontiguousarray(array)
+    if array.nbytes == 0:
+        return array
+    return SharedArray.create(array)
+
+
+class SharedNetwork:
+    """Picklable handle to a compiled SPNN whose parameters live in shared memory.
+
+    The multiprocess backend pickles every task payload into its workers;
+    for the network trials that payload is dominated by the compiled
+    ``SPNN`` — the weight matrices plus, for every photonic layer, two
+    tuned meshes with their full structural bookkeeping — re-serialized for
+    *every chunk*.  This handle ships only the tuned **parameter arrays**
+    (phases, output screens, singular values, weights) through POSIX shared
+    memory plus a few scalars; its pickled form is a list of segment names.
+    Workers rebuild the network once per process from a cached structural
+    skeleton (the mesh layout is a pure function of size and scheme — see
+    :meth:`~repro.mesh.svd_layer.PhotonicLinearLayer.from_tuned_parameters`)
+    and retune it to the shared parameters, which reproduces the source
+    network's matrices **bit for bit**.
+
+    Created by the owning process via :meth:`create`; resolve with
+    :func:`resolve_network` (owner and workers alike).
+    """
+
+    def __init__(self, architecture, layer_states: list):
+        self.architecture = architecture
+        self.layer_states = layer_states
+        self._spnn = None
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, spnn) -> "SharedNetwork":
+        if _shared_memory is None:  # pragma: no cover - platform guard
+            raise RuntimeError("multiprocessing.shared_memory is unavailable on this platform")
+        if not spnn.is_compiled:
+            raise ValueError("only a compiled SPNN can be hosted in shared memory")
+        layer_states = []
+        for layer in spnn.photonic_layers:
+            parameters = {
+                name: _wrap_array(value) for name, value in layer.tuned_parameters().items()
+            }
+            layer_states.append(
+                {
+                    "weight": _wrap_array(layer.weight),
+                    "scheme": layer.scheme,
+                    "gain": float(layer.gain),
+                    "parameters": parameters,
+                }
+            )
+        handle = cls(spnn.architecture, layer_states)
+        handle._spnn = spnn  # the owner resolves to the original instance
+        return handle
+
+    # ------------------------------------------------------------------ #
+    def _segment_names(self) -> tuple:
+        names = []
+        for state in self.layer_states:
+            for value in [state["weight"], *state["parameters"].values()]:
+                if isinstance(value, SharedArray):
+                    names.append(value.name)
+        return tuple(names)
+
+    @property
+    def spnn(self):
+        """The reconstructed network (cached per process)."""
+        if self._spnn is not None:
+            return self._spnn
+        key = self._segment_names()
+        cached = _NETWORK_CACHE.get(key)
+        if cached is None:
+            cached = self._rebuild()
+            while len(_NETWORK_CACHE) >= _MAX_NETWORKS:
+                _NETWORK_CACHE.pop(next(iter(_NETWORK_CACHE)))
+            _NETWORK_CACHE[key] = cached
+        self._spnn = cached
+        return cached
+
+    def _rebuild(self):
+        from ..mesh.svd_layer import PhotonicLinearLayer
+        from ..onn.spnn import SPNN
+
+        layers = []
+        weights = []
+        for state in self.layer_states:
+            weight = resolve_array(state["weight"])
+            weights.append(weight)
+            parameters = {
+                name: resolve_array(value) for name, value in state["parameters"].items()
+            }
+            layers.append(
+                PhotonicLinearLayer.from_tuned_parameters(
+                    weight, state["scheme"], state["gain"], parameters
+                )
+            )
+        spnn = SPNN(weights, architecture=self.architecture, compile_hardware=False)
+        spnn.photonic_layers = layers
+        return spnn
+
+    # ------------------------------------------------------------------ #
+    def payload_arrays(self):
+        """Every hosted array handle (for lifetime management)."""
+        for state in self.layer_states:
+            for value in [state["weight"], *state["parameters"].values()]:
+                if isinstance(value, SharedArray):
+                    yield value
+
+    def close(self) -> None:
+        for handle in self.payload_arrays():
+            handle.close()
+
+    def unlink(self) -> None:
+        for handle in self.payload_arrays():
+            handle.unlink()
+
+    def __getstate__(self) -> dict:
+        return {"architecture": self.architecture, "layer_states": self.layer_states}
+
+    def __setstate__(self, state: dict) -> None:
+        self.architecture = state["architecture"]
+        self.layer_states = state["layer_states"]
+        self._spnn = None
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return f"SharedNetwork(layers={len(self.layer_states)})"
+
+
+#: What network-consuming trial code accepts: a plain SPNN or a handle.
+def resolve_network(value):
+    """The :class:`~repro.onn.spnn.SPNN` behind ``value`` (rebuilding as needed)."""
+    if isinstance(value, SharedNetwork):
+        return value.spnn
+    return value
+
+
+@contextmanager
+def shared_network(backend, spnn) -> Iterator[object]:
+    """Host a compiled network's parameters in shared memory for a sweep.
+
+    Yields a :class:`SharedNetwork` handle when ``backend`` shards tasks
+    across processes (and the platform supports shared memory), the
+    original network unchanged otherwise.  Wrap this around a sweep inside
+    its ``pool_scope`` — like :func:`shared_eval_arrays` — so the per-chunk
+    task payload shrinks to the perturbation draws instead of a re-pickled
+    compiled SPNN.  Results are bit-identical either way (the rebuilt
+    workers' networks reproduce the hosted matrices exactly).
+    """
+    if not shared_memory_available() or not _backend_shards(backend):
+        yield spnn
+        return
+    handle = SharedNetwork.create(spnn)
+    try:
+        yield handle
+    finally:
+        handle.close()
+        handle.unlink()
 
 
 def _backend_shards(backend) -> bool:

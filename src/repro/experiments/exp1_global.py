@@ -26,7 +26,13 @@ import numpy as np
 
 from ..analysis.monte_carlo import MonteCarloResult, MonteCarloRunner
 from ..analysis.statistics import summarize
-from ..execution import BackendLike, pool_scope, resolve_backend
+from ..execution import (
+    BackendLike,
+    pool_scope,
+    resolve_backend,
+    shared_eval_arrays,
+    shared_network,
+)
 from ..onn.builder import SPNNTask, SPNNTrainingConfig, build_trained_spnn
 from ..onn.inference import NetworkAccuracyBatchTrial, NetworkAccuracyTrial
 from ..onn.spnn import SPNN
@@ -65,6 +71,9 @@ class Exp1Config:
     #: shards realization chunks across N processes, bit-identical to serial.
     backend: BackendLike = None
     workers: Optional[int] = None
+    #: ``"gpu"`` runs the realizations device-resident (CuPy, or the mock
+    #: stand-in via REPRO_GPU_ARRAY_BACKEND); ``"cpu"``/None keeps CPU.
+    device: Optional[str] = None
     #: Training configuration used only when no pre-built task is supplied.
     training: SPNNTrainingConfig = field(default_factory=SPNNTrainingConfig)
 
@@ -151,7 +160,7 @@ def run_exp1(
     features, labels = task.test_features, task.test_labels
     # One backend for the whole sweep; its worker pool (if any) stays alive
     # across the (case, sigma) grid instead of re-forking per point.
-    backend = resolve_backend(config.backend, config.workers)
+    backend = resolve_backend(config.backend, config.workers, config.device)
     runner = MonteCarloRunner(
         iterations=config.iterations,
         chunk_size=config.chunk_size,
@@ -160,7 +169,13 @@ def run_exp1(
 
     nominal_accuracy = spnn.accuracy(features, labels, use_hardware=True)
     results: Dict[str, List[MonteCarloResult]] = {case: [] for case in config.cases}
-    with pool_scope(backend):
+    # Sharding backends get the eval set and the compiled mesh parameters
+    # hosted in shared memory once per sweep, so per-chunk payloads shrink
+    # to the child streams (bit-identical results).
+    with pool_scope(backend), shared_eval_arrays(backend, features, labels) as (
+        eval_features,
+        eval_labels,
+    ), shared_network(backend, spnn) as network:
         for case in config.cases:
             for sigma in config.sigmas:
                 model = uncertainty_model_for_case(case, sigma, config.perturb_sigma_stage)
@@ -176,12 +191,12 @@ def run_exp1(
                 # worker processes; both consume each child stream identically.
                 if config.vectorized:
                     batch_trial = NetworkAccuracyBatchTrial(
-                        spnn=spnn, features=features, labels=labels, model=model
+                        spnn=network, features=eval_features, labels=eval_labels, model=model
                     )
                     results[case].append(runner.run_batched(batch_trial, rng=gen, label=f"{case}@{sigma}"))
                 else:
                     trial = NetworkAccuracyTrial(
-                        spnn=spnn, features=features, labels=labels, model=model
+                        spnn=network, features=eval_features, labels=eval_labels, model=model
                     )
                     results[case].append(runner.run(trial, rng=gen, label=f"{case}@{sigma}"))
     return Exp1Result(config=config, nominal_accuracy=nominal_accuracy, results=results)

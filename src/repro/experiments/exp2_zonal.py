@@ -22,7 +22,15 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..analysis.monte_carlo import MonteCarloRunner
-from ..execution import BackendLike, pool_scope, resolve_backend
+from ..execution import (
+    BackendLike,
+    pool_scope,
+    resolve_array,
+    resolve_backend,
+    resolve_network,
+    shared_eval_arrays,
+    shared_network,
+)
 from ..mesh.mesh import MZIMesh
 from ..mesh.svd_layer import LayerPerturbation, LayerPerturbationBatch
 from ..onn.builder import SPNNTask, SPNNTrainingConfig, build_trained_spnn
@@ -54,6 +62,9 @@ class Exp2Config:
     #: shards realization chunks across N processes, bit-identical to serial.
     backend: BackendLike = None
     workers: Optional[int] = None
+    #: ``"gpu"`` runs the realizations device-resident (CuPy, or the mock
+    #: stand-in via REPRO_GPU_ARRAY_BACKEND); ``"cpu"``/None keeps CPU.
+    device: Optional[str] = None
     #: Training configuration used only when no pre-built task is supplied.
     training: SPNNTrainingConfig = field(default_factory=SPNNTrainingConfig)
 
@@ -186,19 +197,23 @@ def _sample_zonal_network_perturbation_batch(
 class ZonalAccuracyTrial:
     """Scalar zonal Monte Carlo trial (picklable for process backends)."""
 
-    spnn: SPNN
-    features: np.ndarray
-    labels: np.ndarray
+    spnn: object
+    features: object
+    labels: object
     target_mesh_name: str
     sigma_map: np.ndarray
     background: UncertaintyModel
 
     def __call__(self, generator: np.random.Generator) -> float:
+        spnn = resolve_network(self.spnn)
         perturbation = _sample_zonal_network_perturbation(
-            self.spnn, self.target_mesh_name, self.sigma_map, self.background, generator
+            spnn, self.target_mesh_name, self.sigma_map, self.background, generator
         )
-        return self.spnn.accuracy(
-            self.features, self.labels, perturbations=perturbation, use_hardware=True
+        return spnn.accuracy(
+            resolve_array(self.features),
+            resolve_array(self.labels),
+            perturbations=perturbation,
+            use_hardware=True,
         )
 
 
@@ -210,20 +225,24 @@ class ZonalAccuracyBatchTrial:
     does, so its samples are bit-identical to the looped path.
     """
 
-    spnn: SPNN
-    features: np.ndarray
-    labels: np.ndarray
+    spnn: object
+    features: object
+    labels: object
     target_mesh_name: str
     sigma_map: np.ndarray
     background: UncertaintyModel
 
     def __call__(self, generators) -> np.ndarray:
         generators = list(generators)
+        spnn = resolve_network(self.spnn)
         batch = _sample_zonal_network_perturbation_batch(
-            self.spnn, self.target_mesh_name, self.sigma_map, self.background, generators
+            spnn, self.target_mesh_name, self.sigma_map, self.background, generators
         )
-        return self.spnn.accuracy_batch(
-            self.features, self.labels, batch, batch_size=len(generators)
+        return spnn.accuracy_batch(
+            resolve_array(self.features),
+            resolve_array(self.labels),
+            batch,
+            batch_size=len(generators),
         )
 
 
@@ -254,7 +273,7 @@ def run_exp2(
     features, labels = task.test_features, task.test_labels
     # One backend for the whole zone sweep (54 small Monte Carlo runs on the
     # paper architecture); its worker pool survives across zones.
-    backend = resolve_backend(config.backend, config.workers)
+    backend = resolve_backend(config.backend, config.workers, config.device)
     runner = MonteCarloRunner(
         iterations=config.iterations,
         chunk_size=config.chunk_size,
@@ -264,22 +283,28 @@ def run_exp2(
 
     nominal_accuracy = spnn.accuracy(features, labels, use_hardware=True)
 
+    # Hosted once per sweep for sharding backends: the eval set and the
+    # compiled mesh parameters cross the process boundary per worker, not
+    # per chunk (bit-identical results; see repro.execution.shared).
+    network_hosting = shared_network(backend, spnn)
+    eval_hosting = shared_eval_arrays(backend, features, labels)
+
     def _run_zonal(target_mesh_name: str, sigma_map: np.ndarray, label: str):
         """One Monte Carlo run of the zonal sampler, batched or looped."""
         if config.vectorized:
             batch_trial = ZonalAccuracyBatchTrial(
-                spnn=spnn, features=features, labels=labels,
+                spnn=hosted_network, features=hosted_features, labels=hosted_labels,
                 target_mesh_name=target_mesh_name, sigma_map=sigma_map, background=background,
             )
             return runner.run_batched(batch_trial, rng=gen, label=label)
 
         trial = ZonalAccuracyTrial(
-            spnn=spnn, features=features, labels=labels,
+            spnn=hosted_network, features=hosted_features, labels=hosted_labels,
             target_mesh_name=target_mesh_name, sigma_map=sigma_map, background=background,
         )
         return runner.run(trial, rng=gen, label=label)
 
-    with pool_scope(backend):
+    with pool_scope(backend), eval_hosting as (hosted_features, hosted_labels), network_hosting as hosted_network:
         # Reference: global uncertainty at the background sigma (Sigma error-free),
         # the number the paper compares every zone against (69.98% loss).
         global_result = _run_zonal("", np.zeros(0), label="global-background")

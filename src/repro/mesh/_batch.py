@@ -19,6 +19,26 @@ import numpy as np
 from ..exceptions import ShapeError
 
 
+def ensure_batch_field(value, expected_shape, name: str):
+    """Validate one (possibly device-resident) perturbation field.
+
+    Host values go through the historical ``np.asarray(..., float64)``
+    conversion; arrays of another namespace (sampled under a device
+    backend) are shape-checked in place — converting them would force an
+    implicit host transfer, which the device backends forbid.
+    """
+    if value is None:
+        return None
+    if not isinstance(value, np.ndarray) and hasattr(value, "shape"):
+        if tuple(value.shape) != tuple(expected_shape):
+            raise ShapeError(f"{name} must have shape {tuple(expected_shape)}, got {tuple(value.shape)}")
+        return value
+    value = np.asarray(value, dtype=np.float64)
+    if value.shape != tuple(expected_shape):
+        raise ShapeError(f"{name} must have shape {tuple(expected_shape)}, got {value.shape}")
+    return value
+
+
 def stack_rows(
     values: Sequence[Optional[np.ndarray]], out: Optional[np.ndarray] = None
 ) -> Optional[np.ndarray]:
@@ -67,7 +87,10 @@ class PerturbationBatchFields:
         for name in self._FIELDS:
             value = getattr(self, name)
             if value is not None:
-                return int(np.asarray(value).shape[0])
+                shape = getattr(value, "shape", None)
+                if shape is None:
+                    shape = np.asarray(value).shape
+                return int(shape[0])
         raise ShapeError(f"empty {type(self).__name__} has no batch size")
 
     @classmethod
@@ -91,7 +114,10 @@ class PerturbationBatchFields:
                 present = [v for v in values if v is not None]
                 if present:
                     length = int(np.asarray(present[0]).shape[0])
-                    out = workspace.buffer(
+                    # Stacking fills the buffer row by row on the host; the
+                    # device transfer (if any) happens later at the mesh
+                    # evaluation seam, so this is always a host buffer.
+                    out = workspace.host_buffer(
                         (workspace_key, name), (len(values), length), np.float64
                     )
             fields[name] = stack_rows(values, out=out)
@@ -112,9 +138,14 @@ class PerturbationBatchFields:
 
     def realization(self, index: int):
         """The single-realization perturbation at batch position ``index``."""
+
+        def _row(value):
+            if value is None:
+                return None
+            if not isinstance(value, np.ndarray) and hasattr(value, "shape"):
+                return value[index]  # device array: slice stays on device
+            return np.asarray(value)[index]
+
         return self._SINGLE_CLS(
-            **{
-                name: None if getattr(self, name) is None else np.asarray(getattr(self, name))[index]
-                for name in self._FIELDS
-            }
+            **{name: _row(getattr(self, name)) for name in self._FIELDS}
         )

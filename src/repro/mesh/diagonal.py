@@ -23,9 +23,10 @@ from typing import Optional
 
 import numpy as np
 
+from ..arrays import HOST_BACKEND, active_array_backend
 from ..exceptions import ConfigurationError, ShapeError
 from ..photonics.mzi import mzi_transfer_components
-from ._batch import PerturbationBatchFields
+from ._batch import PerturbationBatchFields, ensure_batch_field
 
 
 @dataclass
@@ -71,13 +72,7 @@ class DiagonalPerturbationBatch(PerturbationBatchFields):
     def validate(self, count: int) -> None:
         batch = self.batch_size
         for name in self._FIELDS:
-            value = getattr(self, name)
-            if value is None:
-                continue
-            value = np.asarray(value, dtype=np.float64)
-            if value.shape != (batch, count):
-                raise ShapeError(f"{name} must have shape ({batch}, {count}), got {value.shape}")
-            setattr(self, name, value)
+            setattr(self, name, ensure_batch_field(getattr(self, name), (batch, count), name))
 
 
 class DiagonalStage:
@@ -115,6 +110,8 @@ class DiagonalStage:
                 f"shape {shape} is incompatible with {k} singular values (min(shape) must equal k)"
             )
         self.shape = (rows, cols)
+        # Nominal 50:50 splitter amplitudes, shared by every evaluation.
+        self._nominal_r = np.full(k, 1.0 / np.sqrt(2.0))  # host-only path
         # Value validation, gain selection and the attenuator set points
         # live in retune() so a recompile tunes through the exact same code.
         self.retune(values, gain)
@@ -149,7 +146,7 @@ class DiagonalStage:
                 "normalized singular values exceed 1; increase the gain "
                 f"(max normalized value {normalized.max():.6f})"
             )
-        normalized = np.clip(normalized, 0.0, 1.0)
+        normalized = np.clip(normalized, 0.0, 1.0)  # host-only path
         self.thetas = 2.0 * np.arcsin(normalized)
         self.phis = np.mod(-0.5 * self.thetas - 0.5 * np.pi, 2.0 * np.pi)
 
@@ -167,28 +164,32 @@ class DiagonalStage:
         return self.singular_values / self.gain
 
     # ------------------------------------------------------------------ #
-    def _perturbed_parameters(self, perturbation) -> tuple:
+    def _perturbed_parameters(self, perturbation, backend=None) -> tuple:
         """Attenuator parameters under an (already validated) perturbation.
 
         Shared by the single and batched amplitude paths: ``perturbation``
         may be a :class:`DiagonalPerturbation` (1-D fields) or a
         :class:`DiagonalPerturbationBatch` (2-D fields), whose arrays
         broadcast against the 1-D nominal parameters through the exact same
-        elementwise arithmetic.
+        elementwise arithmetic.  Under a device ``backend`` the nominal
+        parameters move across once (cached) and the arithmetic runs in the
+        device namespace.
         """
-        thetas = self.thetas
-        phis = self.phis
-        r_in = np.full(self.num_mzis, 1.0 / np.sqrt(2.0))
-        r_out = np.full(self.num_mzis, 1.0 / np.sqrt(2.0))
+        backend = backend if backend is not None else HOST_BACKEND
+        xp = backend.xp
+        thetas = backend.asarray_cached(self.thetas)
+        phis = backend.asarray_cached(self.phis)
+        r_in = backend.asarray_cached(self._nominal_r)
+        r_out = r_in
         if perturbation is not None:
             if perturbation.delta_theta is not None:
-                thetas = thetas + perturbation.delta_theta
+                thetas = thetas + xp.asarray(perturbation.delta_theta)
             if perturbation.delta_phi is not None:
-                phis = phis + perturbation.delta_phi
+                phis = phis + xp.asarray(perturbation.delta_phi)
             if perturbation.delta_r_in is not None:
-                r_in = np.clip(r_in + perturbation.delta_r_in, 0.0, 1.0)
+                r_in = xp.clip(r_in + xp.asarray(perturbation.delta_r_in), 0.0, 1.0)
             if perturbation.delta_r_out is not None:
-                r_out = np.clip(r_out + perturbation.delta_r_out, 0.0, 1.0)
+                r_out = xp.clip(r_out + xp.asarray(perturbation.delta_r_out), 0.0, 1.0)
         return thetas, phis, r_in, r_out
 
     def attenuations(self, perturbation: Optional[DiagonalPerturbation] = None) -> np.ndarray:
@@ -220,15 +221,20 @@ class DiagonalStage:
         return self.matrix(None)
 
     def attenuations_batch(self, perturbation: DiagonalPerturbationBatch) -> np.ndarray:
-        """Complex bar-path amplitudes for ``B`` realizations, shape ``(B, k)``."""
+        """Complex bar-path amplitudes for ``B`` realizations, shape ``(B, k)``.
+
+        Evaluates in the active array backend's namespace (host by default).
+        """
+        backend = active_array_backend()
+        xp = backend.xp
         perturbation.validate(self.num_mzis)
         batch = perturbation.batch_size
         if self.num_mzis == 0:
-            return np.zeros((batch, 0), dtype=np.complex128)
-        thetas, phis, r_in, r_out = self._perturbed_parameters(perturbation)
+            return xp.zeros((batch, 0), dtype=xp.complex128)
+        thetas, phis, r_in, r_out = self._perturbed_parameters(perturbation, backend)
         amplitudes = mzi_transfer_components(thetas, phis, r_in, r2=r_out)[0]
         if amplitudes.ndim == 1:  # every parameter family unperturbed
-            amplitudes = np.broadcast_to(amplitudes, (batch, self.num_mzis))
+            amplitudes = xp.broadcast_to(amplitudes, (batch, self.num_mzis))
         return amplitudes
 
     def matrix_batch(
@@ -241,21 +247,27 @@ class DiagonalStage:
         Bit-identical to stacking ``B`` calls of :meth:`matrix` on the
         individual realizations.
         """
+        backend = active_array_backend()
+        xp = backend.xp
         if perturbation is None:
             if batch_size is None:
                 raise ValueError("batch_size is required when perturbation is None")
             if batch_size < 1:
                 raise ValueError(f"batch_size must be >= 1, got {batch_size}")
             nominal = self.matrix(None)
-            return np.broadcast_to(nominal, (batch_size,) + nominal.shape).copy()
+            if backend.is_host:
+                return np.broadcast_to(nominal, (batch_size,) + nominal.shape).copy()
+            sigma = xp.empty((batch_size,) + nominal.shape, dtype=xp.complex128)
+            sigma[...] = xp.asarray(nominal)
+            return sigma
         batch = perturbation.batch_size
         if batch_size is not None and batch_size != batch:
             raise ShapeError(f"batch_size {batch_size} does not match perturbation batch {batch}")
         rows, cols = self.shape
-        sigma = np.zeros((batch, rows, cols), dtype=np.complex128)
+        sigma = xp.zeros((batch, rows, cols), dtype=xp.complex128)
         amplitudes = self.gain * self.attenuations_batch(perturbation)
         k = self.num_mzis
-        indices = np.arange(k)
+        indices = xp.arange(k)
         sigma[:, indices, indices] = amplitudes
         return sigma
 

@@ -19,14 +19,16 @@ as the 2-D product — the batched result is bit-identical to evaluating the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..arrays import HOST_BACKEND, active_array_backend
+from ..arrays.kernels import apply_mzi_blocks
 from ..exceptions import ShapeError, VariationModelError
 from ..photonics import constants
 from ..photonics.mzi import mzi_transfer_components
-from ._batch import PerturbationBatchFields
+from ._batch import PerturbationBatchFields, ensure_batch_field
 from .clements import clements_decompose
 from .decomposition import MeshDecomposition, MZIConfig
 from .reck import reck_decompose
@@ -104,7 +106,7 @@ class MeshPerturbation:
                 return None
             if values.shape != mzi_mask.shape:
                 raise ShapeError(f"mask shape {mzi_mask.shape} does not match values {values.shape}")
-            return np.where(mzi_mask, values, 0.0)
+            return np.where(mzi_mask, values, 0.0)  # host-only path
 
         return MeshPerturbation(
             delta_theta=_mask(self.delta_theta),
@@ -150,7 +152,12 @@ class MeshPerturbationBatch(PerturbationBatchFields):
     _SINGLE_CLS = MeshPerturbation
 
     def validate(self, num_mzis: int, n_modes: int) -> None:
-        """Check array shapes ``(B, ...)`` against the mesh dimensions."""
+        """Check array shapes ``(B, ...)`` against the mesh dimensions.
+
+        Host fields go through the historical float64 conversion; fields
+        sampled on a device backend are shape-checked in place (see
+        :func:`repro.mesh._batch.ensure_batch_field`).
+        """
         batch = self.batch_size
         for name, expected in (
             ("delta_theta", num_mzis),
@@ -159,13 +166,7 @@ class MeshPerturbationBatch(PerturbationBatchFields):
             ("delta_r_out", num_mzis),
             ("delta_output_phase", n_modes),
         ):
-            value = getattr(self, name)
-            if value is None:
-                continue
-            value = np.asarray(value, dtype=np.float64)
-            if value.shape != (batch, expected):
-                raise ShapeError(f"{name} must have shape ({batch}, {expected}), got {value.shape}")
-            setattr(self, name, value)
+            setattr(self, name, ensure_batch_field(getattr(self, name), (batch, expected), name))
 
 
 class MZIMesh:
@@ -216,6 +217,21 @@ class MZIMesh:
         self._column_slices = [
             slice(int(boundaries[i]), int(boundaries[i + 1])) for i in range(len(self._column_groups))
         ]
+        # Precomputed (take, top_modes, bottom_modes) triples for the column
+        # sweep kernel: the single-realization sweep fancy-indexes each
+        # group's components, the batched sweep gathers once by the column
+        # permutation and slices.  Same per-element arithmetic either way.
+        self._groups_single = [
+            (group, self._modes[group], self._modes[group] + 1) for group in self._column_groups
+        ]
+        self._groups_batched = [
+            (sl, self._modes[group], self._modes[group] + 1)
+            for sl, group in zip(self._column_slices, self._column_groups)
+        ]
+        # Per-array-backend copies of the sweep's index arrays (device
+        # namespaces index with their own arrays); the mesh structure never
+        # changes (retune only rewrites phases), so entries stay valid.
+        self._device_structure: Dict[str, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -354,63 +370,60 @@ class MZIMesh:
             perturbation.validate(self.num_mzis, self.n)
         components, output_phases = self._blocks_and_phases(perturbation)
         matrix = np.eye(self.n, dtype=np.complex128)
-        self._apply_blocks(matrix, components)
-        return np.exp(1j * output_phases)[:, np.newaxis] * matrix
+        apply_mzi_blocks(matrix, components, self._groups_single)
+        return np.exp(1j * output_phases)[:, np.newaxis] * matrix  # host-only path
 
-    def _blocks_and_phases(self, perturbation) -> Tuple[Tuple[np.ndarray, ...], np.ndarray]:
+    def _blocks_and_phases(self, perturbation, backend=None) -> Tuple[Tuple[np.ndarray, ...], np.ndarray]:
         """Perturbed block components and output phases, shared by both paths.
 
         ``perturbation`` may be a :class:`MeshPerturbation` (1-D fields) or a
         :class:`MeshPerturbationBatch` (2-D fields, leading batch axis); the
         fields broadcast against the 1-D nominal parameter arrays either way,
         so batched parameters go through the exact same elementwise
-        arithmetic as single realizations.
+        arithmetic as single realizations.  Under a device ``backend`` the
+        nominal parameter arrays are moved across once (cached transfer) and
+        every operation runs in the device namespace; the host backend
+        executes the exact historical NumPy calls.
         """
-        thetas: np.ndarray = self._thetas
-        phis: np.ndarray = self._phis
-        r_in: np.ndarray = self._nominal_r
-        r_out: np.ndarray = self._nominal_r
-        output_phases: np.ndarray = self.output_phases
+        backend = backend if backend is not None else HOST_BACKEND
+        xp = backend.xp
+        thetas = backend.asarray_cached(self._thetas)
+        phis = backend.asarray_cached(self._phis)
+        r_in = backend.asarray_cached(self._nominal_r)
+        r_out = r_in
+        output_phases = backend.asarray_cached(self.output_phases)
         if perturbation is not None:
             if perturbation.delta_theta is not None:
-                thetas = thetas + perturbation.delta_theta
+                thetas = thetas + xp.asarray(perturbation.delta_theta)
             if perturbation.delta_phi is not None:
-                phis = phis + perturbation.delta_phi
+                phis = phis + xp.asarray(perturbation.delta_phi)
             if perturbation.delta_r_in is not None:
-                r_in = np.clip(r_in + perturbation.delta_r_in, 0.0, 1.0)
+                r_in = xp.clip(r_in + xp.asarray(perturbation.delta_r_in), 0.0, 1.0)
             if perturbation.delta_r_out is not None:
-                r_out = np.clip(r_out + perturbation.delta_r_out, 0.0, 1.0)
+                r_out = xp.clip(r_out + xp.asarray(perturbation.delta_r_out), 0.0, 1.0)
             if perturbation.delta_output_phase is not None:
-                output_phases = output_phases + perturbation.delta_output_phase
+                output_phases = output_phases + xp.asarray(perturbation.delta_output_phase)
         return mzi_transfer_components(thetas, phis, r_in, r2=r_out), output_phases
 
-    def _apply_blocks(self, matrices: np.ndarray, components: Sequence[np.ndarray]) -> None:
-        """Apply every MZI block to ``matrices`` in place, column by column.
+    def _sweep_structure(self, backend) -> Tuple[object, list]:
+        """``(perm, groups)`` index arrays for the batched column sweep.
 
-        ``matrices`` has shape ``(..., n, n)`` and each block component has
-        shape ``(..., num_mzis)`` (or ``(num_mzis,)``, broadcasting over the
-        leading dimensions).  Devices in one column act on disjoint mode
-        pairs, so their two-row updates are gathered and applied in a single
-        elementwise step; the update arithmetic is pure elementwise
-        multiply-add, making the batched application bit-identical to the
-        single-realization one.
+        Host backends reuse the precomputed NumPy index arrays; device
+        backends get a cached device copy (the structure is immutable —
+        :meth:`retune` rewrites only phases — so entries never go stale).
         """
-        if matrices.ndim > 2:
-            # Batched sweep: gather each component into column-sorted order
-            # once, so the per-column block factors below are cheap views
-            # instead of per-column fancy-index copies.  Pure reordering —
-            # the arithmetic per element is unchanged.
-            perm = self._column_perm
-            b00, b01, b10, b11 = (c[..., perm] for c in components)
-            groups = [(sl, self._modes[group]) for sl, group in zip(self._column_slices, self._column_groups)]
-        else:
-            b00, b01, b10, b11 = components
-            groups = [(group, self._modes[group]) for group in self._column_groups]
-        for take, modes in groups:
-            top = matrices[..., modes, :]
-            bottom = matrices[..., modes + 1, :]
-            matrices[..., modes, :] = b00[..., take, np.newaxis] * top + b01[..., take, np.newaxis] * bottom
-            matrices[..., modes + 1, :] = b10[..., take, np.newaxis] * top + b11[..., take, np.newaxis] * bottom
+        if backend.is_host:
+            return self._column_perm, self._groups_batched
+        cached = self._device_structure.get(backend.name)
+        if cached is None:
+            perm = backend.asarray(self._column_perm)
+            groups = [
+                (take, backend.asarray(top), backend.asarray(bottom))
+                for take, top, bottom in self._groups_batched
+            ]
+            cached = (perm, groups)
+            self._device_structure[backend.name] = cached
+        return cached
 
     def perturbed_matrix(self, perturbation: MeshPerturbation) -> np.ndarray:
         """Alias of :meth:`matrix` that makes call sites more readable."""
@@ -420,6 +433,8 @@ class MZIMesh:
         self,
         perturbation: Optional[MeshPerturbationBatch] = None,
         batch_size: Optional[int] = None,
+        workspace=None,
+        workspace_key: Optional[object] = None,
     ) -> np.ndarray:
         """Transfer matrices of ``B`` perturbation realizations at once.
 
@@ -431,20 +446,35 @@ class MZIMesh:
         batch_size:
             Required when ``perturbation`` is ``None``; otherwise it must
             match the perturbation's batch size when given.
+        workspace, workspace_key:
+            Optional :class:`~repro.training.workspace.VectorizedWorkspace`
+            (plus a key unique to this mesh within the evaluation) backing
+            the ``(B, n, n)`` result with a reusable arena buffer and fusing
+            the output phase screen into it in place — no intermediate
+            allocation between the column sweep and the returned matrices.
+            Values are bit-identical with and without it; the result is
+            then valid until the next workspace-backed call under the key.
 
         Returns
         -------
         numpy.ndarray
-            Complex array of shape ``(B, n, n)``, bit-identical to stacking
-            ``B`` calls of :meth:`matrix` on the individual realizations.
+            Complex array of shape ``(B, n, n)`` (in the active array
+            backend's namespace), bit-identical to stacking ``B`` calls of
+            :meth:`matrix` on the individual realizations.
         """
+        backend = active_array_backend()
+        xp = backend.xp
         if perturbation is None:
             if batch_size is None:
                 raise ValueError("batch_size is required when perturbation is None")
             if batch_size < 1:
                 raise ValueError(f"batch_size must be >= 1, got {batch_size}")
             nominal = self.matrix(None)
-            return np.broadcast_to(nominal, (batch_size,) + nominal.shape).copy()
+            if workspace is None and backend.is_host:
+                return np.broadcast_to(nominal, (batch_size,) + nominal.shape).copy()
+            matrices = self._batch_buffer(backend, workspace, workspace_key, batch_size)
+            matrices[...] = xp.asarray(nominal)
+            return matrices
 
         perturbation.validate(self.num_mzis, self.n)
         batch = perturbation.batch_size
@@ -452,20 +482,37 @@ class MZIMesh:
             raise ShapeError(f"batch_size {batch_size} does not match perturbation batch {batch}")
 
         # (B, num_mzis) block components; unperturbed parameter families broadcast.
-        components, output_phases = self._blocks_and_phases(perturbation)
+        components, output_phases = self._blocks_and_phases(perturbation, backend)
         if components[0].ndim == 1:  # only the output phase screen was perturbed
-            components = tuple(np.broadcast_to(c, (batch,) + c.shape) for c in components)
-        matrices = np.broadcast_to(np.eye(self.n, dtype=np.complex128), (batch, self.n, self.n)).copy()
-        # Apply in chunks over the batch axis so the per-chunk matrices and
-        # gathered rows stay cache-resident during the column sweep.
+            components = tuple(xp.broadcast_to(c, (batch,) + c.shape) for c in components)
+        matrices = self._batch_buffer(backend, workspace, workspace_key, batch)
+        matrices[...] = xp.eye(self.n, dtype=xp.complex128)
+        # Gather each component into column-sorted order once (cheap views
+        # per column afterwards; pure reordering), then apply in chunks over
+        # the batch axis so the per-chunk matrices and gathered rows stay
+        # cache-resident during the column sweep.
+        perm, groups = self._sweep_structure(backend)
+        sorted_components = tuple(c[..., perm] for c in components)
         chunk = max(1, _APPLY_CHUNK_ELEMENTS // max(1, self.n * self.n))
         for start in range(0, batch, chunk):
             stop = min(start + chunk, batch)
-            self._apply_blocks(matrices[start:stop], tuple(c[start:stop] for c in components))
-        phases = np.exp(1j * output_phases)
+            apply_mzi_blocks(
+                matrices[start:stop], tuple(c[start:stop] for c in sorted_components), groups
+            )
+        phases = xp.exp(1j * output_phases)
         if phases.ndim == 1:
-            phases = phases[np.newaxis]
-        return phases[:, :, np.newaxis] * matrices
+            phases = phases[None]
+        if workspace is None:
+            return phases[:, :, None] * matrices
+        xp.multiply(phases[:, :, None], matrices, out=matrices)
+        return matrices
+
+    def _batch_buffer(self, backend, workspace, workspace_key, batch: int):
+        """The ``(B, n, n)`` destination of the batched sweep (arena or fresh)."""
+        shape = (batch, self.n, self.n)
+        if workspace is not None:
+            return workspace.buffer((workspace_key, "mesh/matrices"), shape, np.complex128)
+        return backend.empty(shape, np.complex128)
 
     # ------------------------------------------------------------------ #
     # summaries

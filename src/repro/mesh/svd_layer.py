@@ -16,12 +16,37 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from ..arrays import active_array_backend
 from ..exceptions import ConfigurationError, DecompositionError, ShapeError
 from ..utils.linalg import svd_decompose
 from ..utils.validation import as_complex_array
-from .clements import clements_phases
+from .clements import clements_decompose, clements_phases
 from .diagonal import DiagonalPerturbation, DiagonalPerturbationBatch, DiagonalStage
 from .mesh import MeshPerturbation, MeshPerturbationBatch, MZIMesh
+from .reck import reck_decompose
+
+#: Per-process cache of structural (identity-compiled) mesh decompositions,
+#: keyed by ``(n, scheme)``.  The physical layout of a Clements/Reck mesh
+#: depends only on its size, so one skeleton per size serves every mesh
+#: reconstructed from shared-memory parameters (see
+#: :meth:`PhotonicLinearLayer.from_tuned_parameters`).
+_SKELETON_CACHE: dict = {}
+
+
+def _skeleton_mesh(n: int, scheme: str) -> MZIMesh:
+    """A freshly tunable mesh with the canonical ``(n, scheme)`` structure."""
+    key = (int(n), scheme)
+    decomposition = _SKELETON_CACHE.get(key)
+    if decomposition is None:
+        identity = np.eye(n, dtype=np.complex128)
+        if scheme == "clements":
+            decomposition = clements_decompose(identity)
+        elif scheme == "reck":
+            decomposition = reck_decompose(identity)
+        else:
+            raise ConfigurationError(f"unknown mesh scheme {scheme!r}")
+        _SKELETON_CACHE[key] = decomposition
+    return MZIMesh(decomposition)
 
 
 @dataclass
@@ -144,6 +169,70 @@ class PhotonicLinearLayer:
         self._svd = (u, s, vh)
 
     # ------------------------------------------------------------------ #
+    # parameter-level (de)serialization — shared-memory hosting
+    # ------------------------------------------------------------------ #
+    def tuned_parameters(self) -> Dict[str, np.ndarray]:
+        """Every tuned parameter array of the compiled layer, as host arrays.
+
+        Together with the weight matrix, the scheme and the gain, these
+        arrays fully determine the layer: the mesh *structure* is a pure
+        function of the size, so a worker process can rebuild the layer
+        from a cached skeleton plus these parameters
+        (:meth:`from_tuned_parameters`) — which is what lets the
+        multiprocess backend host them in shared memory instead of
+        re-pickling whole compiled layers per chunk.
+        """
+        return {
+            "u_thetas": self.mesh_u.thetas(),
+            "u_phis": self.mesh_u.phis(),
+            "u_output_phases": self.mesh_u.output_phases.copy(),
+            "v_thetas": self.mesh_v.thetas(),
+            "v_phis": self.mesh_v.phis(),
+            "v_output_phases": self.mesh_v.output_phases.copy(),
+            "singular_values": self.diagonal.singular_values.copy(),
+        }
+
+    @classmethod
+    def from_tuned_parameters(
+        cls,
+        weight: np.ndarray,
+        scheme: str,
+        gain: float,
+        parameters: Dict[str, np.ndarray],
+    ) -> "PhotonicLinearLayer":
+        """Rebuild a compiled layer from :meth:`tuned_parameters` output.
+
+        The meshes are materialized from the per-process structural skeleton
+        for their size and retuned to the stored phases; the attenuator bank
+        is rebuilt with the stored gain.  Because retuning and the original
+        compilation run the same set-point arithmetic on the same values,
+        the rebuilt layer's matrices are **bit-identical** to the source
+        layer's.  The warm-start SVD cache is not transported, so
+        :meth:`retune_from_weight` on a rebuilt layer reports ``False``
+        (callers fall back to an exact recompile) — workers only evaluate.
+        """
+        weight = as_complex_array(weight, "weight")
+        layer = cls.__new__(cls)
+        layer.weight = weight.copy()
+        layer.out_features, layer.in_features = weight.shape
+        layer.scheme = scheme
+        layer.mesh_u = _skeleton_mesh(layer.out_features, scheme)
+        layer.mesh_u.retune(
+            parameters["u_thetas"], parameters["u_phis"], parameters["u_output_phases"]
+        )
+        layer.mesh_v = _skeleton_mesh(layer.in_features, scheme)
+        layer.mesh_v.retune(
+            parameters["v_thetas"], parameters["v_phis"], parameters["v_output_phases"]
+        )
+        layer.diagonal = DiagonalStage(
+            np.asarray(parameters["singular_values"], dtype=np.float64),
+            shape=(layer.out_features, layer.in_features),
+            gain=float(gain),
+        )
+        layer._svd = None
+        return layer
+
+    # ------------------------------------------------------------------ #
     # structure
     # ------------------------------------------------------------------ #
     @property
@@ -199,7 +288,7 @@ class PhotonicLinearLayer:
         is precisely the fallback :class:`repro.training.injector.NoiseInjector`
         implements.
         """
-        if self.scheme != "clements":
+        if self.scheme != "clements" or self._svd is None:
             return False
         weight = as_complex_array(weight, "weight")
         if weight.shape != (self.out_features, self.in_features):
@@ -238,30 +327,44 @@ class PhotonicLinearLayer:
         amplitudes = self.diagonal.gain * self.diagonal.attenuations(perturbation.sigma)
         return self._scale_columns(u, amplitudes) @ v
 
-    def _scale_columns(self, u: np.ndarray, amplitudes: np.ndarray) -> np.ndarray:
+    def _scale_columns(self, u: np.ndarray, amplitudes: np.ndarray, xp=np, out=None) -> np.ndarray:
         """``u @ Sigma`` evaluated as column scaling.
 
         ``Sigma`` is (rectangular) diagonal, so the product scales the first
         ``k`` columns of ``u`` and zeroes the rest — bit-identical to the
         dense matmul (the skipped terms are exact zeros) at a fraction of
-        the cost.  ``u`` may carry a leading batch axis.
+        the cost.  ``u`` may carry a leading batch axis.  ``out`` optionally
+        supplies the destination buffer (fully overwritten).
         """
         k = self.diagonal.num_mzis
         rows, cols = self.diagonal.shape
-        scaled = np.zeros(u.shape[:-2] + (rows, cols), dtype=np.complex128)
-        scaled[..., :, :k] = u[..., :, :k] * amplitudes[..., np.newaxis, :]
+        amplitudes = xp.asarray(amplitudes)
+        if out is None:
+            scaled = xp.zeros(u.shape[:-2] + (rows, cols), dtype=xp.complex128)
+        else:
+            scaled = out
+            scaled[...] = 0.0
+        scaled[..., :, :k] = u[..., :, :k] * amplitudes[..., None, :]
         return scaled
 
     def matrix_batch(
         self,
         perturbation: Optional[LayerPerturbationBatch] = None,
         batch_size: Optional[int] = None,
+        workspace=None,
+        workspace_key: Optional[object] = None,
     ) -> np.ndarray:
         """Hardware matrices of ``B`` perturbation realizations, ``(B, out, in)``.
 
         Bit-identical to stacking ``B`` calls of :meth:`matrix` on the
         individual realizations (the stacked matmuls evaluate each batch
-        slice with the same kernel as the 2-D products).
+        slice with the same kernel as the 2-D products).  With a
+        ``workspace`` (plus a key unique to this layer within the
+        evaluation) every stage — the two unitary sweeps, the column
+        scaling and the final stacked matmul — writes into reusable arena
+        buffers end to end, eliminating the per-call intermediates; values
+        are bit-identical either way and the result stays valid until the
+        next workspace-backed call under the same key.
         """
         if perturbation is None:
             if batch_size is None:
@@ -273,16 +376,34 @@ class PhotonicLinearLayer:
                 raise ShapeError(
                     f"batch_size {batch_size} does not match perturbation batch {batch}"
                 )
+        backend = active_array_backend()
+        xp = backend.xp
         u_pert = perturbation.u if perturbation is not None else None
         v_pert = perturbation.v if perturbation is not None else None
         sigma_pert = perturbation.sigma if perturbation is not None else None
-        u = self.mesh_u.matrix_batch(u_pert, batch_size=batch)
-        v = self.mesh_v.matrix_batch(v_pert, batch_size=batch)
+        u = self.mesh_u.matrix_batch(
+            u_pert, batch_size=batch, workspace=workspace, workspace_key=(workspace_key, "u")
+        )
+        v = self.mesh_v.matrix_batch(
+            v_pert, batch_size=batch, workspace=workspace, workspace_key=(workspace_key, "v")
+        )
         if sigma_pert is None:
             amplitudes = self.diagonal.gain * self.diagonal.attenuations(None)
         else:
             amplitudes = self.diagonal.gain * self.diagonal.attenuations_batch(sigma_pert)
-        return self._scale_columns(u, amplitudes) @ v
+        if workspace is None:
+            return self._scale_columns(u, amplitudes, xp=xp) @ v
+        rows, cols = self.diagonal.shape
+        scaled = self._scale_columns(
+            u,
+            amplitudes,
+            xp=xp,
+            out=workspace.buffer((workspace_key, "svd/scaled"), (batch, rows, cols), np.complex128),
+        )
+        out = workspace.buffer(
+            (workspace_key, "svd/matrix"), (batch, rows, int(v.shape[-1])), np.complex128
+        )
+        return xp.matmul(scaled, v, out=out)
 
     def ideal_matrix(self) -> np.ndarray:
         """Nominal hardware matrix (equals ``weight`` to numerical precision)."""
@@ -290,7 +411,7 @@ class PhotonicLinearLayer:
 
     def reconstruction_error(self) -> float:
         """Max absolute difference between the nominal hardware matrix and the weights."""
-        return float(np.max(np.abs(self.ideal_matrix() - self.weight)))
+        return float(np.max(np.abs(self.ideal_matrix() - self.weight)))  # host-only path
 
     # ------------------------------------------------------------------ #
     # application

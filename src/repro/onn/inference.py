@@ -35,7 +35,7 @@ import numpy as np
 
 from ..analysis.monte_carlo import MonteCarloRunner
 from ..execution import BackendLike
-from ..execution.shared import ArrayLike, resolve_array
+from ..execution.shared import ArrayLike, resolve_array, resolve_network
 from ..training.workspace import process_workspace
 from ..utils.rng import RNGLike
 from ..variation.models import UncertaintyModel
@@ -67,9 +67,15 @@ class NetworkAccuracyTrial:
     A picklable module-level callable (usable by process backends) that
     consumes its generator exactly as the historical inline loop did:
     sample a network perturbation, evaluate hardware accuracy.
+
+    ``spnn`` may be a plain :class:`SPNN` or a
+    :class:`~repro.execution.shared.SharedNetwork` handle — sweeps over
+    process backends host the compiled mesh parameters in shared memory
+    once (:func:`~repro.execution.shared.shared_network`) so the per-chunk
+    payload shrinks to the perturbation draws.
     """
 
-    spnn: SPNN
+    spnn: object
     features: ArrayLike
     labels: ArrayLike
     model: Optional[UncertaintyModel] = None
@@ -78,10 +84,12 @@ class NetworkAccuracyTrial:
     def sample(self, generator: np.random.Generator) -> NetworkPerturbation:
         if self.perturbation_factory is not None:
             return self.perturbation_factory(generator)
-        return sample_network_perturbation(self.spnn.photonic_layers, self.model, generator)
+        return sample_network_perturbation(
+            resolve_network(self.spnn).photonic_layers, self.model, generator
+        )
 
     def __call__(self, generator: np.random.Generator) -> float:
-        return self.spnn.accuracy(
+        return resolve_network(self.spnn).accuracy(
             resolve_array(self.features),
             resolve_array(self.labels),
             perturbations=self.sample(generator),
@@ -97,10 +105,12 @@ class NetworkAccuracyBatchTrial:
     buffers (or stacks per-stream draws of a custom factory) and evaluates
     them with :meth:`SPNN.accuracy_batch`.  Consumes each generator exactly
     as :class:`NetworkAccuracyTrial` does, so the samples are bit-identical
-    to the looped path.
+    to the looped path.  ``spnn`` may be a plain :class:`SPNN` or a
+    :class:`~repro.execution.shared.SharedNetwork` handle (shared-memory
+    hosted mesh parameters, rebuilt once per worker process).
     """
 
-    spnn: SPNN
+    spnn: object
     features: ArrayLike
     labels: ArrayLike
     model: Optional[UncertaintyModel] = None
@@ -127,15 +137,16 @@ class NetworkAccuracyBatchTrial:
         1000-iteration run blow past the ~8 MB activation-chunk target in
         one call.  Chunking never changes the samples.
         """
+        spnn = resolve_network(self.spnn)
         features = resolve_array(self.features)
         samples = int(features.shape[0]) if features.ndim > 1 else 1
-        architecture = self.spnn.architecture
+        architecture = spnn.architecture
         width = max(architecture.layer_dims)
         activation_bytes = samples * width * 16  # complex128 forward block
         matrix_bytes = sum(out * inp for out, inp in architecture.weight_shapes()) * 16
         mzis = (
-            sum(layer.num_mzis for layer in self.spnn.photonic_layers)
-            if self.spnn.is_compiled
+            sum(layer.num_mzis for layer in spnn.photonic_layers)
+            if spnn.is_compiled
             else 0
         )
         # Four perturbed parameter families per MZI, drawn then scaled.
@@ -145,17 +156,18 @@ class NetworkAccuracyBatchTrial:
 
     def __call__(self, generators: Sequence[np.random.Generator]) -> np.ndarray:
         generators = list(generators)
+        spnn = resolve_network(self.spnn)
         workspace = process_workspace() if self.use_workspace else None
         if self.perturbation_factory is None:
             batch = sample_network_perturbation_batch(
-                self.spnn.photonic_layers, self.model, generators, workspace=workspace
+                spnn.photonic_layers, self.model, generators, workspace=workspace
             )
         else:
             batch = stack_network_perturbations(
                 [self.perturbation_factory(generator) for generator in generators],
                 workspace=workspace,
             )
-        return self.spnn.accuracy_batch(
+        return spnn.accuracy_batch(
             resolve_array(self.features),
             resolve_array(self.labels),
             batch,

@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..arrays import active_array_backend
+from ..arrays import kernels as _kernels
 from ..exceptions import ConfigurationError, ShapeError
 from ..mesh.svd_layer import LayerPerturbation, LayerPerturbationBatch, PhotonicLinearLayer
 from ..utils.validation import as_complex_array
@@ -120,67 +122,33 @@ class SPNNArchitecture:
 
 
 # --------------------------------------------------------------------------- #
-# numerically stable real helpers (pure NumPy inference path)
+# numerically stable real helpers (thin wrappers over the xp kernels)
 # --------------------------------------------------------------------------- #
+# The arithmetic lives in :mod:`repro.arrays.kernels` and targets the active
+# array backend's namespace; with the default (NumPy) backend the call
+# sequences are exactly the historical ones, so results are bit-identical.
 
 
 def _softplus(
     x: np.ndarray, beta: float = 1.0, threshold: float = 30.0, out: Optional[np.ndarray] = None
 ) -> np.ndarray:
-    # `out` optionally supplies the result buffer (it must not alias `x`,
-    # which is still read for the saturated branch); values are identical
-    # with and without it.
-    scaled = np.multiply(beta, x, out=out) if out is not None else beta * x
-    saturated = scaled > threshold
-    any_saturated = bool(saturated.any())
-    # Reuse one buffer for the chained elementwise steps (the arrays here are
-    # the largest activations of the batched Monte Carlo path).
-    result = np.minimum(scaled, threshold, out=scaled)
-    np.exp(result, out=result)
-    np.log1p(result, out=result)
-    if beta != 1.0:
-        result /= beta
-    # With no saturated entries the where() would copy `result` verbatim.
-    return np.where(saturated, x, result) if any_saturated else result
+    return _kernels.softplus(active_array_backend().xp, x, beta=beta, threshold=threshold, out=out)
 
 
 def _log_softmax(x: np.ndarray) -> np.ndarray:
-    shifted = x - np.max(x, axis=-1, keepdims=True)
-    return shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
+    return _kernels.log_softmax(active_array_backend().xp, x)
 
 
 def _matmul_result_shape(activations: np.ndarray, matrix: np.ndarray) -> Tuple[int, ...]:
     """Shape of ``activations @ swapaxes(matrix, -2, -1)`` under broadcasting."""
-    return tuple(
-        np.broadcast_shapes(activations.shape[:-1], matrix.shape[:-2] + (1,))
-        + (matrix.shape[-2],)
-    )
+    return _kernels.matmul_result_shape(activations, matrix)
 
 
 def _matmul_transposed(
     activations: np.ndarray, matrix: np.ndarray, out: Optional[np.ndarray] = None
 ) -> np.ndarray:
-    """``activations @ matrix.T`` with a real/complex split on the hot path.
-
-    After the modulus-Softplus the activations are real while the hardware
-    matrices stay complex; multiplying through a complex matmul would spend
-    half its work on the zero imaginary part.  Computing the real and
-    imaginary products separately halves that cost.  ``matrix`` may carry a
-    leading batch axis (stacked matmuls run the same per-slice kernel as the
-    2-D ones, so the looped and batched paths stay bit-identical).  ``out``
-    optionally supplies the result buffer (a workspace view of shape
-    :func:`_matmul_result_shape`); the values do not depend on it.
-    """
-    transposed = np.swapaxes(matrix, -2, -1)
-    if np.iscomplexobj(activations):
-        if out is None:
-            return activations @ transposed
-        return np.matmul(activations, transposed, out=out)
-    if out is None:
-        out = np.empty(_matmul_result_shape(activations, matrix), dtype=np.complex128)
-    out.real = activations @ transposed.real
-    out.imag = activations @ transposed.imag
-    return out
+    """``activations @ matrix.T`` (see :func:`repro.arrays.kernels.matmul_transposed`)."""
+    return _kernels.matmul_transposed(active_array_backend().xp, activations, matrix, out=out)
 
 
 class SPNN:
@@ -322,8 +290,15 @@ class SPNN:
         self,
         perturbations: Optional[NetworkPerturbationBatch] = None,
         batch_size: Optional[int] = None,
+        workspace=None,
     ) -> List[np.ndarray]:
-        """Per-layer hardware matrices for ``B`` realizations, each ``(B, out, in)``."""
+        """Per-layer hardware matrices for ``B`` realizations, each ``(B, out, in)``.
+
+        With a ``workspace`` every layer's mesh sweep, column scaling and
+        final stacked matmul write into reusable arena buffers keyed per
+        layer (bit-identical values); the matrices are then valid until the
+        next workspace-backed call.
+        """
         self._require_compiled()
         if perturbations is None:
             perturbations = [None] * self.num_linear_layers
@@ -339,8 +314,15 @@ class SPNN:
             else:
                 raise ValueError("batch_size is required when every layer perturbation is None")
         return [
-            layer.matrix_batch(perturbation, batch_size=batch_size)
-            for layer, perturbation in zip(self.photonic_layers, perturbations)
+            layer.matrix_batch(
+                perturbation,
+                batch_size=batch_size,
+                workspace=workspace,
+                workspace_key=("spnn/layer", index),
+            )
+            for index, (layer, perturbation) in enumerate(
+                zip(self.photonic_layers, perturbations)
+            )
         ]
 
     def forward_hardware_batch(
@@ -375,7 +357,9 @@ class SPNN:
             bit-identical to stacking ``B`` :meth:`forward_hardware` calls
             on the individual realizations.
         """
-        matrices = self.hardware_matrices_batch(perturbations, batch_size=batch_size)
+        matrices = self.hardware_matrices_batch(
+            perturbations, batch_size=batch_size, workspace=workspace
+        )
         return self._forward_batch_with_matrices(
             self._validated_features(features), matrices, workspace=workspace
         )
@@ -409,9 +393,14 @@ class SPNN:
         intermediates alias; every buffer is fully overwritten, keeping the
         values bit-identical to the allocating path.  The returned modulus
         may be a workspace view — valid until the next workspace-backed
-        call.
+        call.  Under a device array backend the features move across once
+        (cached transfer) and the whole pipeline runs device-resident.
         """
-        activations = features[np.newaxis, :, :]  # (1, samples, n) broadcasts over B
+        backend = active_array_backend()
+        xp = backend.xp
+        if not backend.is_host:
+            features = backend.asarray_cached(features)
+        activations = features[None, :, :]  # (1, samples, n) broadcasts over B
         last = len(matrices) - 1
         beta = self.architecture.softplus_beta
         for index, matrix in enumerate(matrices):
@@ -423,7 +412,7 @@ class SPNN:
             activations = _matmul_transposed(activations, matrix, out=out)
             if index != last:
                 if workspace is not None:
-                    modulus = np.abs(
+                    modulus = xp.abs(
                         activations,
                         out=workspace.buffer(("spnn/modulus", index), activations.shape, np.float64),
                     )
@@ -433,13 +422,13 @@ class SPNN:
                         out=workspace.buffer(("spnn/softplus", index), activations.shape, np.float64),
                     )
                 else:
-                    activations = _softplus(np.abs(activations), beta=beta)
+                    activations = _softplus(xp.abs(activations), beta=beta)
         if workspace is not None:
-            return np.abs(
+            return xp.abs(
                 activations,
                 out=workspace.buffer(("spnn/modulus", last), activations.shape, np.float64),
             )
-        return np.abs(activations)
+        return xp.abs(activations)
 
     def accuracy_batch(
         self,
@@ -471,13 +460,18 @@ class SPNN:
             raise ShapeError(
                 f"features batch {features.shape[0]} does not match labels {labels.shape}"
             )
-        matrices = self.hardware_matrices_batch(perturbations, batch_size=batch_size)
-        batch = matrices[0].shape[0]
+        backend = active_array_backend()
+        xp = backend.xp
+        matrices = self.hardware_matrices_batch(
+            perturbations, batch_size=batch_size, workspace=workspace
+        )
+        batch = int(matrices[0].shape[0])
         if chunk_size is None:
             chunk_size = self._forward_chunk_size(features.shape[0])
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        accuracies = np.empty(batch, dtype=np.float64)
+        device_labels = labels if backend.is_host else backend.asarray_cached(labels)
+        accuracies = xp.empty(batch, dtype=xp.float64)
         for start in range(0, batch, chunk_size):
             stop = min(start + chunk_size, batch)
             # argmax over the output modulus equals argmax over the published
@@ -486,8 +480,8 @@ class SPNN:
             modulus = self._modulus_batch_with_matrices(
                 features, [matrix[start:stop] for matrix in matrices], workspace=workspace
             )
-            predictions = np.argmax(modulus, axis=-1)
-            accuracies[start:stop] = np.mean(predictions == labels[np.newaxis, :], axis=1)
+            predictions = xp.argmax(modulus, axis=-1)
+            accuracies[start:stop] = xp.mean(predictions == device_labels[None, :], axis=1)
         return accuracies
 
     def _forward_chunk_size(self, num_samples: int, target_bytes: int = 8 * 1024 * 1024) -> int:
@@ -502,7 +496,7 @@ class SPNN:
     def _forward_with_matrices(self, features: np.ndarray, matrices: Sequence[np.ndarray]) -> np.ndarray:
         single = np.asarray(features).ndim == 1
         modulus = self._modulus_with_matrices(self._validated_features(features), matrices)
-        log_probs = _log_softmax(modulus**2)
+        log_probs = _kernels.log_softmax(np, modulus**2)
         return log_probs[0] if single else log_probs
 
     def _modulus_with_matrices(self, features: np.ndarray, matrices: Sequence[np.ndarray]) -> np.ndarray:
@@ -514,14 +508,21 @@ class SPNN:
         squaring of non-negative values and subtracting a per-row constant
         are monotone), so prediction/accuracy helpers can consume the
         modulus directly and skip the normalization work.
+
+        This is the single-realization reference path and is host-only by
+        design (its matrices come from the host-only mesh evaluators), so
+        the kernels are pinned to the NumPy namespace rather than the
+        active backend — a scalar trial scheduled under ``GpuBackend``
+        simply computes on the host.
         """
         activations = features
         last = len(matrices) - 1
         for index, matrix in enumerate(matrices):
-            activations = _matmul_transposed(activations, matrix)
+            activations = _kernels.matmul_transposed(np, activations, matrix)
             if index != last:
-                activations = _softplus(np.abs(activations), beta=self.architecture.softplus_beta)
-        return np.abs(activations)
+                modulus = np.abs(activations)  # host-only path
+                activations = _kernels.softplus(np, modulus, beta=self.architecture.softplus_beta)
+        return np.abs(activations)  # host-only path
 
     # ------------------------------------------------------------------ #
     # prediction / accuracy helpers
@@ -542,7 +543,7 @@ class SPNN:
             log_probs = self.forward_hardware(features, perturbations)
         else:
             log_probs = self.forward_software(features)
-        return np.argmax(log_probs, axis=-1)
+        return np.argmax(log_probs, axis=-1)  # host-only path
 
     def accuracy(
         self,
@@ -563,7 +564,7 @@ class SPNN:
         modulus = self._modulus_with_matrices(self._validated_features(features), matrices)
         # argmax over the modulus equals argmax over the log-probabilities
         # (see _modulus_with_matrices), matching predict() exactly.
-        predictions = np.argmax(modulus, axis=-1)
+        predictions = np.argmax(modulus, axis=-1)  # host-only path
         if single:
             predictions = predictions[0]
         if np.ndim(predictions) == 0 and labels.shape == (1,):
@@ -574,7 +575,7 @@ class SPNN:
             )
         if labels.size == 0:
             raise ConfigurationError("cannot compute accuracy on an empty dataset")
-        return float(np.mean(predictions == labels))
+        return float(np.mean(predictions == labels))  # host-only path
 
     def hardware_fidelity(self) -> float:
         """Max |difference| between nominal hardware matrices and the weights."""

@@ -21,6 +21,8 @@ from typing import Tuple
 
 import numpy as np
 
+from ..arrays import get_namespace
+from ..arrays.kernels import mzi_block_components, unit_phasor
 from ..utils.validation import as_float_array
 from . import constants
 from .beam_splitter import BeamSplitter
@@ -37,12 +39,9 @@ def _unit_phasor(angle: np.ndarray) -> np.ndarray:
     Bit-identical to ``np.exp(1j * angle)`` (complex exp of a purely
     imaginary argument reduces to exactly this) while skipping the complex
     temporary and the slower complex-exp kernel on the Monte Carlo hot path.
+    Device arrays evaluate through their own namespace (array seam).
     """
-    angle = np.asarray(angle, dtype=np.float64)
-    out = np.empty(angle.shape, dtype=np.complex128)
-    np.cos(angle, out=out.real)
-    np.sin(angle, out=out.imag)
-    return out
+    return unit_phasor(get_namespace(angle), angle)
 
 
 def mzi_transfer(theta, phi) -> np.ndarray:
@@ -56,8 +55,8 @@ def mzi_transfer(theta, phi) -> np.ndarray:
     shape = np.broadcast_shapes(theta.shape, phi.shape)
     theta = np.broadcast_to(theta, shape)
     phi = np.broadcast_to(phi, shape)
-    e_theta = np.exp(1j * theta)
-    e_phi = np.exp(1j * phi)
+    e_theta = np.exp(1j * theta)  # host-only path
+    e_phi = np.exp(1j * phi)  # host-only path
     out = np.empty(shape + (2, 2), dtype=np.complex128)
     out[..., 0, 0] = e_phi * (e_theta - 1.0) / 2.0
     out[..., 0, 1] = 1j * (e_theta + 1.0) / 2.0
@@ -100,29 +99,14 @@ def mzi_transfer_components(theta, phi, r1, t1=None, r2=None, t2=None) -> Tuple[
     mesh evaluators consume this layout directly: keeping the elements in
     their own contiguous arrays avoids assembling (and later re-gathering)
     the strided ``(..., 2, 2)`` block array on the Monte Carlo hot path.
+
+    The arithmetic lives in :func:`repro.arrays.kernels.mzi_block_components`
+    and runs in the namespace of the operands, so device-resident parameter
+    batches evaluate on the device while host arrays keep the exact
+    historical NumPy call sequence.
     """
-    theta = np.asarray(theta, dtype=np.float64)
-    phi = np.asarray(phi, dtype=np.float64)
-    r1 = np.asarray(r1, dtype=np.float64)
-    r2 = np.asarray(r1 if r2 is None else r2, dtype=np.float64)
-    t1 = np.sqrt(np.clip(1.0 - r1**2, 0.0, 1.0)) if t1 is None else np.asarray(t1, dtype=np.float64)
-    t2 = np.sqrt(np.clip(1.0 - r2**2, 0.0, 1.0)) if t2 is None else np.asarray(t2, dtype=np.float64)
-    e_theta = _unit_phasor(theta)
-    e_phi = _unit_phasor(phi)
-    e_both = e_phi * e_theta
-    # Shared splitter products; multiplying a real array by 1j is an exact
-    # placement into the imaginary part, so the factored forms below equal
-    # the textbook Eq. (5) expressions term for term.
-    rr = r1 * r2
-    tt = t1 * t2
-    i_rt = 1j * (r2 * t1)
-    i_tr = 1j * (t2 * r1)
-    i_tr2 = 1j * (t1 * r2)
-    return (
-        rr * e_both - tt * e_phi,
-        i_rt * e_theta + i_tr,
-        i_tr * e_both + i_tr2 * e_phi,
-        rr - tt * e_theta,
+    return mzi_block_components(
+        get_namespace(theta, phi, r1, t1, r2, t2), theta, phi, r1, t1=t1, r2=r2, t2=t2
     )
 
 
@@ -136,9 +120,9 @@ def mzi_jacobian(theta, phi) -> Tuple[np.ndarray, np.ndarray]:
     shape = np.broadcast_shapes(theta.shape, phi.shape)
     theta = np.broadcast_to(theta, shape)
     phi = np.broadcast_to(phi, shape)
-    e_theta = np.exp(1j * theta)
-    e_phi = np.exp(1j * phi)
-    e_both = np.exp(1j * (theta + phi))
+    e_theta = np.exp(1j * theta)  # host-only path
+    e_phi = np.exp(1j * phi)  # host-only path
+    e_both = np.exp(1j * (theta + phi))  # host-only path
 
     d_theta = np.empty(shape + (2, 2), dtype=np.complex128)
     d_theta[..., 0, 0] = 1j * e_both / 2.0
@@ -183,10 +167,10 @@ def mzi_element_relative_deviation(theta, phi, k: float, eps: float = 1e-12) -> 
     """
     nominal = mzi_transfer(theta, phi)
     deviation = mzi_relative_deviation(theta, phi, k)
-    magnitude = np.abs(nominal)
+    magnitude = np.abs(nominal)  # host-only path
     with np.errstate(divide="ignore", invalid="ignore"):
-        rel = np.abs(deviation) / magnitude
-    rel = np.where(magnitude < eps, np.nan, rel)
+        rel = np.abs(deviation) / magnitude  # host-only path
+    rel = np.where(magnitude < eps, np.nan, rel)  # host-only path
     return rel
 
 
@@ -271,12 +255,12 @@ class MZI:
 
     def power_transmission(self) -> np.ndarray:
         """2x2 matrix of power transmission ``|T_ij|^2``."""
-        return np.abs(self.transfer_matrix()) ** 2
+        return np.abs(self.transfer_matrix()) ** 2  # host-only path
 
     def insertion_error(self) -> float:
         """Deviation of the device from unitarity (non-zero only for asymmetric splitters)."""
         matrix = self.transfer_matrix()
-        return float(np.max(np.abs(matrix.conj().T @ matrix - np.eye(2))))
+        return float(np.max(np.abs(matrix.conj().T @ matrix - np.eye(2))))  # host-only path
 
     # ------------------------------------------------------------------ #
     # tuning and uncertainty injection

@@ -1,0 +1,98 @@
+"""Strictness contract of the mock device namespace.
+
+The mock backend exists to make host/device hygiene violations *loud* on
+CPU-only CI: a stray ``np.`` call on a device array, or a host array leaking
+into a device kernel, must raise instead of silently computing on the host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import MockArray, get_array_backend, to_host
+
+mock = get_array_backend("mock_device")
+xp = mock.xp
+
+
+@pytest.fixture
+def device() -> MockArray:
+    return xp.asarray(np.linspace(-1.0, 1.0, 6))
+
+
+class TestTripwires:
+    def test_np_asarray_raises(self, device):
+        with pytest.raises(TypeError, match="implicit host transfer"):
+            np.asarray(device)
+
+    def test_np_ufunc_raises(self, device):
+        with pytest.raises(TypeError):
+            np.exp(device)
+
+    def test_np_matmul_raises(self, device):
+        with pytest.raises(TypeError):
+            np.matmul(device, device)
+
+    def test_host_operand_in_namespace_call_raises(self, device):
+        with pytest.raises(TypeError, match="host numpy array"):
+            xp.multiply(device, np.ones(6))
+
+    def test_host_operand_in_operator_raises(self, device):
+        with pytest.raises(TypeError, match="host numpy array"):
+            device + np.ones(6)
+
+    def test_scalars_are_fine(self, device):
+        np.testing.assert_array_equal(to_host(2.0 * device), 2.0 * to_host(device))
+        np.testing.assert_array_equal(to_host(device / 2), to_host(device) / 2)
+
+    def test_explicit_transfer_doors(self, device):
+        host = np.arange(3.0)
+        wrapped = xp.asarray(host)
+        assert isinstance(wrapped, MockArray)
+        np.testing.assert_array_equal(to_host(wrapped), host)
+
+
+class TestArraySemantics:
+    def test_views_share_memory(self, device):
+        view = device[1:4]
+        view[...] = 0.0
+        assert to_host(device)[1:4].tolist() == [0.0, 0.0, 0.0]
+
+    def test_real_imag_setters(self):
+        out = xp.empty((3,), dtype=xp.complex128)
+        out.real = xp.asarray(np.array([1.0, 2.0, 3.0]))
+        out.imag = xp.asarray(np.array([4.0, 5.0, 6.0]))
+        np.testing.assert_array_equal(to_host(out), np.array([1 + 4j, 2 + 5j, 3 + 6j]))
+
+    def test_inplace_operators_mutate_backing(self, device):
+        before = to_host(device).copy()
+        device *= 3.0
+        np.testing.assert_array_equal(to_host(device), before * 3.0)
+
+    def test_method_delegation(self, device):
+        assert bool((device < 2.0).all())
+        assert device.copy() is not device
+        np.testing.assert_array_equal(to_host(device.copy()), to_host(device))
+        assert device.reshape(2, 3).shape == (2, 3)
+
+    def test_comparison_returns_device_bool(self, device):
+        mask = device > 0
+        assert isinstance(mask, MockArray)
+        assert mask.dtype == np.bool_
+
+    def test_setitem_accepts_host_values(self):
+        # CuPy's __setitem__ also accepts numpy values (explicit elementwise
+        # transfer), so the mock mirrors that.
+        buffer = xp.empty((4,), dtype=xp.float64)
+        buffer[...] = np.arange(4.0)
+        np.testing.assert_array_equal(to_host(buffer), np.arange(4.0))
+
+    def test_dtype_kind_visible(self, device):
+        assert device.dtype.kind == "f"
+        assert xp.asarray(np.zeros(2, dtype=complex)).dtype.kind == "c"
+
+    def test_namespace_constants_pass_through(self):
+        assert xp.float64 is np.float64
+        assert xp.complex128 is np.complex128
+        assert xp.pi == np.pi

@@ -1,0 +1,147 @@
+"""Registry, active-context and transfer semantics of the array seam."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import (
+    HOST_BACKEND,
+    MockArray,
+    active_array_backend,
+    array_backend_names,
+    available_array_backends,
+    backend_of,
+    get_array_backend,
+    get_namespace,
+    to_host,
+    use_array_backend,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_numpy_is_default_and_host(self):
+        backend = get_array_backend(None)
+        assert backend is HOST_BACKEND
+        assert backend.is_host
+        assert backend.xp is np
+
+    def test_known_names_registered(self):
+        names = array_backend_names()
+        assert "numpy" in names
+        assert "mock_device" in names
+        assert "cupy" in names
+
+    def test_mock_device_always_available(self):
+        assert "mock_device" in available_array_backends()
+        assert "numpy" in available_array_backends()
+
+    def test_instances_are_singletons(self):
+        assert get_array_backend("mock_device") is get_array_backend("mock_device")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown array backend"):
+            get_array_backend("tpu")
+
+    def test_instance_passthrough(self):
+        backend = get_array_backend("mock_device")
+        assert get_array_backend(backend) is backend
+
+
+class TestActiveContext:
+    def test_default_is_host(self):
+        assert active_array_backend() is HOST_BACKEND
+
+    def test_context_activates_and_restores(self):
+        mock = get_array_backend("mock_device")
+        with use_array_backend("mock_device") as active:
+            assert active is mock
+            assert active_array_backend() is mock
+        assert active_array_backend() is HOST_BACKEND
+
+    def test_context_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_array_backend("mock_device"):
+                raise RuntimeError("boom")
+        assert active_array_backend() is HOST_BACKEND
+
+    def test_nested_contexts(self):
+        with use_array_backend("mock_device"):
+            with use_array_backend(None):
+                assert active_array_backend() is HOST_BACKEND
+            assert active_array_backend().name == "mock_device"
+
+
+class TestOwnershipAndTransfers:
+    def test_backend_of_host_arrays(self):
+        assert backend_of(np.zeros(3), None, 1.5) is HOST_BACKEND
+        assert get_namespace(np.zeros(3)) is np
+
+    def test_backend_of_mock_arrays(self):
+        mock = get_array_backend("mock_device")
+        device = mock.asarray(np.arange(3.0))
+        assert backend_of(device) is mock
+        assert backend_of(np.zeros(2), device) is mock
+
+    def test_to_host_round_trip(self):
+        mock = get_array_backend("mock_device")
+        host = np.linspace(0.0, 1.0, 7)
+        assert to_host(host) is host or np.array_equal(to_host(host), host)
+        device = mock.asarray(host)
+        back = to_host(device)
+        assert isinstance(back, np.ndarray)
+        np.testing.assert_array_equal(back, host)
+
+    def test_asarray_cached_identity(self):
+        mock = get_array_backend("mock_device")
+        mock.clear_cache()
+        host = np.arange(5.0)
+        first = mock.asarray_cached(host)
+        second = mock.asarray_cached(host)
+        assert first is second
+        # A different object with the same id is impossible while `host`
+        # lives; a new array gets its own transfer.
+        other = np.arange(5.0)
+        assert mock.asarray_cached(other) is not first
+        mock.clear_cache()
+
+    def test_host_backend_never_copies(self):
+        host = np.arange(4.0)
+        assert HOST_BACKEND.asarray_cached(host) is host
+        assert HOST_BACKEND.to_host(host) is host
+
+
+class TestRngShim:
+    def test_host_rows_bit_identical_to_plain_draws(self):
+        gens = [np.random.default_rng(seed) for seed in (1, 2, 3)]
+        rows = HOST_BACKEND.standard_normal_rows(gens, 6)
+        expected = np.stack(
+            [np.random.default_rng(seed).standard_normal(6) for seed in (1, 2, 3)]
+        )
+        np.testing.assert_array_equal(rows, expected)
+
+    def test_device_rows_same_values_and_stream_consumption(self):
+        mock = get_array_backend("mock_device")
+        gens = [np.random.default_rng(seed) for seed in (4, 5)]
+        rows = mock.standard_normal_rows(gens, 5)
+        assert isinstance(rows, MockArray)
+        expected = np.stack(
+            [np.random.default_rng(seed).standard_normal(5) for seed in (4, 5)]
+        )
+        np.testing.assert_array_equal(to_host(rows), expected)
+        # The generators were consumed exactly as on the host path.
+        host_next = [np.random.default_rng(seed) for seed in (4, 5)]
+        for gen in host_next:
+            gen.standard_normal(5)
+        np.testing.assert_array_equal(
+            np.stack([gen.standard_normal(2) for gen in gens]),
+            np.stack([gen.standard_normal(2) for gen in host_next]),
+        )
+
+    def test_out_buffer_is_filled(self):
+        gens = [np.random.default_rng(9)]
+        out = np.empty((1, 4))
+        result = HOST_BACKEND.standard_normal_rows(gens, 4, out=out)
+        assert result is out
+        np.testing.assert_array_equal(out[0], np.random.default_rng(9).standard_normal(4))

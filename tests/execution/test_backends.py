@@ -166,7 +166,7 @@ class TestResolveBackend:
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
-            resolve_backend("gpu")
+            resolve_backend("quantum")
 
     def test_invalid_type_rejected(self):
         with pytest.raises(TypeError):
@@ -177,4 +177,4 @@ class TestResolveBackend:
             resolve_backend(None, 0)
 
     def test_backend_names_constant(self):
-        assert set(BACKEND_NAMES) == {"serial", "multiprocess"}
+        assert set(BACKEND_NAMES) == {"serial", "multiprocess", "gpu"}

@@ -1,0 +1,169 @@
+"""Shared-memory hosting of compiled networks (mesh parameter arrays).
+
+The contract: a :class:`SharedNetwork` handle pickles to a fraction of the
+compiled SPNN's payload, workers rebuild the network bit-identically from
+the hosted parameter arrays, and Monte Carlo results are invariant to the
+hosting and to the worker count.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.execution import MultiprocessBackend, SerialBackend
+from repro.execution.shared import (
+    SharedNetwork,
+    resolve_network,
+    shared_memory_available,
+    shared_network,
+)
+from repro.mesh.svd_layer import PhotonicLinearLayer
+from repro.onn.inference import NetworkAccuracyBatchTrial, monte_carlo_accuracy
+from repro.onn.spnn import SPNN, SPNNArchitecture
+from repro.variation.models import UncertaintyModel
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+@pytest.fixture
+def spnn() -> SPNN:
+    gen = np.random.default_rng(17)
+    architecture = SPNNArchitecture(layer_dims=(8, 8, 6))
+    weights = [
+        (gen.standard_normal(shape) + 1j * gen.standard_normal(shape)) / 3.0
+        for shape in architecture.weight_shapes()
+    ]
+    return SPNN(weights, architecture)
+
+
+@pytest.fixture
+def eval_set():
+    gen = np.random.default_rng(18)
+    features = (gen.standard_normal((24, 8)) + 1j * gen.standard_normal((24, 8))) / 2.0
+    labels = gen.integers(0, 6, 24)
+    return features, labels
+
+
+MODEL = UncertaintyModel(sigma_phs=0.012, sigma_bes=0.01)
+
+
+class TestLayerRoundTrip:
+    def test_tuned_parameters_rebuild_bit_identical(self, spnn):
+        for layer in spnn.photonic_layers:
+            rebuilt = PhotonicLinearLayer.from_tuned_parameters(
+                layer.weight, layer.scheme, layer.gain, layer.tuned_parameters()
+            )
+            np.testing.assert_array_equal(rebuilt.matrix(None), layer.matrix(None))
+            np.testing.assert_array_equal(rebuilt.weight, layer.weight)
+            assert rebuilt.gain == layer.gain
+            assert rebuilt.num_mzis == layer.num_mzis
+
+    def test_rebuilt_layer_warm_recompile_declines(self, spnn):
+        layer = spnn.photonic_layers[0]
+        rebuilt = PhotonicLinearLayer.from_tuned_parameters(
+            layer.weight, layer.scheme, layer.gain, layer.tuned_parameters()
+        )
+        # No warm-start basis travels with the parameters; the rebuilt layer
+        # must decline (callers fall back to an exact recompile).
+        assert rebuilt.retune_from_weight(layer.weight) is False
+
+
+class TestSharedNetworkHandle:
+    def test_owner_resolves_to_original(self, spnn):
+        handle = SharedNetwork.create(spnn)
+        try:
+            assert resolve_network(handle) is spnn
+            assert resolve_network(spnn) is spnn
+        finally:
+            handle.close()
+            handle.unlink()
+
+    def test_pickled_handle_rebuilds_bit_identical(self, spnn):
+        handle = SharedNetwork.create(spnn)
+        try:
+            rebuilt = resolve_network(pickle.loads(pickle.dumps(handle)))
+            assert rebuilt is not spnn
+            for ours, theirs in zip(spnn.photonic_layers, rebuilt.photonic_layers):
+                np.testing.assert_array_equal(theirs.matrix(None), ours.matrix(None))
+            for ours, theirs in zip(spnn.weights, rebuilt.weights):
+                np.testing.assert_array_equal(theirs, ours)
+            assert rebuilt.architecture == spnn.architecture
+        finally:
+            handle.close()
+            handle.unlink()
+
+    def test_rebuild_cached_per_process(self, spnn):
+        handle = SharedNetwork.create(spnn)
+        try:
+            blob = pickle.dumps(handle)
+            first = resolve_network(pickle.loads(blob))
+            second = resolve_network(pickle.loads(blob))
+            assert first is second
+        finally:
+            handle.close()
+            handle.unlink()
+
+    def test_payload_shrinks(self, spnn, eval_set):
+        features, labels = eval_set
+        full_trial = NetworkAccuracyBatchTrial(
+            spnn=spnn, features=features, labels=labels, model=MODEL
+        )
+        handle = SharedNetwork.create(spnn)
+        try:
+            shared_trial = NetworkAccuracyBatchTrial(
+                spnn=handle, features=features, labels=labels, model=MODEL
+            )
+            full = len(pickle.dumps(full_trial))
+            shared = len(pickle.dumps(shared_trial))
+            # The hosted payload carries segment names + scalars instead of
+            # compiled meshes; anything less than half is a regression.
+            assert shared < full / 2
+        finally:
+            handle.close()
+            handle.unlink()
+
+    def test_uncompiled_network_rejected(self, spnn):
+        uncompiled = SPNN(spnn.weights, spnn.architecture, compile_hardware=False)
+        with pytest.raises(ValueError, match="compiled"):
+            SharedNetwork.create(uncompiled)
+
+
+class TestHostingContext:
+    def test_serial_backend_passes_through(self, spnn):
+        with shared_network(SerialBackend(), spnn) as network:
+            assert network is spnn
+
+    def test_sharding_backend_hosts(self, spnn):
+        with shared_network(MultiprocessBackend(workers=2), spnn) as network:
+            assert isinstance(network, SharedNetwork)
+            assert resolve_network(network) is spnn
+
+
+class TestMonteCarloInvariance:
+    def test_shared_network_bit_identical_across_workers(self, spnn, eval_set):
+        features, labels = eval_set
+        reference = monte_carlo_accuracy(
+            spnn, features, labels, MODEL, iterations=10, rng=5
+        )
+        handle = SharedNetwork.create(spnn)
+        try:
+            for workers in (1, 2):
+                samples = monte_carlo_accuracy(
+                    pickle.loads(pickle.dumps(handle)),
+                    features,
+                    labels,
+                    MODEL,
+                    iterations=10,
+                    rng=5,
+                    workers=workers,
+                    chunk_size=3,
+                )
+                np.testing.assert_array_equal(samples, reference)
+        finally:
+            handle.close()
+            handle.unlink()

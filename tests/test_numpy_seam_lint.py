@@ -1,0 +1,90 @@
+"""The numpy-seam import lint runs green as part of tier-1.
+
+The lint itself lives in ``tools/check_numpy_seam.py`` (also runnable
+standalone / in CI); this test keeps it enforced on every test run and
+pins its own sensitivity with synthetic violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_numpy_seam  # noqa: E402
+
+
+def test_repository_is_clean():
+    problems = check_numpy_seam.run_checks()
+    assert problems == [], "\n".join(problems)
+
+
+def test_all_listed_modules_exist():
+    for relative in check_numpy_seam.NUMPY_FREE_MODULES + check_numpy_seam.SEAM_MODULES:
+        assert (check_numpy_seam.SRC_ROOT / relative).is_file(), relative
+
+
+def test_detects_numpy_import_in_strict_module(tmp_path):
+    bad = tmp_path / "kernels.py"
+    bad.write_text("import numpy as np\n")
+    assert check_numpy_seam.check_numpy_free(bad)
+    bad.write_text("from numpy import exp\n")
+    assert check_numpy_seam.check_numpy_free(bad)
+    bad.write_text("from math import prod\n")
+    assert not check_numpy_seam.check_numpy_free(bad)
+
+
+def test_detects_denied_compute_on_seam_module(tmp_path):
+    bad = tmp_path / "module.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            import numpy as np
+
+            def f(x):
+                return np.exp(x)
+            """
+        )
+    )
+    problems = check_numpy_seam.check_seam_module(bad)
+    assert len(problems) == 1 and "np.exp" in problems[0]
+
+
+def test_host_only_pragma_exempts_line(tmp_path):
+    ok = tmp_path / "module.py"
+    ok.write_text(
+        textwrap.dedent(
+            """
+            import numpy as np
+
+            def f(x):
+                return np.exp(x)  # host-only path
+            """
+        )
+    )
+    assert check_numpy_seam.check_seam_module(ok) == []
+
+
+def test_creation_and_validation_calls_allowed(tmp_path):
+    ok = tmp_path / "module.py"
+    ok.write_text(
+        textwrap.dedent(
+            """
+            import numpy as np
+
+            def f(x):
+                return np.asarray(x, dtype=np.float64).reshape(-1)
+            """
+        )
+    )
+    assert check_numpy_seam.check_seam_module(ok) == []
+
+
+def test_kernels_module_parses_and_is_numpy_free():
+    kernels = check_numpy_seam.SRC_ROOT / "repro/arrays/kernels.py"
+    tree = ast.parse(kernels.read_text())
+    assert check_numpy_seam._numpy_aliases(tree) == set()
