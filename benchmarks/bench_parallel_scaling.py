@@ -29,6 +29,7 @@ from repro.execution import available_workers
 from repro.execution.shared import SharedNetwork, shared_memory_available
 from repro.onn import monte_carlo_accuracy
 from repro.onn.inference import NetworkAccuracyBatchTrial
+from repro.utils.rng import StreamSlice, spawn_rngs
 from repro.variation import UncertaintyModel
 
 #: Monte Carlo iterations of the paper's experiments (the acceptance scenario).
@@ -113,6 +114,53 @@ def test_shared_network_payload_reduction(spnn_task):
         f"({payload['reduction']:.1f}x smaller)"
     )
     assert payload["reduction"] >= 5.0
+
+
+def measure_stream_payload(iterations: int = 250) -> dict:
+    """Per-chunk stream payload bytes: pickled generators vs seed recipe.
+
+    A chunk of ``spawn_rngs`` children is fully determined by its parent
+    seed plus the spawn-index range, so the scheduler ships the compact
+    :class:`repro.utils.rng.StreamSlice` ``(seed, count)`` recipe instead
+    of one pickled generator per realization.  Returns both sizes and
+    their ratio (also recorded in ``BENCH_pr6.json``).
+    """
+    generators = tuple(spawn_rngs(7, iterations))
+    generator_bytes = len(pickle.dumps(generators))
+    compact = StreamSlice.from_generators(generators)
+    assert compact is not None, "freshly spawned children must compress"
+    compact_bytes = len(pickle.dumps(compact))
+    return {
+        "iterations": iterations,
+        "generator_payload_bytes": generator_bytes,
+        "stream_slice_bytes": compact_bytes,
+        "reduction": generator_bytes / compact_bytes,
+    }
+
+
+def test_stream_payload_compression():
+    """The seed recipe must stay O(100) bytes per chunk and rebuild exactly.
+
+    250 pickled PCG64 generators weigh ~19 KB; the recipe names the same
+    seed material in a few hundred bytes no matter how many realizations
+    the chunk holds.  A 20x floor (and an absolute 1 KB cap) means the
+    compression broke if either regresses.
+    """
+    payload = measure_stream_payload()
+    generators = spawn_rngs(7, payload["iterations"])
+    rebuilt = StreamSlice.from_generators(generators).generators()
+    assert all(
+        original.bit_generator.state == copy.bit_generator.state
+        for original, copy in zip(generators, rebuilt)
+    ), "rebuilt streams must be bit-identical to the spawned children"
+    print(
+        f"\nper-chunk streams (B={payload['iterations']}): "
+        f"generators {payload['generator_payload_bytes']} B, "
+        f"recipe {payload['stream_slice_bytes']} B "
+        f"({payload['reduction']:.1f}x smaller)"
+    )
+    assert payload["stream_slice_bytes"] <= 1024
+    assert payload["reduction"] >= 20.0
 
 
 def _best_of(repeats, fn):

@@ -1,19 +1,20 @@
-"""Record the performance trajectory: run key scenarios, write ``BENCH_pr5.json``.
+"""Record the performance trajectory: run key scenarios, write ``BENCH_pr6.json``.
 
 The benchmark suite asserts floors; this script *records* the measured
 numbers so the repo carries its own perf history.  It times the load-bearing
 scenarios of the current optimization work — the noise-aware training step
 (original vs. optimized), the warm vs. exact layer recompile, the batched
 vs. looped Monte Carlo engine, the per-chunk payload of the shared-memory
-network hosting, and the device-resident engine behind ``--device gpu`` —
-and writes one JSON artifact with per-scenario timings and ratios at the
-repo root.  CI uploads the file so every run of the pipeline leaves a
-comparable data point; compare artifacts across PRs with
-``python benchmarks/trajectory.py``.
+network hosting and of the compact stream recipes, the drift timeline sweep
+with its warm re-null price, and the device-resident engine behind
+``--device gpu`` — and writes one JSON artifact with per-scenario timings
+and ratios at the repo root.  CI uploads the file so every run of the
+pipeline leaves a comparable data point; compare artifacts across PRs with
+``python benchmarks/trajectory.py`` (and gate them with ``--check``).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr5.json]
+    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr6.json]
 """
 
 from __future__ import annotations
@@ -41,7 +42,7 @@ from repro.onn.inference import monte_carlo_accuracy  # noqa: E402
 from repro.variation.models import UncertaintyModel  # noqa: E402
 
 #: Artifact label — bump per PR so the trajectory files line up with history.
-LABEL = "pr5"
+LABEL = "pr6"
 
 
 def _time(fn, repeats: int = 3) -> float:
@@ -116,6 +117,37 @@ def record_shared_network_payload(config) -> dict:
     return measure_shared_network_payload(task)
 
 
+def record_stream_payload() -> dict:
+    """Per-chunk stream payload: pickled generators vs the seed recipe."""
+    from bench_parallel_scaling import measure_stream_payload
+
+    return measure_stream_payload()
+
+
+def record_drift_timeline(config) -> dict:
+    """The drift timeline sweep (EXP 4) plus the warm re-null event price."""
+    from repro.experiments.registry import get_experiment
+
+    drift_config = get_experiment("drift").smoke_config
+    task = build_trained_spnn(drift_config.training)
+    from repro.experiments.drift_experiment import run_drift
+
+    start = time.perf_counter()
+    result = run_drift(drift_config, task=task)
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": seconds,
+        "timelines": result.baseline.timelines,
+        "num_steps": result.baseline.num_steps,
+        "baseline_mean_accuracy": result.baseline.mean_served_accuracy,
+        "recalibrated_mean_accuracy": result.recalibrated.mean_served_accuracy,
+        "accuracy_recovered": result.accuracy_recovered,
+        "renull_warm_seconds": result.renull_cost.warm_seconds,
+        "renull_exact_seconds": result.renull_cost.exact_seconds,
+        "renull_speedup": result.renull_cost.speedup,
+    }
+
+
 def record_device_engine(config) -> dict:
     """The device-resident engine (``--device gpu``) vs the serial CPU path.
 
@@ -175,6 +207,10 @@ def main(argv=None) -> int:
     scenarios["plain_training"] = record_plain_training(config, train_x, train_y)
     print("recording shared-network payload ...")
     scenarios["shared_network_payload"] = record_shared_network_payload(config)
+    print("recording stream payload ...")
+    scenarios["stream_payload"] = record_stream_payload()
+    print("recording drift timeline sweep ...")
+    scenarios["drift_timeline"] = record_drift_timeline(config)
     print("recording device-resident engine ...")
     scenarios["device_engine"] = record_device_engine(config)
 

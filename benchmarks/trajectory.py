@@ -11,15 +11,25 @@ Usage::
     python benchmarks/trajectory.py                  # repo-root artifacts
     python benchmarks/trajectory.py --dir artifacts  # e.g. CI downloads
     python benchmarks/trajectory.py --json           # machine-readable merge
+    python benchmarks/trajectory.py --check          # CI regression gate
 
 Artifacts recorded by different PRs cover different scenario sets (the
 suite grows); missing cells print as ``-``.
+
+``--check`` turns the table into a regression gate: for every headline
+*ratio* metric (speedups and payload reductions — dimensionless, so
+comparable across runner generations, unlike raw seconds), the newest
+artifact must reach at least ``tolerance x`` the best value any earlier
+artifact recorded.  The default tolerance (``REPRO_TRAJECTORY_TOLERANCE``,
+0.6) leaves the usual noisy-shared-runner headroom; a genuine perf
+regression (a 10x speedup collapsing to 1x) still fails loudly.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import re
 import sys
 from pathlib import Path
@@ -35,8 +45,17 @@ HEADLINE_METRICS: Tuple[Tuple[str, str], ...] = (
     ("mc_engine", "speedup"),
     ("plain_training", "seconds"),
     ("shared_network_payload", "reduction"),
+    ("stream_payload", "reduction"),
+    ("drift_timeline", "renull_speedup"),
     ("device_engine", "seconds"),
 )
+
+#: Metric keys the --check gate enforces: dimensionless ratios only.  Raw
+#: seconds depend on the runner and are recorded for context, never gated.
+RATIO_KEYS = ("speedup", "reduction", "renull_speedup")
+
+#: Fraction of the best earlier value the newest artifact must reach.
+DEFAULT_TOLERANCE = float(os.environ.get("REPRO_TRAJECTORY_TOLERANCE", "0.6"))
 
 
 def _label_sort_key(label: str) -> Tuple[int, str]:
@@ -87,6 +106,40 @@ def format_table(artifacts: Dict[str, dict]) -> str:
     )
 
 
+def check_regressions(
+    artifacts: Dict[str, dict], tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Regression findings for the newest artifact, empty when it passes.
+
+    Gates only the dimensionless :data:`RATIO_KEYS` metrics: the newest
+    artifact (highest PR label) must reach ``tolerance`` times the best
+    value any earlier artifact recorded for the same metric.  Metrics the
+    newest artifact does not record are skipped (the scenario suite grows
+    over time), as are metrics with no earlier reference.
+    """
+    labels = list(artifacts)
+    if len(labels) < 2:
+        return []
+    newest = labels[-1]
+    failures = []
+    for name, values in metric_rows(artifacts):
+        if name.rsplit(".", 1)[-1] not in RATIO_KEYS:
+            continue
+        if newest not in values:
+            continue
+        earlier = [value for label, value in values.items() if label != newest]
+        if not earlier:
+            continue
+        reference = max(earlier)
+        floor = tolerance * reference
+        if values[newest] < floor:
+            failures.append(
+                f"{name}: {newest} measured {values[newest]:.2f}, below "
+                f"{floor:.2f} ({tolerance:.0%} of the best earlier {reference:.2f})"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -100,6 +153,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the merged artifacts as JSON instead of a table",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "regression gate: fail (exit 1) when the newest artifact's ratio "
+            "metrics fall below the tolerance of the best earlier artifact"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=(
+            "fraction of the best earlier ratio the newest artifact must reach "
+            "(default: REPRO_TRAJECTORY_TOLERANCE or 0.6)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     artifacts = load_artifacts(args.dir)
@@ -112,6 +182,22 @@ def main(argv=None) -> int:
     print(f"perf trajectory across {len(artifacts)} artifact(s): {', '.join(artifacts)}")
     print()
     print(format_table(artifacts))
+    if args.check:
+        if not 0.0 < args.tolerance <= 1.0:
+            print(f"tolerance must be in (0, 1], got {args.tolerance}", file=sys.stderr)
+            return 2
+        failures = check_regressions(artifacts, args.tolerance)
+        print()
+        if failures:
+            print("perf regression gate FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        newest = list(artifacts)[-1]
+        print(
+            f"perf regression gate passed: {newest} holds >= {args.tolerance:.0%} "
+            f"of every earlier headline ratio"
+        )
     return 0
 
 

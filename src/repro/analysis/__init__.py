@@ -1,4 +1,5 @@
-"""Analysis layer: RVD, sensitivity maps, Monte Carlo engine, criticality ranking."""
+"""Analysis layer: RVD, sensitivity maps, Monte Carlo engine, criticality
+ranking, drift timelines and recalibration policies."""
 
 from .critical import (
     BatchMetricFn,
@@ -10,6 +11,13 @@ from .critical import (
     score_components,
 )
 from .monte_carlo import BatchTrial, MonteCarloResult, MonteCarloRunner, Trial
+from .recalibration import (
+    RecalibrationPolicy,
+    RenullCost,
+    RenullReport,
+    measure_renull_cost,
+    renull_network,
+)
 from .rvd import mean_rvd, normalized_rvd, rvd, rvd_batch, rvd_matrix
 from .sensitivity import (
     ELEMENT_LABELS,
@@ -26,6 +34,7 @@ from .statistics import (
     summarize,
     worst_case_margin_of_error,
 )
+from .timeline import AccuracyTimelineTrial, TimelineSweepResult, timeline_sweep
 from .yield_analysis import (
     YieldEstimate,
     YieldSweepResult,
@@ -69,4 +78,12 @@ __all__ = [
     "yield_vs_sigma",
     "yield_sweep",
     "max_tolerable_sigma",
+    "RecalibrationPolicy",
+    "RenullReport",
+    "RenullCost",
+    "renull_network",
+    "measure_renull_cost",
+    "AccuracyTimelineTrial",
+    "TimelineSweepResult",
+    "timeline_sweep",
 ]

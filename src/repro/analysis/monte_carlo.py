@@ -38,7 +38,7 @@ import numpy as np
 from ..arrays import to_host
 from ..exceptions import ShapeError
 from ..execution import Backend, BackendLike, pool_scope, resolve_backend
-from ..utils.rng import RNGLike, spawn_rngs
+from ..utils.rng import RNGLike, StreamSlice, StreamsLike, materialize_streams, spawn_rngs
 from .statistics import SummaryStatistics, summarize
 
 #: A Monte Carlo trial: receives an independent generator, returns a scalar metric.
@@ -48,8 +48,11 @@ Trial = Callable[[np.random.Generator], float]
 #: returns one metric per generator, shape ``(len(generators),)``.
 BatchTrial = Callable[[Sequence[np.random.Generator]], np.ndarray]
 
-#: Worker payload: chunk start index, the trial, and the chunk's child streams.
-ChunkTask = Tuple[int, Union[Trial, BatchTrial], Tuple[np.random.Generator, ...]]
+#: Worker payload: chunk start index, the trial, and the chunk's child streams
+#: — materialized generators, or the compact :class:`~repro.utils.rng.
+#: StreamSlice` seed recipe on process backends (rebuilt in the worker,
+#: bit-identical; shrinks the per-chunk payload to O(100) bytes).
+ChunkTask = Tuple[int, Union[Trial, BatchTrial], StreamsLike]
 
 
 def evaluate_scalar_chunk(task: ChunkTask) -> Tuple[int, np.ndarray]:
@@ -59,7 +62,8 @@ def evaluate_scalar_chunk(task: ChunkTask) -> Tuple[int, np.ndarray]:
     generator is consumed exactly as in the inline loop, so the returned
     samples are bit-identical regardless of which process evaluates them.
     """
-    start, trial, generators = task
+    start, trial, streams = task
+    generators = materialize_streams(streams)
     samples = np.empty(len(generators), dtype=np.float64)
     for index, generator in enumerate(generators):
         samples[index] = float(trial(generator))
@@ -74,13 +78,78 @@ def evaluate_batch_chunk(task: ChunkTask) -> Tuple[int, np.ndarray]:
     transferred back here — the single host transfer of the chunk, at
     reassembly.
     """
-    start, trial, generators = task
-    values = np.asarray(to_host(trial(list(generators))), dtype=np.float64)
+    start, trial, streams = task
+    generators = materialize_streams(streams)
+    values = np.asarray(to_host(trial(generators)), dtype=np.float64)
     if values.shape != (len(generators),):
         raise ShapeError(
             f"batch trial must return shape ({len(generators)},), got {values.shape}"
         )
     return start, values
+
+
+def trial_chunk_hint(trial: Union[Trial, BatchTrial, None]) -> Optional[int]:
+    """The trial's own chunk-size preference, when it advertises one.
+
+    Batch trials that know their per-realization working set (eval-set
+    slice of the activations, stacked matrices, sampling buffers) expose
+    ``preferred_chunk_size()``; schedulers honor it whenever no explicit
+    ``chunk_size`` is configured, so default chunking scales with the
+    evaluation-set size instead of only the iteration count.
+    """
+    hint = getattr(trial, "preferred_chunk_size", None)
+    if not callable(hint):
+        return None
+    preferred = int(hint())
+    return preferred if preferred >= 1 else None
+
+
+def plan_chunk_size(
+    iterations: int,
+    backend: Backend,
+    chunk_size: Optional[int] = None,
+    trial: Union[Trial, BatchTrial, None] = None,
+) -> int:
+    """Work-unit granularity shared by the Monte Carlo and timeline runners.
+
+    Serial backends take everything in one chunk (capped by an explicit
+    ``chunk_size`` or the trial's memory-derived hint); parallel backends
+    get two chunks per worker — coarse enough that per-task pickling stays
+    negligible, fine enough to absorb worker-speed imbalance.  An explicit
+    ``chunk_size`` (or the hint) still caps the chunk but never inflates
+    it: otherwise a small run with a large chunk_size would collapse to a
+    single task and silently defeat the sharding.  Shrinking chunks is
+    always safe — samples are chunk-invariant.
+    """
+    hint = trial_chunk_hint(trial) if chunk_size is None else None
+    parallelism = backend.parallelism
+    if parallelism <= 1:
+        if chunk_size is not None:
+            return chunk_size
+        return min(iterations, hint) if hint is not None else iterations
+    target = max(1, -(-iterations // (2 * parallelism)))
+    cap = chunk_size if chunk_size is not None else hint
+    return min(cap, target) if cap is not None else target
+
+
+def chunk_stream_payload(
+    generators: Sequence[np.random.Generator], backend: Backend
+) -> StreamsLike:
+    """The stream payload one chunk ships to its evaluator.
+
+    On parallel backends the freshly spawned children compress to their
+    ``(seed, count)`` recipe (:class:`~repro.utils.rng.StreamSlice`) so
+    the pickled task no longer carries one generator per realization; the
+    worker rebuilds bit-identical generators from the seed material.
+    Inline backends keep the materialized generators — nothing is pickled,
+    so rebuilding them would be pure waste.  Either way the evaluated
+    streams are exactly the spawned children.
+    """
+    generators = tuple(generators)
+    if backend.parallelism <= 1:
+        return generators
+    compact = StreamSlice.from_generators(generators, trust_fresh=True)
+    return compact if compact is not None else generators
 
 
 @dataclass
@@ -153,40 +222,10 @@ class MonteCarloRunner:
     # ------------------------------------------------------------------ #
     # chunk scheduling
     # ------------------------------------------------------------------ #
-    def _trial_chunk_hint(self, trial: Union[Trial, BatchTrial, None]) -> Optional[int]:
-        """The trial's own chunk-size preference, when it advertises one.
-
-        Batch trials that know their per-realization working set (eval-set
-        slice of the activations, stacked matrices, sampling buffers)
-        expose ``preferred_chunk_size()``; the runner honors it whenever no
-        explicit ``chunk_size`` was configured, so default chunking scales
-        with the evaluation-set size instead of only the iteration count.
-        """
-        hint = getattr(trial, "preferred_chunk_size", None)
-        if not callable(hint):
-            return None
-        preferred = int(hint())
-        return preferred if preferred >= 1 else None
-
     def _effective_chunk_size(
         self, backend: Backend, trial: Union[Trial, BatchTrial, None] = None
     ) -> int:
-        hint = self._trial_chunk_hint(trial) if self.chunk_size is None else None
-        parallelism = backend.parallelism
-        if parallelism <= 1:
-            if self.chunk_size is not None:
-                return self.chunk_size
-            return min(self.iterations, hint) if hint is not None else self.iterations
-        # Two chunks per worker: coarse enough that per-task pickling stays
-        # negligible, fine enough to absorb worker-speed imbalance.  An
-        # explicit chunk_size (or the trial's memory-derived hint) still
-        # caps the chunk but never inflates it: otherwise a small run with
-        # a large chunk_size would collapse to a single task and silently
-        # defeat the sharding.  Shrinking chunks is always safe — samples
-        # are chunk-invariant.
-        target = max(1, -(-self.iterations // (2 * parallelism)))
-        cap = self.chunk_size if self.chunk_size is not None else hint
-        return min(cap, target) if cap is not None else target
+        return plan_chunk_size(self.iterations, backend, self.chunk_size, trial)
 
     def _schedule(
         self,
@@ -200,7 +239,7 @@ class MonteCarloRunner:
         backend = resolve_backend(self.backend, self.workers)
         chunk = self._effective_chunk_size(backend, trial)
         tasks: list[ChunkTask] = [
-            (start, trial, tuple(generators[start : start + chunk]))
+            (start, trial, chunk_stream_payload(generators[start : start + chunk], backend))
             for start in range(0, self.iterations, chunk)
         ]
         samples = np.empty(self.iterations, dtype=np.float64)

@@ -1,0 +1,349 @@
+"""Timeline sweep: served accuracy of many drifting devices over time.
+
+The Monte Carlo engine answers the *static* question ("what accuracy does a
+fresh fabrication draw serve?"); this runner answers the *operations*
+question: advance ``B`` independent device timelines through ``T`` steps of
+a temporal perturbation process (:mod:`repro.variation.process`), serve the
+evaluation set at every step, optionally re-null drifting phases under a
+:class:`~repro.analysis.recalibration.RecalibrationPolicy`, and report the
+served-accuracy-vs-time curve plus the recalibration events that produced
+it.
+
+Scheduling mirrors :class:`~repro.analysis.monte_carlo.MonteCarloRunner`:
+one child stream per *timeline* is spawned up front
+(:func:`~repro.utils.rng.spawn_rngs`), timelines are sharded into
+vectorized chunks through the execution backends
+(:mod:`repro.execution`), and chunks ship the compact
+:class:`~repro.utils.rng.StreamSlice` seed recipe to process backends.
+Each timeline consumes only its own stream, in a fixed per-step stage
+order, so the resulting curves are **bit-identical for every backend,
+worker count and chunk size** — and recalibration consumes no randomness,
+so policies cannot perturb the draws either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from contextlib import nullcontext
+
+from ..arrays import active_array_backend, to_host
+from ..execution import BackendLike, pool_scope, resolve_backend
+from ..execution.shared import (
+    ArrayLike,
+    SharedArray,
+    SharedNetwork,
+    resolve_array,
+    resolve_network,
+    shared_eval_arrays,
+    shared_network,
+)
+from ..training.workspace import process_workspace
+from ..utils.rng import RNGLike, StreamsLike, materialize_streams, spawn_rngs
+from ..utils.serialization import format_table
+from ..variation.models import UncertaintyModel
+from ..variation.process import PerturbationProcess
+from .monte_carlo import chunk_stream_payload, plan_chunk_size
+from .recalibration import RecalibrationPolicy
+
+__all__ = [
+    "AccuracyTimelineTrial",
+    "TimelineSweepResult",
+    "evaluate_timeline_chunk",
+    "timeline_sweep",
+]
+
+#: Matches the Monte Carlo chunk target: one scheduled chunk's working set
+#: (forward activations, stacked matrices, state matrices) stays near this.
+CHUNK_TARGET_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True, eq=False)
+class AccuracyTimelineTrial:
+    """Picklable chunk evaluator: ``B`` timelines through ``T`` steps.
+
+    Advances one :class:`~repro.variation.process.DriftState` for its chunk
+    of timelines and serves the evaluation set at every step.  Per step the
+    order is: evolve the state; apply due recalibrations (schedule,
+    drift threshold, and accuracy triggers raised by the *previous* step's
+    served traffic); serve; measure.  ``spnn``/``features``/``labels``
+    accept shared-memory handles exactly like the Monte Carlo trials.
+    """
+
+    spnn: object
+    features: ArrayLike
+    labels: ArrayLike
+    model: UncertaintyModel
+    process: PerturbationProcess
+    num_steps: int
+    policy: Optional[RecalibrationPolicy] = None
+    #: Samples per forward-pass chunk inside ``accuracy_batch``; automatic
+    #: when ``None``.  Never changes the curves.
+    forward_chunk_size: Optional[int] = None
+    #: Recycle forward-pass scratch through the process-local workspace
+    #: arena (bit-identical; allocation reuse only).
+    use_workspace: bool = False
+
+    def preferred_chunk_size(self) -> int:
+        """Timelines per chunk keeping one step's working set near target.
+
+        Same estimate as the Monte Carlo batch trial — one timeline's
+        forward-activation slice, stacked matrices and draw/state buffers
+        — consulted by :func:`timeline_sweep` when no explicit
+        ``chunk_size`` is given.
+        """
+        spnn = resolve_network(self.spnn)
+        features = resolve_array(self.features)
+        samples = int(features.shape[0]) if features.ndim > 1 else 1
+        architecture = spnn.architecture
+        width = max(architecture.layer_dims)
+        activation_bytes = samples * width * 16  # complex128 forward block
+        matrix_bytes = sum(out * inp for out, inp in architecture.weight_shapes()) * 16
+        mzis = (
+            sum(layer.num_mzis for layer in spnn.photonic_layers)
+            if spnn.is_compiled
+            else 0
+        )
+        # Draw matrix + state + compensation per parameter family.
+        sampling_bytes = 3 * 4 * mzis * 8
+        per_timeline = activation_bytes + matrix_bytes + sampling_bytes
+        return max(1, CHUNK_TARGET_BYTES // max(1, per_timeline))
+
+    def __call__(
+        self, generators: Sequence[np.random.Generator]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(accuracy, events)`` blocks of shape ``(B, num_steps)``."""
+        generators = list(generators)
+        spnn = resolve_network(self.spnn)
+        features = resolve_array(self.features)
+        labels = resolve_array(self.labels)
+        workspace = process_workspace() if self.use_workspace else None
+        policy = self.policy if self.policy is not None else RecalibrationPolicy()
+        state = self.process.init_state(spnn.photonic_layers, self.model, generators)
+        batch_size = len(generators)
+        accuracy = np.empty((batch_size, self.num_steps), dtype=np.float64)
+        events = np.zeros((batch_size, self.num_steps), dtype=bool)
+        # Accuracy-triggered re-nulls raised by the previous step's traffic.
+        pending = np.zeros(batch_size, dtype=bool)
+        for step in range(self.num_steps):
+            state.advance()
+            mask = pending.copy()
+            if policy.scheduled(step):
+                mask[:] = True
+            if policy.drift_threshold is not None:
+                drifted = state.drift_rms() >= policy.drift_threshold
+                mask |= np.asarray(to_host(drifted), dtype=bool)
+            if mask.all():
+                state.renull()
+                events[:, step] = True
+            elif mask.any():
+                state.renull(rows=active_array_backend().xp.asarray(mask))
+                events[:, step] = mask
+            served = spnn.accuracy_batch(
+                features,
+                labels,
+                state.realize(),
+                batch_size=batch_size,
+                chunk_size=self.forward_chunk_size,
+                workspace=workspace,
+            )
+            accuracy[:, step] = np.asarray(to_host(served), dtype=np.float64)
+            if policy.accuracy_threshold is not None:
+                pending = accuracy[:, step] < policy.accuracy_threshold
+            else:
+                pending[:] = False
+        return accuracy, events
+
+
+#: Worker payload: chunk's first timeline index, the trial, the chunk streams.
+TimelineChunkTask = Tuple[int, AccuracyTimelineTrial, StreamsLike]
+
+
+def evaluate_timeline_chunk(task: TimelineChunkTask) -> Tuple[int, Tuple[np.ndarray, np.ndarray]]:
+    """Evaluate one chunk of timelines; module-level so workers can pickle it."""
+    start, trial, streams = task
+    return start, trial(materialize_streams(streams))
+
+
+@dataclass
+class TimelineSweepResult:
+    """Served accuracy and recalibration events of a timeline sweep."""
+
+    #: Per-timeline served accuracy, shape ``(timelines, num_steps)``.
+    accuracy: np.ndarray = field(repr=False)
+    #: Which timelines re-nulled at which step, same shape, boolean.
+    recalibrations: np.ndarray = field(repr=False)
+    num_steps: int = 0
+    timelines: int = 0
+    process: str = ""
+    policy: Optional[RecalibrationPolicy] = None
+    nominal_accuracy: float = 0.0
+
+    def served_accuracy_curve(self) -> np.ndarray:
+        """Mean served accuracy per step across timelines, shape ``(T,)``."""
+        return self.accuracy.mean(axis=0)
+
+    def recalibration_curve(self) -> np.ndarray:
+        """Fraction of timelines re-nulling per step, shape ``(T,)``."""
+        return self.recalibrations.mean(axis=0)
+
+    @property
+    def mean_served_accuracy(self) -> float:
+        """Mean accuracy over every (timeline, step) service slot."""
+        return float(self.accuracy.mean())
+
+    @property
+    def final_step_accuracy(self) -> float:
+        """Mean served accuracy at the last step (the aged fleet)."""
+        return float(self.accuracy[:, -1].mean())
+
+    @property
+    def total_recalibrations(self) -> int:
+        """Recalibration events summed over all timelines and steps."""
+        return int(self.recalibrations.sum())
+
+    @property
+    def recalibrations_per_timeline(self) -> float:
+        """Mean recalibration events one timeline pays over the horizon."""
+        return self.total_recalibrations / max(1, self.timelines)
+
+    def report(self) -> str:
+        """Compact served-accuracy-vs-time table (sub-sampled to ~12 rows)."""
+        curve = self.served_accuracy_curve()
+        recal = self.recalibration_curve()
+        stride = max(1, self.num_steps // 12)
+        steps = list(range(0, self.num_steps, stride))
+        if steps[-1] != self.num_steps - 1:
+            steps.append(self.num_steps - 1)
+        rows = [
+            [step, 100.0 * float(curve[step]), 100.0 * float(recal[step])]
+            for step in steps
+        ]
+        header = (
+            f"Timeline sweep — {self.timelines} device timelines x {self.num_steps} steps "
+            f"under process {self.process!r} (nominal {100.0 * self.nominal_accuracy:.2f}%)"
+        )
+        footer = (
+            f"mean served accuracy {100.0 * self.mean_served_accuracy:.2f}%, "
+            f"final step {100.0 * self.final_step_accuracy:.2f}%, "
+            f"{self.recalibrations_per_timeline:.2f} recalibrations per timeline"
+        )
+        table = format_table(["step", "served acc [%]", "recal [% of fleet]"], rows)
+        return "\n".join([header, table, footer])
+
+
+def timeline_sweep(
+    spnn,
+    features: ArrayLike,
+    labels: ArrayLike,
+    model: UncertaintyModel,
+    process: PerturbationProcess,
+    num_steps: int,
+    timelines: int = 256,
+    policy: Optional[RecalibrationPolicy] = None,
+    rng: RNGLike = None,
+    chunk_size: Optional[int] = None,
+    backend: BackendLike = None,
+    workers: Optional[int] = None,
+    device: Optional[str] = None,
+    forward_chunk_size: Optional[int] = None,
+    use_workspace: bool = False,
+) -> TimelineSweepResult:
+    """Advance ``timelines`` independent devices ``num_steps`` steps and serve.
+
+    Parameters
+    ----------
+    spnn:
+        Compiled network under test (or a shared-memory
+        :class:`~repro.execution.shared.SharedNetwork` handle).
+    features, labels:
+        Evaluation set served at every step (plain arrays or
+        :class:`~repro.execution.shared.SharedArray` handles; plain arrays
+        are hosted in shared memory automatically on process backends, as
+        in :func:`~repro.analysis.yield_analysis.yield_sweep`).
+    model:
+        Component uncertainty model scaling the normalized drift state.
+    process:
+        Temporal perturbation process
+        (:func:`~repro.variation.process.build_process` or an instance).
+    num_steps:
+        Timeline horizon ``T``.
+    timelines:
+        Number of independent device timelines ``B`` (the Monte Carlo axis;
+        each gets its own child stream spawned from ``rng`` up front).
+    policy:
+        Optional :class:`~repro.analysis.recalibration.RecalibrationPolicy`;
+        ``None`` (or a null policy) runs the no-maintenance baseline.
+    rng:
+        Seed; curves are reproducible and worker-count invariant at a
+        fixed seed.
+    chunk_size, backend, workers, device:
+        Scheduling knobs, exactly as in the Monte Carlo engine: timelines
+        are sharded into vectorized chunks across the selected execution
+        backend; ``device="gpu"`` runs the chunks device-resident.
+    forward_chunk_size, use_workspace:
+        Forwarded to the per-step forward pass (memory knobs; never change
+        the curves).
+
+    Returns
+    -------
+    TimelineSweepResult
+        Per-timeline served accuracy and recalibration events, with the
+        fleet-level curves derived on demand.
+    """
+    if num_steps < 1:
+        raise ValueError(f"num_steps must be >= 1, got {num_steps}")
+    if timelines < 1:
+        raise ValueError(f"timelines must be >= 1, got {timelines}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    nominal_accuracy = resolve_network(spnn).accuracy(
+        resolve_array(features), resolve_array(labels), use_hardware=True
+    )
+    generators = spawn_rngs(rng, timelines)
+    resolved = resolve_backend(backend, workers, device)
+    already_shared = isinstance(features, SharedArray) or isinstance(labels, SharedArray)
+    hosting = (
+        nullcontext((features, labels))
+        if already_shared
+        else shared_eval_arrays(resolved, features, labels)
+    )
+    network_hosting = (
+        nullcontext(spnn) if isinstance(spnn, SharedNetwork) else shared_network(resolved, spnn)
+    )
+    accuracy = np.empty((timelines, num_steps), dtype=np.float64)
+    events = np.zeros((timelines, num_steps), dtype=bool)
+    with pool_scope(resolved), hosting as (eval_features, eval_labels), network_hosting as network:
+        trial = AccuracyTimelineTrial(
+            spnn=network,
+            features=eval_features,
+            labels=eval_labels,
+            model=model,
+            process=process,
+            num_steps=num_steps,
+            policy=policy,
+            forward_chunk_size=forward_chunk_size,
+            use_workspace=use_workspace,
+        )
+        chunk = plan_chunk_size(timelines, resolved, chunk_size, trial)
+        tasks: List[TimelineChunkTask] = [
+            (start, trial, chunk_stream_payload(generators[start : start + chunk], resolved))
+            for start in range(0, timelines, chunk)
+        ]
+        for start, (chunk_accuracy, chunk_events) in resolved.map(evaluate_timeline_chunk, tasks):
+            stop = start + chunk_accuracy.shape[0]
+            accuracy[start:stop] = chunk_accuracy
+            events[start:stop] = chunk_events
+    return TimelineSweepResult(
+        accuracy=accuracy,
+        recalibrations=events,
+        num_steps=int(num_steps),
+        timelines=int(timelines),
+        process=getattr(process, "name", "") or type(process).__name__,
+        policy=policy,
+        nominal_accuracy=float(nominal_accuracy),
+    )

@@ -14,6 +14,7 @@ Examples
     spnn-repro exp1 --workers 4   # shard MC realizations over 4 processes
     spnn-repro yield --smoke      # parametric yield vs sigma (§I motivation)
     spnn-repro robust --smoke     # noise-aware training vs baseline (EXP 3)
+    spnn-repro drift --smoke      # temporal drift + recalibration (EXP 4)
     spnn-repro summary            # hardware inventory (1374 phase shifters)
 
 ``--workers N`` shards the Monte Carlo realizations of the supporting
@@ -67,8 +68,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help=(
-            "experiment id (fig2, fig3, exp1, exp2, exp3/robust, yield, baseline), "
-            "'summary' or 'list'"
+            "experiment id (fig2, fig3, exp1, exp2, exp3/robust, yield, "
+            "drift/exp4, baseline), 'summary' or 'list'"
         ),
     )
     parser.add_argument(

@@ -9,6 +9,7 @@ from .exp1_global import (
     run_exp1,
     uncertainty_model_for_case,
 )
+from .drift_experiment import DriftConfig, DriftExperimentResult, run_drift
 from .exp2_zonal import Exp2Config, Exp2Result, ZonalHeatmap, run_exp2
 from .exp3_robust_training import Exp3Config, Exp3Result, run_exp3
 from .fig2_device_sensitivity import Fig2Config, Fig2Result, run_fig2
@@ -48,6 +49,9 @@ __all__ = [
     "YieldConfig",
     "DEFAULT_YIELD_SIGMAS",
     "run_yield",
+    "DriftConfig",
+    "DriftExperimentResult",
+    "run_drift",
     "ExperimentSpec",
     "EXPERIMENT_ALIASES",
     "build_registry",

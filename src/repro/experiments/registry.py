@@ -15,13 +15,14 @@ from ..onn.builder import SPNNTrainingConfig
 from .baseline_accuracy import BaselineConfig, run_baseline
 from .exp1_global import Exp1Config, run_exp1
 from .exp2_zonal import Exp2Config, run_exp2
+from .drift_experiment import DriftConfig, run_drift
 from .exp3_robust_training import Exp3Config, run_exp3
 from .fig2_device_sensitivity import Fig2Config, run_fig2
 from .fig3_layer_rvd import Fig3Config, run_fig3
 from .yield_experiment import YieldConfig, run_yield
 
 #: Alternative names accepted by :func:`get_experiment` (CLI-friendly).
-EXPERIMENT_ALIASES = {"robust": "exp3"}
+EXPERIMENT_ALIASES = {"robust": "exp3", "exp4": "drift"}
 
 
 @dataclass(frozen=True)
@@ -105,6 +106,26 @@ def build_registry() -> Dict[str, ExperimentSpec]:
             smoke_config=YieldConfig(
                 sigmas=(0.0, 0.01, 0.025, 0.05, 0.1),
                 iterations=10,
+                training=_smoke_training(),
+            ),
+        ),
+        "drift": ExperimentSpec(
+            identifier="drift",
+            description=(
+                "Served accuracy of a drifting SPNN fleet over time and the "
+                "recovery bought by an online recalibration policy (alias: exp4)"
+            ),
+            paper_reference="beyond the paper (EXP 4)",
+            runner=run_drift,
+            default_config=DriftConfig(),
+            smoke_config=DriftConfig(
+                process="walk",
+                step_scale=0.3,
+                sigma=0.08,
+                num_steps=10,
+                timelines=8,
+                recalibrate_every=4,
+                cost_repeats=1,
                 training=_smoke_training(),
             ),
         ),

@@ -39,7 +39,7 @@ from ..execution.shared import ArrayLike, resolve_array, resolve_network
 from ..training.workspace import process_workspace
 from ..utils.rng import RNGLike
 from ..variation.models import UncertaintyModel
-from ..variation.sampler import sample_network_perturbation, sample_network_perturbation_batch
+from ..variation.process import IIDGaussianProcess, PerturbationProcess
 from .spnn import SPNN, NetworkPerturbation, stack_network_perturbations
 
 #: Target working-set bytes of one scheduled Monte Carlo chunk — matches the
@@ -80,11 +80,20 @@ class NetworkAccuracyTrial:
     labels: ArrayLike
     model: Optional[UncertaintyModel] = None
     perturbation_factory: Optional[Callable[[np.random.Generator], NetworkPerturbation]] = None
+    #: Perturbation process supplying the draws; defaults to the i.i.d.
+    #: Gaussian process, bit-identical to the historical raw-sampler path.
+    #: Mutually exclusive with ``perturbation_factory``.
+    process: Optional[PerturbationProcess] = None
+
+    def __post_init__(self) -> None:
+        if self.process is not None and self.perturbation_factory is not None:
+            raise ValueError("process and perturbation_factory are mutually exclusive")
 
     def sample(self, generator: np.random.Generator) -> NetworkPerturbation:
         if self.perturbation_factory is not None:
             return self.perturbation_factory(generator)
-        return sample_network_perturbation(
+        process = self.process if self.process is not None else IIDGaussianProcess()
+        return process.sample_single(
             resolve_network(self.spnn).photonic_layers, self.model, generator
         )
 
@@ -115,6 +124,10 @@ class NetworkAccuracyBatchTrial:
     labels: ArrayLike
     model: Optional[UncertaintyModel] = None
     perturbation_factory: Optional[Callable[[np.random.Generator], NetworkPerturbation]] = None
+    #: Perturbation process supplying the stacked draws; defaults to the
+    #: i.i.d. Gaussian process, bit-identical to the historical raw-sampler
+    #: path.  Mutually exclusive with ``perturbation_factory``.
+    process: Optional[PerturbationProcess] = None
     #: Realizations per forward-pass chunk inside ``accuracy_batch`` (memory
     #: bound); automatic when ``None``.  Does not change the samples.
     forward_chunk_size: Optional[int] = None
@@ -123,6 +136,10 @@ class NetworkAccuracyBatchTrial:
     #: Each worker process lazily creates its own arena, so buffer reuse is
     #: aliasing-safe under every backend; samples are bit-identical.
     use_workspace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.process is not None and self.perturbation_factory is not None:
+            raise ValueError("process and perturbation_factory are mutually exclusive")
 
     def preferred_chunk_size(self) -> int:
         """Realizations per chunk keeping one vectorized call near the target.
@@ -159,7 +176,8 @@ class NetworkAccuracyBatchTrial:
         spnn = resolve_network(self.spnn)
         workspace = process_workspace() if self.use_workspace else None
         if self.perturbation_factory is None:
-            batch = sample_network_perturbation_batch(
+            process = self.process if self.process is not None else IIDGaussianProcess()
+            batch = process.sample_batch(
                 spnn.photonic_layers, self.model, generators, workspace=workspace
             )
         else:
@@ -185,6 +203,7 @@ def monte_carlo_accuracy(
     iterations: int,
     rng: RNGLike = None,
     perturbation_factory: Optional[Callable[[np.random.Generator], NetworkPerturbation]] = None,
+    process: Optional[PerturbationProcess] = None,
     vectorized: bool = True,
     chunk_size: Optional[int] = None,
     backend: BackendLike = None,
@@ -214,6 +233,13 @@ def monte_carlo_accuracy(
         (used by the zonal experiments); defaults to the global Gaussian
         sampler with ``model``.  Works with both evaluation paths; must be
         picklable (module-level) when used with a process backend.
+    process:
+        Optional :class:`~repro.variation.process.PerturbationProcess`
+        supplying the draws (its stateless fabrication-draw marginal; for
+        *temporal* studies use :func:`repro.analysis.timeline.
+        timeline_sweep`).  Defaults to the i.i.d. Gaussian process, which
+        reproduces the historical samples bit for bit.  Mutually exclusive
+        with ``perturbation_factory``.
     vectorized:
         Evaluate all realizations with the batched hardware path (default).
         The looped path (``False``) produces bit-identical samples and is
@@ -251,6 +277,7 @@ def monte_carlo_accuracy(
             labels=labels,
             model=model,
             perturbation_factory=perturbation_factory,
+            process=process,
         )
         return runner.run(trial, rng=rng).samples
     batch_trial = NetworkAccuracyBatchTrial(
@@ -259,6 +286,7 @@ def monte_carlo_accuracy(
         labels=labels,
         model=model,
         perturbation_factory=perturbation_factory,
+        process=process,
         use_workspace=use_workspace,
     )
     return runner.run_batched(batch_trial, rng=rng).samples

@@ -38,6 +38,7 @@ from ..exceptions import ConfigurationError
 from ..mesh.svd_layer import LayerPerturbationBatch, PhotonicLinearLayer
 from ..utils.rng import RNGLike, ensure_rng, spawn_rngs
 from ..variation.models import UncertaintyModel
+from ..variation.process import IIDGaussianProcess, PerturbationProcess
 from ..variation.sampler import (
     sample_diagonal_perturbation_batch,
     sample_layer_perturbation_batch,
@@ -124,8 +125,18 @@ class NoiseInjector:
     scheme:
         Mesh topology used for the snapshot compilation.
     sampler:
-        Optional :data:`NetworkBatchSampler` replacing the global Gaussian
-        sampler (zonal / thermal / correlated variation structure).
+        Optional :data:`NetworkBatchSampler` replacing the default
+        perturbation process (zonal / thermal / correlated variation
+        structure).  Mutually exclusive with ``process``.
+    process:
+        Optional :class:`~repro.variation.process.PerturbationProcess`
+        supplying the ``K`` draws (the injector consumes the process's
+        fabrication-draw marginal — training noise is i.i.d. across
+        optimizer steps; *temporal* evolution belongs to the timeline
+        sweep).  Defaults to
+        :class:`~repro.variation.process.IIDGaussianProcess`, which is
+        bit-identical to the historical raw-sampler path.  Mutually
+        exclusive with ``sampler``.
     rng:
         Seed or generator for the injected noise (independent of the
         trainer's batch-shuffling stream).
@@ -177,6 +188,7 @@ class NoiseInjector:
         recompile_every: int = 1,
         scheme: str = "clements",
         sampler: Optional[NetworkBatchSampler] = None,
+        process: Optional[PerturbationProcess] = None,
         rng: RNGLike = None,
         incremental: bool = False,
         drift_threshold: float = 1.0,
@@ -189,11 +201,22 @@ class NoiseInjector:
             raise ConfigurationError(f"recompile_every must be >= 1, got {recompile_every}")
         if drift_threshold <= 0:
             raise ConfigurationError(f"drift_threshold must be positive, got {drift_threshold}")
+        if sampler is not None and process is not None:
+            raise ConfigurationError(
+                "sampler and process are mutually exclusive: a custom sampler "
+                "replaces the perturbation process outright"
+            )
         self.model = model
         self.draws = int(draws)
         self.recompile_every = int(recompile_every)
         self.scheme = scheme
-        self.sampler: NetworkBatchSampler = sampler if sampler is not None else global_network_sampler
+        #: Custom sampler hook, or ``None`` when drawing through ``process``.
+        self.sampler: Optional[NetworkBatchSampler] = sampler
+        #: The perturbation process serving the K-draw path (``None`` only
+        #: when a custom ``sampler`` replaces the seam).
+        self.process: Optional[PerturbationProcess] = (
+            process if process is not None else (IIDGaussianProcess() if sampler is None else None)
+        )
         self.rng = ensure_rng(rng)
         self.incremental = bool(incremental)
         self.drift_threshold = float(drift_threshold)
@@ -347,7 +370,13 @@ class NoiseInjector:
     # ------------------------------------------------------------------ #
     def _sample_batches(self, scaled: UncertaintyModel) -> List[Optional[LayerPerturbationBatch]]:
         generators = spawn_rngs(self.rng, self.draws)
-        batches = self.sampler(self._layers, scaled, generators)
+        if self.sampler is not None:
+            batches = self.sampler(self._layers, scaled, generators)
+        else:
+            # Default path: the perturbation-process seam.  The i.i.d.
+            # process consumes each generator exactly as the historical
+            # raw-sampler call did, so the draws are bit-identical.
+            batches = self.process.sample_batch(self._layers, scaled, generators)
         if len(batches) != len(self._layers):
             raise ConfigurationError(
                 f"sampler returned {len(batches)} layer batches for {len(self._layers)} layers"
@@ -383,14 +412,15 @@ class NoiseInjector:
     def _can_rescale_cache(self) -> bool:
         """Whether cached draws may be rescaled across a schedule level.
 
-        The built-in Gaussian sampler produces perturbations exactly
-        proportional to the (jointly scaled) model sigmas, so multiplying
-        the cached fields by the scale ratio equals drawing the same
-        standard normals at the new sigma.  Custom samplers make no such
-        promise (e.g. zonal sigma maps override the model's sigma outright)
-        and redraw instead.
+        A process that declares
+        :attr:`~repro.variation.process.PerturbationProcess.linear_in_sigma`
+        produces perturbations exactly proportional to the (jointly scaled)
+        model sigmas, so multiplying the cached fields by the scale ratio
+        equals drawing the same standard normals at the new sigma.  Custom
+        samplers make no such promise (e.g. zonal sigma maps override the
+        model's sigma outright) and redraw instead.
         """
-        return self.sampler is global_network_sampler
+        return self.process is not None and self.process.linear_in_sigma
 
     def _rescale_draw_cache(self, ratio: float) -> None:
         """Scale the cached perturbation batches in place and re-evaluate."""

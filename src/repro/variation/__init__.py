@@ -1,8 +1,22 @@
-"""Uncertainty models and samplers: Gaussian FPV, zonal maps, thermal crosstalk."""
+"""Uncertainty models, samplers and temporal perturbation processes."""
 
 from .fpv import CorrelatedFPVModel
 from .models import UncertaintyModel
+from .process import (
+    PROCESS_NAMES,
+    DriftRampProcess,
+    DriftState,
+    IIDGaussianProcess,
+    OrnsteinUhlenbeckProcess,
+    PerturbationProcess,
+    RandomWalkProcess,
+    build_process,
+)
 from .sampler import (
+    diagonal_batch_draw_length,
+    diagonal_perturbation_batch_from_draws,
+    mesh_batch_draw_length,
+    mesh_perturbation_batch_from_draws,
     sample_diagonal_perturbation,
     sample_diagonal_perturbation_batch,
     sample_layer_perturbation,
@@ -18,6 +32,18 @@ from .zones import Zone, ZoneGrid
 
 __all__ = [
     "UncertaintyModel",
+    "PerturbationProcess",
+    "IIDGaussianProcess",
+    "OrnsteinUhlenbeckProcess",
+    "RandomWalkProcess",
+    "DriftRampProcess",
+    "DriftState",
+    "PROCESS_NAMES",
+    "build_process",
+    "mesh_batch_draw_length",
+    "mesh_perturbation_batch_from_draws",
+    "diagonal_batch_draw_length",
+    "diagonal_perturbation_batch_from_draws",
     "sample_mesh_perturbation",
     "sample_mesh_perturbation_batch",
     "sample_single_mzi_perturbation",

@@ -233,6 +233,63 @@ def _zero_field(shape, workspace, key):
     return out
 
 
+def mesh_batch_draw_length(mesh: MZIMesh, model: UncertaintyModel) -> int:
+    """Standard-normal draws one mesh realization consumes from its stream.
+
+    The draws→fields mapping of :func:`mesh_perturbation_batch_from_draws`
+    slices exactly this many values per row; temporal perturbation
+    processes (:mod:`repro.variation.process`) use it to size their state
+    matrices so their per-step stream consumption matches the i.i.d.
+    sampler draw for draw.
+    """
+    extra = mesh.n if model.perturb_output_phases else 0
+    return 4 * mesh.num_mzis + extra
+
+
+def mesh_perturbation_batch_from_draws(
+    mesh: MZIMesh,
+    model: UncertaintyModel,
+    draws,
+    sigma_phs_per_mzi: Optional[np.ndarray] = None,
+    sigma_bes_per_mzi: Optional[np.ndarray] = None,
+    workspace=None,
+    workspace_key=None,
+) -> MeshPerturbationBatch:
+    """Map a ``(B, mesh_batch_draw_length)`` standard-normal matrix to fields.
+
+    This is the single draws→physical-fields mapping shared by the i.i.d.
+    batch sampler and the temporal perturbation processes: slice the
+    concatenated draw matrix into the device families and scale each by its
+    sigma.  Applying it to draws produced by :func:`_draw_rows` reproduces
+    :func:`sample_mesh_perturbation_batch` bit for bit; applying it to a
+    temporally evolved state matrix yields the perturbation that state
+    represents under ``model``.
+    """
+    count = mesh.num_mzis
+    phase_sigma = _phase_sigmas(model, count, sigma_phs_per_mzi)
+    splitter_sigma = _splitter_sigmas(model, count, sigma_bes_per_mzi)
+    extra = mesh.n if model.perturb_output_phases else 0
+    return MeshPerturbationBatch(
+        delta_theta=_scaled_field(
+            draws[:, 0:count], phase_sigma, workspace, (workspace_key, "delta_theta")
+        ),
+        delta_phi=_scaled_field(
+            draws[:, count : 2 * count], phase_sigma, workspace, (workspace_key, "delta_phi")
+        ),
+        delta_r_in=_scaled_field(
+            draws[:, 2 * count : 3 * count], splitter_sigma, workspace, (workspace_key, "delta_r_in")
+        ),
+        delta_r_out=_scaled_field(
+            draws[:, 3 * count : 4 * count], splitter_sigma, workspace, (workspace_key, "delta_r_out")
+        ),
+        delta_output_phase=_scaled_field(
+            draws[:, 4 * count :], model.phase_std, workspace, (workspace_key, "delta_output_phase")
+        )
+        if extra
+        else None,
+    )
+
+
 def sample_mesh_perturbation_batch(
     mesh: MZIMesh,
     model: UncertaintyModel,
@@ -256,51 +313,50 @@ def sample_mesh_perturbation_batch(
     generators = list(generators)
     if not generators:
         raise ValueError("sample_mesh_perturbation_batch requires at least one generator")
-    count = mesh.num_mzis
-    phase_sigma = _phase_sigmas(model, count, sigma_phs_per_mzi)
-    splitter_sigma = _splitter_sigmas(model, count, sigma_bes_per_mzi)
-    extra = mesh.n if model.perturb_output_phases else 0
-    draws = _draw_rows(generators, 4 * count + extra, workspace, workspace_key)
-    return MeshPerturbationBatch(
-        delta_theta=_scaled_field(
-            draws[:, 0:count], phase_sigma, workspace, (workspace_key, "delta_theta")
-        ),
-        delta_phi=_scaled_field(
-            draws[:, count : 2 * count], phase_sigma, workspace, (workspace_key, "delta_phi")
-        ),
-        delta_r_in=_scaled_field(
-            draws[:, 2 * count : 3 * count], splitter_sigma, workspace, (workspace_key, "delta_r_in")
-        ),
-        delta_r_out=_scaled_field(
-            draws[:, 3 * count : 4 * count], splitter_sigma, workspace, (workspace_key, "delta_r_out")
-        ),
-        delta_output_phase=_scaled_field(
-            draws[:, 4 * count :], model.phase_std, workspace, (workspace_key, "delta_output_phase")
-        )
-        if extra
-        else None,
+    draws = _draw_rows(generators, mesh_batch_draw_length(mesh, model), workspace, workspace_key)
+    return mesh_perturbation_batch_from_draws(
+        mesh,
+        model,
+        draws,
+        sigma_phs_per_mzi=sigma_phs_per_mzi,
+        sigma_bes_per_mzi=sigma_bes_per_mzi,
+        workspace=workspace,
+        workspace_key=workspace_key,
     )
 
 
-def sample_diagonal_perturbation_batch(
-    num_mzis: int,
-    model: UncertaintyModel,
-    generators: Sequence[np.random.Generator],
-    workspace=None,
-    workspace_key=None,
-) -> Optional[DiagonalPerturbationBatch]:
-    """Draw ``B`` Sigma-bank realizations as ``(B, num_mzis)`` arrays."""
+def diagonal_batch_draw_length(num_mzis: int, model: UncertaintyModel) -> Optional[int]:
+    """Draws one Sigma-bank realization consumes, or ``None`` when inactive.
+
+    ``None`` mirrors the gating of :func:`sample_diagonal_perturbation`:
+    a disabled Sigma stage (or an empty bank) draws nothing at all and
+    yields no perturbation object.
+    """
     if not model.perturb_sigma_stage or num_mzis == 0:
         return None
-    generators = list(generators)
-    if not generators:
-        raise ValueError("sample_diagonal_perturbation_batch requires at least one generator")
+    num_phase = 2 * num_mzis if model.phase_std else 0
+    num_splitter = 2 * num_mzis if model.splitter_std else 0
+    return num_phase + num_splitter
+
+
+def diagonal_perturbation_batch_from_draws(
+    num_mzis: int,
+    model: UncertaintyModel,
+    draws,
+    workspace=None,
+    workspace_key=None,
+) -> DiagonalPerturbationBatch:
+    """Map a ``(B, diagonal_batch_draw_length)`` draw matrix to Sigma fields.
+
+    The caller is responsible for the active-stage gating
+    (:func:`diagonal_batch_draw_length` returning ``None`` means no draws
+    and no perturbation); given the draws this applies the same
+    slice-and-scale mapping as :func:`sample_diagonal_perturbation_batch`.
+    """
     phase_sigma = model.phase_std
     splitter_sigma = model.splitter_std
     num_phase = 2 * num_mzis if phase_sigma else 0
-    num_splitter = 2 * num_mzis if splitter_sigma else 0
-    draws = _draw_rows(generators, num_phase + num_splitter, workspace, workspace_key)
-    batch = len(generators)
+    batch = draws.shape[0]
     if phase_sigma:
         delta_theta = _scaled_field(
             draws[:, 0:num_mzis], phase_sigma, workspace, (workspace_key, "delta_theta")
@@ -332,6 +388,26 @@ def sample_diagonal_perturbation_batch(
         delta_phi=delta_phi,
         delta_r_in=delta_r_in,
         delta_r_out=delta_r_out,
+    )
+
+
+def sample_diagonal_perturbation_batch(
+    num_mzis: int,
+    model: UncertaintyModel,
+    generators: Sequence[np.random.Generator],
+    workspace=None,
+    workspace_key=None,
+) -> Optional[DiagonalPerturbationBatch]:
+    """Draw ``B`` Sigma-bank realizations as ``(B, num_mzis)`` arrays."""
+    length = diagonal_batch_draw_length(num_mzis, model)
+    if length is None:
+        return None
+    generators = list(generators)
+    if not generators:
+        raise ValueError("sample_diagonal_perturbation_batch requires at least one generator")
+    draws = _draw_rows(generators, length, workspace, workspace_key)
+    return diagonal_perturbation_batch_from_draws(
+        num_mzis, model, draws, workspace=workspace, workspace_key=workspace_key
     )
 
 

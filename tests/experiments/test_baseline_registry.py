@@ -37,7 +37,16 @@ class TestBaseline:
 class TestRegistry:
     def test_contains_every_paper_artifact(self):
         registry = build_registry()
-        assert set(registry) == {"fig2", "fig3", "exp1", "exp2", "exp3", "yield", "baseline"}
+        assert set(registry) == {
+            "fig2",
+            "fig3",
+            "exp1",
+            "exp2",
+            "exp3",
+            "yield",
+            "baseline",
+            "drift",
+        }
 
     def test_specs_are_complete(self):
         for spec in build_registry().values():
@@ -61,7 +70,8 @@ class TestRegistry:
         assert "Fig. 4" in listing["exp1"]
         assert "yield" in listing["yield"]
         assert "robust" in listing["exp3"]
-        assert len(listing) == 7
+        assert "exp4" in listing["drift"]
+        assert len(listing) == 8
 
     def test_smoke_configs_are_cheaper(self):
         registry = build_registry()

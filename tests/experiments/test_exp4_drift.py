@@ -1,0 +1,105 @@
+"""EXP 4 (drift + recalibration): registry wiring and the paired sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.drift_experiment import DriftConfig, run_drift
+from repro.experiments.registry import EXPERIMENT_ALIASES, get_experiment
+
+
+@pytest.fixture(scope="module")
+def drift_result(small_task):
+    config = DriftConfig(
+        process="walk",
+        step_scale=0.5,
+        sigma=0.08,
+        num_steps=6,
+        timelines=8,
+        recalibrate_every=3,
+        cost_repeats=1,
+    )
+    return run_drift(config, task=small_task)
+
+
+class TestRegistryWiring:
+    def test_drift_registered_with_exp4_alias(self):
+        spec = get_experiment("drift")
+        assert EXPERIMENT_ALIASES["exp4"] == "drift"
+        assert get_experiment("exp4").identifier == spec.identifier == "drift"
+        assert "EXP 4" in spec.paper_reference
+
+    def test_smoke_config_is_small(self):
+        smoke = get_experiment("drift").smoke_config
+        assert isinstance(smoke, DriftConfig)
+        assert smoke.num_steps <= 20 and smoke.timelines <= 32
+        assert smoke.training.num_train <= 1000
+
+
+class TestPairedSweeps:
+    def test_baseline_and_recalibrated_are_exactly_paired(self, small_task):
+        """Same seed + no-randomness re-nulling: identical curves until the
+        first recalibration event diverges them."""
+        config = DriftConfig(
+            process="walk",
+            step_scale=0.5,
+            sigma=0.08,
+            num_steps=4,
+            timelines=6,
+            recalibrate_every=None,  # null policy: both sweeps identical
+            cost_repeats=1,
+        )
+        result = run_drift(config, task=small_task)
+        np.testing.assert_array_equal(
+            result.baseline.accuracy, result.recalibrated.accuracy
+        )
+        assert result.accuracy_recovered == pytest.approx(0.0)
+
+    def test_recalibration_recovers_accuracy(self, drift_result):
+        assert drift_result.accuracy_recovered > 0.0
+        assert drift_result.baseline.total_recalibrations == 0
+        # every=3 over 6 steps: the whole fleet re-nulls at steps 0 and 3.
+        assert drift_result.recalibrated.recalibrations_per_timeline == pytest.approx(2.0)
+
+    def test_budget_accounting(self, drift_result):
+        cost = drift_result.renull_cost
+        assert cost.warm_seconds > 0 and cost.exact_seconds > 0
+        expected = (
+            drift_result.recalibrated.recalibrations_per_timeline * cost.warm_seconds
+        )
+        assert drift_result.renull_seconds_per_timeline == pytest.approx(expected)
+
+    def test_report_smoke(self, drift_result):
+        report = drift_result.report()
+        assert "EXP 4" in report
+        assert "no recal [%]" in report
+        assert "re-nulls per" in report
+
+    def test_generator_rng_still_pairs_the_sweeps(self, small_task):
+        config = DriftConfig(
+            process="ou",
+            sigma=0.05,
+            num_steps=3,
+            timelines=4,
+            recalibrate_every=None,
+            cost_repeats=1,
+        )
+        result = run_drift(config, task=small_task, rng=np.random.default_rng(23))
+        np.testing.assert_array_equal(
+            result.baseline.accuracy, result.recalibrated.accuracy
+        )
+
+    def test_seed_sequence_rng_still_pairs_the_sweeps(self, small_task):
+        config = DriftConfig(
+            process="ou",
+            sigma=0.05,
+            num_steps=3,
+            timelines=4,
+            recalibrate_every=None,
+            cost_repeats=1,
+        )
+        result = run_drift(
+            config, task=small_task, rng=np.random.SeedSequence(23)
+        )
+        np.testing.assert_array_equal(
+            result.baseline.accuracy, result.recalibrated.accuracy
+        )

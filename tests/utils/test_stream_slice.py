@@ -1,0 +1,96 @@
+"""StreamSlice: compact ``(seed, count)`` recipes for spawned child streams."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import StreamSlice, materialize_streams, spawn_rngs
+
+
+class TestRoundTrip:
+    def test_rebuilt_generators_bit_identical(self):
+        generators = spawn_rngs(42, 8)
+        slice_ = StreamSlice.from_generators(generators)
+        assert slice_ is not None
+        assert len(slice_) == 8
+        rebuilt = slice_.generators()
+        for original, copy in zip(generators, rebuilt):
+            assert original.bit_generator.state == copy.bit_generator.state
+            np.testing.assert_array_equal(
+                original.standard_normal(16), copy.standard_normal(16)
+            )
+
+    def test_sub_run_keeps_spawn_offsets(self):
+        """A chunk from the middle of a spawn run replays its exact streams."""
+        generators = spawn_rngs(7, 10)
+        slice_ = StreamSlice.from_generators(generators[4:8])
+        assert slice_ is not None
+        assert slice_.first == 4 and slice_.count == 4
+        for original, copy in zip(generators[4:8], slice_.generators()):
+            assert original.bit_generator.state == copy.bit_generator.state
+
+    def test_pickle_round_trip_small(self):
+        generators = spawn_rngs(3, 250)
+        slice_ = StreamSlice.from_generators(generators)
+        payload = pickle.dumps(slice_)
+        # The whole point: O(100) bytes per chunk, not per generator.
+        assert len(payload) < 1024
+        assert len(payload) < len(pickle.dumps(generators)) / 20
+        restored = pickle.loads(payload)
+        for original, copy in zip(generators, restored.generators()):
+            assert original.bit_generator.state == copy.bit_generator.state
+
+    def test_materialize_streams_both_forms(self):
+        generators = spawn_rngs(11, 3)
+        slice_ = StreamSlice.from_generators(generators)
+        from_slice = materialize_streams(slice_)
+        passthrough = materialize_streams(generators)
+        assert passthrough == generators  # unchanged, as a list
+        for original, copy in zip(generators, from_slice):
+            assert original.bit_generator.state == copy.bit_generator.state
+
+
+class TestRefusals:
+    """from_generators must return None for anything not provably equivalent."""
+
+    def test_consumed_generator_refused(self):
+        generators = spawn_rngs(1, 4)
+        generators[2].standard_normal()
+        assert StreamSlice.from_generators(generators) is None
+
+    def test_consumed_generator_accepted_when_trusted(self):
+        """trust_fresh skips the state audit (the scheduler just spawned them)."""
+        generators = spawn_rngs(1, 4)
+        slice_ = StreamSlice.from_generators(generators, trust_fresh=True)
+        assert slice_ is not None
+        generators[2].standard_normal()
+        assert StreamSlice.from_generators(generators, trust_fresh=True) is not None
+
+    def test_non_contiguous_run_refused(self):
+        generators = spawn_rngs(1, 6)
+        assert StreamSlice.from_generators(generators[::2]) is None
+
+    def test_mixed_parents_refused(self):
+        assert StreamSlice.from_generators(spawn_rngs(1, 2) + spawn_rngs(2, 2)) is None
+
+    def test_unspawned_generator_refused(self):
+        # A root generator has no spawn key: nothing to name it by.
+        assert StreamSlice.from_generators([np.random.default_rng(5)]) is None
+
+    def test_foreign_object_refused(self):
+        assert StreamSlice.from_generators([object()]) is None
+
+    def test_empty_run_refused(self):
+        assert StreamSlice.from_generators([]) is None
+
+    def test_spawned_from_generator_parent_round_trips(self):
+        """Children of Generator.spawn (not just SeedSequence) compress too."""
+        parent = np.random.default_rng(9)
+        children = spawn_rngs(parent, 3)
+        slice_ = StreamSlice.from_generators(children)
+        # Generator parents carry their own seed sequence, so children of a
+        # *seeded* root are still addressable by entropy + spawn key.
+        if slice_ is not None:
+            for original, copy in zip(children, slice_.generators()):
+                assert original.bit_generator.state == copy.bit_generator.state

@@ -47,9 +47,12 @@ SEAM_MODULES: Tuple[str, ...] = (
     "repro/mesh/svd_layer.py",
     "repro/photonics/mzi.py",
     "repro/variation/sampler.py",
+    "repro/variation/process.py",
     "repro/onn/spnn.py",
     "repro/training/workspace.py",
     "repro/analysis/monte_carlo.py",
+    "repro/analysis/timeline.py",
+    "repro/analysis/recalibration.py",
 )
 
 #: NumPy compute functions that must go through ``xp`` on seam modules.
