@@ -1,4 +1,4 @@
-"""Record the performance trajectory: run key scenarios, write ``BENCH_pr6.json``.
+"""Record the performance trajectory: run key scenarios, write ``BENCH_pr7.json``.
 
 The benchmark suite asserts floors; this script *records* the measured
 numbers so the repo carries its own perf history.  It times the load-bearing
@@ -6,15 +6,16 @@ scenarios of the current optimization work — the noise-aware training step
 (original vs. optimized), the warm vs. exact layer recompile, the batched
 vs. looped Monte Carlo engine, the per-chunk payload of the shared-memory
 network hosting and of the compact stream recipes, the drift timeline sweep
-with its warm re-null price, and the device-resident engine behind
-``--device gpu`` — and writes one JSON artifact with per-scenario timings
+with its warm re-null price, the device-resident engine behind
+``--device gpu``, and the fused mesh column-sweep megakernel against the
+looped reference — and writes one JSON artifact with per-scenario timings
 and ratios at the repo root.  CI uploads the file so every run of the
 pipeline leaves a comparable data point; compare artifacts across PRs with
 ``python benchmarks/trajectory.py`` (and gate them with ``--check``).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr6.json]
+    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr7.json]
 """
 
 from __future__ import annotations
@@ -42,7 +43,7 @@ from repro.onn.inference import monte_carlo_accuracy  # noqa: E402
 from repro.variation.models import UncertaintyModel  # noqa: E402
 
 #: Artifact label — bump per PR so the trajectory files line up with history.
-LABEL = "pr6"
+LABEL = "pr7"
 
 
 def _time(fn, repeats: int = 3) -> float:
@@ -84,18 +85,37 @@ def record_layer_recompile() -> dict:
 
 
 def record_mc_engine(config) -> dict:
-    """Looped vs. batched Monte Carlo accuracy on a small trained SPNN."""
+    """Looped vs. batched Monte Carlo accuracy on a small trained SPNN.
+
+    The scalar reference is pinned to the ``looped`` sweep kernel: the
+    ratio measures the batched engine against the fixed original loop, and
+    the sweep-kernel registry accelerates the scalar path too — letting the
+    reference float with the registry default would shrink the recorded
+    ratio every time the kernel layer improves.
+    """
+    import os
+
+    from repro.arrays import SWEEP_KERNEL_ENV
+
     task = build_trained_spnn(config.training)
     features = task.test_features[:64]
     labels = task.test_labels[:64]
     model = UncertaintyModel.both(0.01)
     kwargs = dict(iterations=200, rng=7)
-    looped = _time(
-        lambda: monte_carlo_accuracy(
-            task.spnn, features, labels, model, vectorized=False, **kwargs
-        ),
-        repeats=1,
-    )
+    previous = os.environ.get(SWEEP_KERNEL_ENV)
+    os.environ[SWEEP_KERNEL_ENV] = "looped"
+    try:
+        looped = _time(
+            lambda: monte_carlo_accuracy(
+                task.spnn, features, labels, model, vectorized=False, **kwargs
+            ),
+            repeats=1,
+        )
+    finally:
+        if previous is None:
+            os.environ.pop(SWEEP_KERNEL_ENV, None)
+        else:
+            os.environ[SWEEP_KERNEL_ENV] = previous
     batched = _time(
         lambda: monte_carlo_accuracy(task.spnn, features, labels, model, **kwargs),
         repeats=1,
@@ -183,6 +203,66 @@ def record_device_engine(config) -> dict:
     }
 
 
+def record_mesh_megakernel() -> dict:
+    """Direct column-sweep timing: the looped reference vs the fused kernel.
+
+    Times :func:`repro.arrays.apply_column_sweep` alone — the megakernel
+    regime the registry optimizes — on a paper-plus-size 32x32 Clements
+    mesh with a 2048-realization perturbation batch (the sigma-folded
+    Monte Carlo scale: a 4-sigma yield study over 512 draws each lands
+    exactly here).  Each kernel gets the whole batch in one call, so the
+    fused kernel's internal cache blocking is fully visible against the
+    looped reference's column-major streaming.  Also asserts the two
+    kernels agree bit for bit on the timed inputs.
+    """
+    from scipy.stats import unitary_group
+
+    from repro.arrays import active_array_backend, apply_column_sweep, available_sweep_kernels
+    from repro.mesh.mesh import MZIMesh
+    from repro.utils.rng import spawn_rngs
+    from repro.variation.sampler import sample_mesh_perturbation_batch
+
+    n, batch, repeats = 32, 4096, 3
+    mesh = MZIMesh.from_unitary(unitary_group.rvs(n, random_state=3), scheme="clements")
+    perturbation = sample_mesh_perturbation_batch(
+        mesh, UncertaintyModel.both(0.01), spawn_rngs(11, batch)
+    )
+    backend = active_array_backend()
+    components, _ = mesh._blocks_and_phases(perturbation, backend)
+    program = mesh.column_program(backend)
+    sorted_components = tuple(c[..., program.perm] for c in components)
+    eye = np.broadcast_to(np.eye(n, dtype=np.complex128), (batch, n, n))
+    work = np.empty((batch, n, n), dtype=np.complex128)
+
+    def sweep_seconds(kernel: str) -> float:
+        samples = []
+        for _ in range(repeats):
+            work[...] = eye
+            start = time.perf_counter()
+            apply_column_sweep(backend, work, sorted_components, program, kernel=kernel)
+            samples.append(time.perf_counter() - start)
+        return float(np.median(samples))
+
+    def sweep_result(kernel: str) -> np.ndarray:
+        out = eye.copy()
+        apply_column_sweep(backend, out, sorted_components, program, kernel=kernel)
+        return out
+
+    bit_identical = bool(np.array_equal(sweep_result("looped"), sweep_result("fused")))
+    sweep_seconds("fused")  # warm the fused kernel's column plan
+    looped = sweep_seconds("looped")
+    fused = sweep_seconds("fused")
+    return {
+        "n": n,
+        "batch": batch,
+        "looped_seconds": looped,
+        "fused_seconds": fused,
+        "speedup": looped / fused,
+        "bit_identical": bit_identical,
+        "available_kernels": list(available_sweep_kernels(backend)),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -190,6 +270,15 @@ def main(argv=None) -> int:
         type=Path,
         default=REPO_ROOT / f"BENCH_{LABEL}.json",
         help="where to write the JSON artifact (default: repo root)",
+    )
+    parser.add_argument(
+        "--recorded-at",
+        type=float,
+        default=None,
+        help=(
+            "unix timestamp to stamp into the artifact instead of the wall "
+            "clock (reproducible artifacts, e.g. for fixture generation)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -213,11 +302,13 @@ def main(argv=None) -> int:
     scenarios["drift_timeline"] = record_drift_timeline(config)
     print("recording device-resident engine ...")
     scenarios["device_engine"] = record_device_engine(config)
+    print("recording mesh megakernel sweep ...")
+    scenarios["mesh_megakernel"] = record_mesh_megakernel()
 
     report = {
         "schema": 1,
         "label": LABEL,
-        "recorded_at_unix": time.time(),
+        "recorded_at_unix": args.recorded_at if args.recorded_at is not None else time.time(),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "scenarios": scenarios,

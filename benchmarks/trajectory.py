@@ -12,6 +12,7 @@ Usage::
     python benchmarks/trajectory.py --dir artifacts  # e.g. CI downloads
     python benchmarks/trajectory.py --json           # machine-readable merge
     python benchmarks/trajectory.py --check          # CI regression gate
+    python benchmarks/trajectory.py --plot           # trajectory.png artifact
 
 Artifacts recorded by different PRs cover different scenario sets (the
 suite grows); missing cells print as ``-``.
@@ -48,11 +49,20 @@ HEADLINE_METRICS: Tuple[Tuple[str, str], ...] = (
     ("stream_payload", "reduction"),
     ("drift_timeline", "renull_speedup"),
     ("device_engine", "seconds"),
+    ("mesh_megakernel", "speedup"),
 )
 
 #: Metric keys the --check gate enforces: dimensionless ratios only.  Raw
 #: seconds depend on the runner and are recorded for context, never gated.
 RATIO_KEYS = ("speedup", "reduction", "renull_speedup")
+
+#: Absolute floors the newest artifact must clear whenever it records the
+#: metric — hard acceptance criteria, independent of earlier artifacts and
+#: of the relative tolerance.  The megakernel floor is the PR 7 acceptance
+#: bar: the fused sweep must stay at least 2x the looped reference.
+ABSOLUTE_FLOORS: Dict[Tuple[str, str], float] = {
+    ("mesh_megakernel", "speedup"): 2.0,
+}
 
 #: Fraction of the best earlier value the newest artifact must reach.
 DEFAULT_TOLERANCE = float(os.environ.get("REPRO_TRAJECTORY_TOLERANCE", "0.6"))
@@ -115,10 +125,12 @@ def check_regressions(
     artifact (highest PR label) must reach ``tolerance`` times the best
     value any earlier artifact recorded for the same metric.  Metrics the
     newest artifact does not record are skipped (the scenario suite grows
-    over time), as are metrics with no earlier reference.
+    over time), as are metrics with no earlier reference.  On top of the
+    relative gate, any metric listed in :data:`ABSOLUTE_FLOORS` that the
+    newest artifact records must clear its absolute floor outright.
     """
     labels = list(artifacts)
-    if len(labels) < 2:
+    if not labels:
         return []
     newest = labels[-1]
     failures = []
@@ -127,6 +139,13 @@ def check_regressions(
             continue
         if newest not in values:
             continue
+        scenario, key = name.rsplit(".", 1)
+        absolute = ABSOLUTE_FLOORS.get((scenario, key))
+        if absolute is not None and values[newest] < absolute:
+            failures.append(
+                f"{name}: {newest} measured {values[newest]:.2f}, below the "
+                f"absolute floor {absolute:.2f}"
+            )
         earlier = [value for label, value in values.items() if label != newest]
         if not earlier:
             continue
@@ -138,6 +157,43 @@ def check_regressions(
                 f"{floor:.2f} ({tolerance:.0%} of the best earlier {reference:.2f})"
             )
     return failures
+
+
+def plot_trajectory(artifacts: Dict[str, dict], output: Path) -> bool:
+    """Write the headline-ratio trajectory as a PNG; False without matplotlib.
+
+    One line per ratio metric, one x-tick per artifact label, log-scaled y
+    (the ratios span 1x..25x).  Matplotlib is an optional dependency — CI
+    runners without it skip the artifact instead of failing the run.
+    """
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; skipping --plot", file=sys.stderr)
+        return False
+
+    labels = list(artifacts)
+    fig, axis = plt.subplots(figsize=(8, 4.5))
+    for name, values in metric_rows(artifacts):
+        if name.rsplit(".", 1)[-1] not in RATIO_KEYS:
+            continue
+        xs = [index for index, label in enumerate(labels) if label in values]
+        axis.plot(xs, [values[labels[x]] for x in xs], marker="o", label=name)
+    axis.set_xticks(range(len(labels)))
+    axis.set_xticklabels(labels)
+    axis.set_yscale("log")
+    axis.set_ylabel("ratio (x, log scale)")
+    axis.set_title("perf trajectory: headline ratios per BENCH artifact")
+    axis.grid(True, which="both", alpha=0.3)
+    axis.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(output, dpi=120)
+    plt.close(fig)
+    print(f"wrote {output}")
+    return True
 
 
 def main(argv=None) -> int:
@@ -170,6 +226,19 @@ def main(argv=None) -> int:
             "(default: REPRO_TRAJECTORY_TOLERANCE or 0.6)"
         ),
     )
+    parser.add_argument(
+        "--plot",
+        nargs="?",
+        type=Path,
+        const=REPO_ROOT / "trajectory.png",
+        default=None,
+        metavar="PNG",
+        help=(
+            "write the headline-ratio trajectory as a PNG (default path: "
+            "trajectory.png at the repo root); skipped gracefully when "
+            "matplotlib is not installed"
+        ),
+    )
     args = parser.parse_args(argv)
 
     artifacts = load_artifacts(args.dir)
@@ -179,6 +248,8 @@ def main(argv=None) -> int:
     if args.json:
         print(json.dumps(artifacts, indent=2))
         return 0
+    if args.plot is not None:
+        plot_trajectory(artifacts, args.plot)
     print(f"perf trajectory across {len(artifacts)} artifact(s): {', '.join(artifacts)}")
     print()
     print(format_table(artifacts))

@@ -34,7 +34,12 @@ from .statistics import (
     summarize,
     worst_case_margin_of_error,
 )
-from .timeline import AccuracyTimelineTrial, TimelineSweepResult, timeline_sweep
+from .timeline import (
+    AccuracyTimelineTrial,
+    TimelineSweepResult,
+    timeline_sweep,
+    timeline_sweep_multi,
+)
 from .yield_analysis import (
     YieldEstimate,
     YieldSweepResult,
@@ -86,4 +91,5 @@ __all__ = [
     "AccuracyTimelineTrial",
     "TimelineSweepResult",
     "timeline_sweep",
+    "timeline_sweep_multi",
 ]

@@ -15,7 +15,7 @@ backend) so the yield curve of a design is one call away.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -128,6 +128,94 @@ def max_tolerable_sigma(
 # --------------------------------------------------------------------------- #
 
 
+def _folded_sigma_samples(
+    network,
+    eval_features,
+    eval_labels,
+    sigmas: Tuple[float, ...],
+    streams,
+    case: str,
+    perturb_sigma_stage: bool,
+    iterations: int,
+    nominal_accuracy: float,
+    chunk_size: Optional[int],
+    resolved,
+    use_workspace: bool,
+) -> Dict[float, np.ndarray]:
+    """Monte Carlo samples for every sigma, folded into one scheduling pass.
+
+    The per-sigma loop runs one batched Monte Carlo pass — one scheduling
+    barrier, one ``backend.map`` — per uncertainty level.  This folds the
+    sigma axis into the leading Monte Carlo batch axis instead: all
+    ``len(sigmas) * iterations`` realizations form one task list whose
+    chunks may freely mix sigmas, each row scaled by its own level's
+    physical stds (:class:`~repro.onn.inference.
+    SigmaFoldedAccuracyBatchTrial`).  One map pass covers the whole sweep,
+    so worker pools stay saturated across sigma boundaries and fused
+    column-sweep chunks stay full even when ``iterations`` is small.
+
+    Bit-identity with the per-sigma loop: each sigma's child streams are
+    spawned exactly as :class:`~repro.analysis.monte_carlo.
+    MonteCarloRunner` would (``spawn_rngs(stream, iterations)``), each row
+    consumes only its own stream, per-row scaling performs the same float
+    multiply as the scalar path, and the vectorized engine's samples are
+    chunk-composition invariant.  Null sigmas short-circuit to the nominal
+    accuracy but still consume their position's stream, exactly like the
+    unfolded loop.
+    """
+    from ..onn.inference import SigmaFoldedAccuracyBatchTrial
+    from .monte_carlo import chunk_stream_payload, evaluate_batch_chunk, plan_chunk_size
+
+    samples_per_sigma: Dict[float, np.ndarray] = {}
+    row_generators: list = []
+    phase_blocks: list = []
+    splitter_blocks: list = []
+    row_slices: Dict[float, slice] = {}
+    gating_model = None
+    offset = 0
+    for sigma, stream in zip(sigmas, streams):
+        model = UncertaintyModel.for_case(case, sigma, perturb_sigma_stage=perturb_sigma_stage)
+        if model.is_null:
+            samples_per_sigma[sigma] = np.full(iterations, nominal_accuracy)
+            continue
+        if gating_model is None:
+            gating_model = model
+        row_generators.extend(spawn_rngs(stream, iterations))
+        phase_blocks.append(np.full(iterations, model.phase_std))
+        splitter_blocks.append(np.full(iterations, model.splitter_std))
+        row_slices[sigma] = slice(offset, offset + iterations)
+        offset += iterations
+    if offset == 0:
+        return samples_per_sigma
+    phase_rows = np.concatenate(phase_blocks)[:, None]
+    splitter_rows = np.concatenate(splitter_blocks)[:, None]
+    base_trial = SigmaFoldedAccuracyBatchTrial(
+        spnn=network,
+        features=eval_features,
+        labels=eval_labels,
+        model=gating_model,
+        use_workspace=use_workspace,
+    )
+    chunk = plan_chunk_size(offset, resolved, chunk_size, base_trial)
+    tasks = []
+    for start in range(0, offset, chunk):
+        stop = min(start + chunk, offset)
+        chunk_trial = replace(
+            base_trial,
+            phase_std_rows=phase_rows[start:stop],
+            splitter_std_rows=splitter_rows[start:stop],
+        )
+        tasks.append(
+            (start, chunk_trial, chunk_stream_payload(row_generators[start:stop], resolved))
+        )
+    folded = np.empty(offset, dtype=np.float64)
+    for start, values in resolved.map(evaluate_batch_chunk, tasks):
+        folded[start : start + len(values)] = values
+    for sigma, rows in row_slices.items():
+        samples_per_sigma[sigma] = folded[rows]
+    return samples_per_sigma
+
+
 @dataclass
 class YieldSweepResult:
     """Parametric yield of one design across an uncertainty sweep."""
@@ -211,6 +299,7 @@ def yield_sweep(
     workers: Optional[int] = None,
     device: Optional[str] = None,
     use_workspace: bool = False,
+    fold_sigmas: bool = True,
 ) -> YieldSweepResult:
     """Sweep the uncertainty level and estimate the parametric yield at each.
 
@@ -222,6 +311,13 @@ def yield_sweep(
     so samples never leak between sigmas; note the streams are assigned
     positionally, so reordering or extending the sigma list changes the
     draws a given sigma receives.
+
+    By default the sigma axis is *folded* into the Monte Carlo batch axis
+    (:func:`_folded_sigma_samples`): the whole sweep is one task list
+    scheduled through a single ``backend.map`` pass, with each realization
+    row scaled by its own sigma's physical stds.  Samples are bit-identical
+    to the per-sigma loop at every worker count; ``fold_sigmas=False``
+    keeps the historical one-pass-per-sigma scheduling.
 
     Parameters
     ----------
@@ -311,22 +407,38 @@ def yield_sweep(
         nullcontext(spnn) if isinstance(spnn, SharedNetwork) else shared_network(resolved, spnn)
     )
     with pool_scope(resolved), hosting as (eval_features, eval_labels), network_hosting as network:
-        for sigma, stream in zip(sigmas, streams):
-            model = UncertaintyModel.for_case(case, sigma, perturb_sigma_stage=perturb_sigma_stage)
-            if model.is_null:
-                samples_per_sigma[sigma] = np.full(iterations, nominal_accuracy)
-                continue
-            samples_per_sigma[sigma] = monte_carlo_accuracy(
+        if fold_sigmas:
+            samples_per_sigma = _folded_sigma_samples(
                 network,
                 eval_features,
                 eval_labels,
-                model,
-                iterations=iterations,
-                rng=stream,
-                chunk_size=chunk_size,
-                backend=resolved,
-                use_workspace=use_workspace,
+                sigmas,
+                streams,
+                case,
+                perturb_sigma_stage,
+                iterations,
+                nominal_accuracy,
+                chunk_size,
+                resolved,
+                use_workspace,
             )
+        else:
+            for sigma, stream in zip(sigmas, streams):
+                model = UncertaintyModel.for_case(case, sigma, perturb_sigma_stage=perturb_sigma_stage)
+                if model.is_null:
+                    samples_per_sigma[sigma] = np.full(iterations, nominal_accuracy)
+                    continue
+                samples_per_sigma[sigma] = monte_carlo_accuracy(
+                    network,
+                    eval_features,
+                    eval_labels,
+                    model,
+                    iterations=iterations,
+                    rng=stream,
+                    chunk_size=chunk_size,
+                    backend=resolved,
+                    use_workspace=use_workspace,
+                )
     estimates = yield_vs_sigma(samples_per_sigma, accuracy_threshold)
     return YieldSweepResult(
         sigmas=sigmas,

@@ -166,23 +166,33 @@ def mzi_block_components(xp, theta, phi, r1, t1=None, r2=None, t2=None):
     )
 
 
-def apply_mzi_blocks(matrices, components, groups) -> None:
-    """Apply MZI 2x2 blocks to ``matrices`` in place, column group by group.
+def apply_mzi_blocks(matrices, components, program) -> None:
+    """Apply MZI 2x2 blocks to ``matrices`` in place, column by column.
 
-    ``matrices`` has shape ``(..., n, n)``; ``components`` are the four
-    block-element arrays (``(..., num_mzis)`` or ``(num_mzis,)``,
-    broadcasting over the leading dimensions); ``groups`` is a sequence of
-    ``(take, top_modes, bottom_modes)`` index triples — precomputed in the
-    matrices' namespace — selecting each column group's devices and the two
-    mode rows they couple.  Devices in one column act on disjoint mode
-    pairs, so their two-row updates are gathered and applied in a single
-    elementwise step; the arithmetic is pure elementwise multiply-add,
-    which makes the batched application bit-identical to the
-    single-realization one.
+    The *reference* column sweep — the byte-for-byte legacy arithmetic
+    every registered sweep kernel (:mod:`repro.arrays.sweep`) is measured
+    against.  ``matrices`` has shape ``(..., n, n)``; ``components`` are
+    the four block-element arrays (``(..., M)`` or ``(M,)``, broadcasting
+    over the leading dimensions) **already gathered into column-sorted
+    order** by the program's propagation permutation; ``program`` is a
+    :class:`~repro.arrays.sweep.ColumnProgram` whose packed ``top``/
+    ``bottom`` index arrays live in the matrices' namespace.  Devices in
+    one column act on disjoint mode pairs, so their two-row updates are
+    gathered and applied in a single elementwise step; the arithmetic is
+    pure elementwise multiply-add, which makes the batched application
+    bit-identical to the single-realization one.
     """
     b00, b01, b10, b11 = components
-    for take, top_modes, bottom_modes in groups:
+    top_rows = program.top
+    bottom_rows = program.bottom
+    for start, stop in program.spans:
+        top_modes = top_rows[start:stop]
+        bottom_modes = bottom_rows[start:stop]
         top = matrices[..., top_modes, :]
         bottom = matrices[..., bottom_modes, :]
-        matrices[..., top_modes, :] = b00[..., take, None] * top + b01[..., take, None] * bottom
-        matrices[..., bottom_modes, :] = b10[..., take, None] * top + b11[..., take, None] * bottom
+        matrices[..., top_modes, :] = (
+            b00[..., start:stop, None] * top + b01[..., start:stop, None] * bottom
+        )
+        matrices[..., bottom_modes, :] = (
+            b10[..., start:stop, None] * top + b11[..., start:stop, None] * bottom
+        )

@@ -116,8 +116,9 @@ class Exp3Config:
     #: Monte Carlo chunks across N processes, bit-identical to serial.
     backend: BackendLike = None
     workers: Optional[int] = None
-    #: ``"gpu"`` runs the evaluation sweeps device-resident (CuPy, or the
-    #: mock stand-in via REPRO_GPU_ARRAY_BACKEND); ``"cpu"``/None keeps CPU.
+    #: ``"gpu"`` runs the evaluation sweeps *and* the injector's K-draw
+    #: training forward device-resident (CuPy, or the mock stand-in via
+    #: REPRO_GPU_ARRAY_BACKEND); ``"cpu"``/None keeps CPU.
     device: Optional[str] = None
     training: SPNNTrainingConfig = field(
         default_factory=lambda: SPNNTrainingConfig(epochs=40)
@@ -300,6 +301,7 @@ def train_noise_aware_model(
         rng=config.noise_seed,
         incremental=config.incremental_recompile,
         reuse_draws=config.reuse_draws,
+        device=config.device,
     )
     trainer = NoiseAwareTrainer(
         model,

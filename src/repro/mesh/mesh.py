@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..arrays import HOST_BACKEND, active_array_backend
-from ..arrays.kernels import apply_mzi_blocks
+from ..arrays.sweep import ColumnProgram, apply_column_sweep, select_sweep_kernel
 from ..exceptions import ShapeError, VariationModelError
 from ..photonics import constants
 from ..photonics.mzi import mzi_transfer_components
@@ -208,30 +208,53 @@ class MZIMesh:
         self._column_groups = [
             np.flatnonzero(self._columns == column) for column in range(self.num_columns)
         ]
-        # Column-sorted (stable) propagation permutation: lets the batched
-        # sweep gather each block component once and then slice per column.
+        # Column-sorted (stable) propagation permutation: lets every sweep
+        # path gather each block component once and then slice per column.
+        # Devices *within* a column act on disjoint mode pairs, so their
+        # relative order is free; sorting each column by mode makes the
+        # fused kernel's contiguous-block fast path apply wherever the
+        # physics allows (every Clements column, most Reck columns)
+        # without changing a single output value.
+        self._column_groups = [
+            group[np.argsort(self._modes[group], kind="stable")]
+            for group in self._column_groups
+        ]
         self._column_perm = (
             np.concatenate(self._column_groups) if self.num_mzis else np.zeros(0, dtype=np.int64)
         )
         boundaries = np.cumsum([0] + [len(group) for group in self._column_groups])
-        self._column_slices = [
-            slice(int(boundaries[i]), int(boundaries[i + 1])) for i in range(len(self._column_groups))
-        ]
-        # Precomputed (take, top_modes, bottom_modes) triples for the column
-        # sweep kernel: the single-realization sweep fancy-indexes each
-        # group's components, the batched sweep gathers once by the column
-        # permutation and slices.  Same per-element arithmetic either way.
-        self._groups_single = [
-            (group, self._modes[group], self._modes[group] + 1) for group in self._column_groups
-        ]
-        self._groups_batched = [
-            (sl, self._modes[group], self._modes[group] + 1)
-            for sl, group in zip(self._column_slices, self._column_groups)
-        ]
-        # Per-array-backend copies of the sweep's index arrays (device
-        # namespaces index with their own arrays); the mesh structure never
-        # changes (retune only rewrites phases), so entries stay valid.
-        self._device_structure: Dict[str, tuple] = {}
+        # The packed flat-index column program: the sweep structure
+        # "compiled" once per mesh (column-sorted top/bottom row indices,
+        # interleaved gather/scatter row map, column boundaries, contiguous
+        # block bases) and consumed by every registered sweep kernel — no
+        # per-call index rebuilding.
+        sorted_modes = self._modes[self._column_perm]
+        spans = tuple((int(s), int(e)) for s, e in zip(boundaries[:-1], boundaries[1:]))
+        rows = np.empty(2 * self.num_mzis, dtype=np.int64)
+        rows[0::2] = sorted_modes
+        rows[1::2] = sorted_modes + 1
+        bases = []
+        for start, stop in spans:
+            block = rows[2 * start : 2 * stop]
+            base = int(block[0]) if block.size else 0
+            contiguous = block.size and np.array_equal(
+                block, np.arange(base, base + block.size)
+            )
+            bases.append(base if contiguous else None)
+        self._column_program = ColumnProgram(
+            n=self.n,
+            perm=self._column_perm,
+            top=sorted_modes,
+            bottom=sorted_modes + 1,
+            rows=rows,
+            starts=np.asarray(boundaries, dtype=np.int64),
+            spans=spans,
+            bases=tuple(bases),
+        )
+        # Per-array-backend copies of the program (device namespaces index
+        # with their own arrays); the mesh structure never changes (retune
+        # only rewrites phases), so entries stay valid.
+        self._device_structure: Dict[str, ColumnProgram] = {}
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -370,7 +393,12 @@ class MZIMesh:
             perturbation.validate(self.num_mzis, self.n)
         components, output_phases = self._blocks_and_phases(perturbation)
         matrix = np.eye(self.n, dtype=np.complex128)
-        apply_mzi_blocks(matrix, components, self._groups_single)
+        # Gather into column-sorted order (pure reordering, so the
+        # per-element arithmetic — and the result — is unchanged), then
+        # run the packed program through the selected sweep kernel.
+        program = self._column_program
+        sorted_components = tuple(c[..., program.perm] for c in components)
+        apply_column_sweep(HOST_BACKEND, matrix, sorted_components, program)
         return np.exp(1j * output_phases)[:, np.newaxis] * matrix  # host-only path
 
     def _blocks_and_phases(self, perturbation, backend=None) -> Tuple[Tuple[np.ndarray, ...], np.ndarray]:
@@ -405,23 +433,18 @@ class MZIMesh:
                 output_phases = output_phases + xp.asarray(perturbation.delta_output_phase)
         return mzi_transfer_components(thetas, phis, r_in, r2=r_out), output_phases
 
-    def _sweep_structure(self, backend) -> Tuple[object, list]:
-        """``(perm, groups)`` index arrays for the batched column sweep.
+    def column_program(self, backend=None) -> ColumnProgram:
+        """The packed column program, converted (and cached) for ``backend``.
 
-        Host backends reuse the precomputed NumPy index arrays; device
-        backends get a cached device copy (the structure is immutable —
+        Host backends reuse the precomputed NumPy program; device backends
+        get a cached device copy (the structure is immutable —
         :meth:`retune` rewrites only phases — so entries never go stale).
         """
-        if backend.is_host:
-            return self._column_perm, self._groups_batched
+        if backend is None or backend.is_host:
+            return self._column_program
         cached = self._device_structure.get(backend.name)
         if cached is None:
-            perm = backend.asarray(self._column_perm)
-            groups = [
-                (take, backend.asarray(top), backend.asarray(bottom))
-                for take, top, bottom in self._groups_batched
-            ]
-            cached = (perm, groups)
+            cached = self._column_program.to_backend(backend)
             self._device_structure[backend.name] = cached
         return cached
 
@@ -488,17 +511,27 @@ class MZIMesh:
         matrices = self._batch_buffer(backend, workspace, workspace_key, batch)
         matrices[...] = xp.eye(self.n, dtype=xp.complex128)
         # Gather each component into column-sorted order once (cheap views
-        # per column afterwards; pure reordering), then apply in chunks over
-        # the batch axis so the per-chunk matrices and gathered rows stay
+        # per column afterwards; pure reordering), then run the sweep.  A
+        # kernel that blocks internally (the fused megakernel, the device
+        # kernels) takes the whole batch in one call; otherwise chunk the
+        # batch axis here so the per-chunk matrices and gathered rows stay
         # cache-resident during the column sweep.
-        perm, groups = self._sweep_structure(backend)
-        sorted_components = tuple(c[..., perm] for c in components)
-        chunk = max(1, _APPLY_CHUNK_ELEMENTS // max(1, self.n * self.n))
-        for start in range(0, batch, chunk):
-            stop = min(start + chunk, batch)
-            apply_mzi_blocks(
-                matrices[start:stop], tuple(c[start:stop] for c in sorted_components), groups
-            )
+        program = self.column_program(backend)
+        sorted_components = tuple(c[..., program.perm] for c in components)
+        kernel = select_sweep_kernel(backend)
+        if kernel.blocks_internally:
+            apply_column_sweep(backend, matrices, sorted_components, program, kernel=kernel)
+        else:
+            chunk = max(1, _APPLY_CHUNK_ELEMENTS // max(1, self.n * self.n))
+            for start in range(0, batch, chunk):
+                stop = min(start + chunk, batch)
+                apply_column_sweep(
+                    backend,
+                    matrices[start:stop],
+                    tuple(c[start:stop] for c in sorted_components),
+                    program,
+                    kernel=kernel,
+                )
         phases = xp.exp(1j * output_phases)
         if phases.ndim == 1:
             phases = phases[None]

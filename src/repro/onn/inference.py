@@ -195,6 +195,62 @@ class NetworkAccuracyBatchTrial:
         )
 
 
+@dataclass(frozen=True, eq=False)
+class SigmaFoldedAccuracyBatchTrial(NetworkAccuracyBatchTrial):
+    """Batch trial whose rows carry *different* uncertainty levels.
+
+    The sigma-folded sweeps (:func:`repro.analysis.yield_analysis.
+    yield_sweep`) stack the realizations of several sigmas along the Monte
+    Carlo batch axis and evaluate them in shared vectorized chunks — one
+    column sweep and one forward pass per chunk instead of one scheduling
+    barrier per sigma.  ``model`` supplies the (uniform) family gating of
+    the fold; ``phase_std_rows``/``splitter_std_rows`` hold each row's own
+    *physical* standard deviations, shape ``(B, 1)`` aligned with the
+    chunk's generators.  Scaling a row's normalized draws by its actual
+    stds is the exact float multiply the per-sigma trial performs, so the
+    folded samples are bit-identical to running each sigma separately with
+    the same child streams — for every backend, worker count and chunk
+    size (chunks may freely cross sigma boundaries).
+
+    Only the default i.i.d. Gaussian sampling path supports folding:
+    custom factories and temporal processes draw per-row state the fold
+    cannot rescale.
+    """
+
+    phase_std_rows: Optional[np.ndarray] = None
+    splitter_std_rows: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.perturbation_factory is not None:
+            raise ValueError("sigma folding requires the default sampler (no perturbation_factory)")
+        if self.process is not None and not isinstance(self.process, IIDGaussianProcess):
+            raise ValueError("sigma folding requires the i.i.d. Gaussian process")
+
+    def __call__(self, generators: Sequence[np.random.Generator]) -> np.ndarray:
+        from ..variation.sampler import sample_network_perturbation_batch
+
+        generators = list(generators)
+        spnn = resolve_network(self.spnn)
+        workspace = process_workspace() if self.use_workspace else None
+        batch = sample_network_perturbation_batch(
+            spnn.photonic_layers,
+            self.model,
+            generators,
+            workspace=workspace,
+            phase_std_rows=self.phase_std_rows,
+            splitter_std_rows=self.splitter_std_rows,
+        )
+        return spnn.accuracy_batch(
+            resolve_array(self.features),
+            resolve_array(self.labels),
+            batch,
+            batch_size=len(generators),
+            chunk_size=self.forward_chunk_size,
+            workspace=workspace,
+        )
+
+
 def monte_carlo_accuracy(
     spnn: SPNN,
     features: ArrayLike,

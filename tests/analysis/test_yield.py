@@ -121,6 +121,67 @@ class TestYieldSweep:
             serial.accuracy_samples[0.05], sharded.accuracy_samples[0.05]
         )
 
+    def test_folded_bit_identical_to_per_sigma_loop(self, small_task):
+        """The single folded device pass IS the per-sigma loop, bit for bit."""
+        kwargs = dict(sigmas=(0.0, 0.02, 0.05), iterations=6, rng=13)
+        features, labels = small_task.test_features[:40], small_task.test_labels[:40]
+        folded = yield_sweep(small_task.spnn, features, labels, **kwargs)
+        per_sigma = yield_sweep(
+            small_task.spnn, features, labels, fold_sigmas=False, **kwargs
+        )
+        for sigma in kwargs["sigmas"]:
+            assert np.array_equal(
+                folded.accuracy_samples[sigma], per_sigma.accuracy_samples[sigma]
+            )
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_folded_bit_identical_at_every_worker_count(self, small_task, workers):
+        """Sigma folding shards over one long batch; workers never change it."""
+        kwargs = dict(sigmas=(0.0, 0.02, 0.05), iterations=6, rng=13)
+        features, labels = small_task.test_features[:40], small_task.test_labels[:40]
+        serial = yield_sweep(small_task.spnn, features, labels, **kwargs)
+        sharded = yield_sweep(
+            small_task.spnn, features, labels, workers=workers, **kwargs
+        )
+        for sigma in kwargs["sigmas"]:
+            assert np.array_equal(
+                serial.accuracy_samples[sigma], sharded.accuracy_samples[sigma]
+            )
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_workspace_aliasing_safe_under_workers(self, small_task, workers):
+        """Shared per-process workspace buffers never leak between chunks.
+
+        With ``use_workspace=True`` every chunk of every sigma reuses the
+        same process-level scratch allocations — in the parent when serial,
+        inside each pool worker when sharded.  Any aliasing bug (a chunk
+        reading another chunk's leftovers) would break bit-identity with
+        the workspace-free run.
+        """
+        kwargs = dict(sigmas=(0.0, 0.02, 0.05), iterations=6, rng=13)
+        features, labels = small_task.test_features[:40], small_task.test_labels[:40]
+        plain = yield_sweep(small_task.spnn, features, labels, workers=workers, **kwargs)
+        recycled = yield_sweep(
+            small_task.spnn, features, labels, workers=workers, use_workspace=True, **kwargs
+        )
+        for sigma in kwargs["sigmas"]:
+            assert np.array_equal(
+                plain.accuracy_samples[sigma], recycled.accuracy_samples[sigma]
+            )
+
+    def test_folded_chunks_crossing_sigma_boundaries(self, small_task):
+        """A chunk size coprime to the per-sigma block changes nothing."""
+        kwargs = dict(sigmas=(0.02, 0.05), iterations=6, rng=17, case="phs")
+        features, labels = small_task.test_features[:40], small_task.test_labels[:40]
+        reference = yield_sweep(small_task.spnn, features, labels, **kwargs)
+        chunked = yield_sweep(
+            small_task.spnn, features, labels, chunk_size=5, **kwargs
+        )
+        for sigma in kwargs["sigmas"]:
+            assert np.array_equal(
+                reference.accuracy_samples[sigma], chunked.accuracy_samples[sigma]
+            )
+
     def test_validation(self, small_task):
         features, labels = small_task.test_features[:10], small_task.test_labels[:10]
         with pytest.raises(ValueError):

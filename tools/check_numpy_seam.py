@@ -37,6 +37,11 @@ SRC_ROOT = REPO_ROOT / "src"
 #: Modules that must not import NumPy at all (rule 1).
 NUMPY_FREE_MODULES: Tuple[str, ...] = (
     "repro/arrays/kernels.py",
+    # The column-sweep kernel registry and its fused numpy/device path;
+    # the numba/cupy wrapper modules (numba_sweep.py, cupy_sweep.py) are
+    # host-only accelerator glue that legitimately imports numpy and is
+    # deliberately outside both lists.
+    "repro/arrays/sweep.py",
 )
 
 #: Core numerics modules riding on the array seam (rule 2).
