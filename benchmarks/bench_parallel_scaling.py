@@ -27,6 +27,7 @@ import pytest
 
 from repro.execution import available_workers
 from repro.execution.shared import SharedNetwork, shared_memory_available
+from repro.observability import Stopwatch, active, active_collector, observe
 from repro.onn import monte_carlo_accuracy
 from repro.onn.inference import NetworkAccuracyBatchTrial
 from repro.utils.rng import StreamSlice, spawn_rngs
@@ -161,6 +162,72 @@ def test_stream_payload_compression():
     )
     assert payload["stream_slice_bytes"] <= 1024
     assert payload["reduction"] >= 20.0
+
+
+#: Ceiling on the disabled-instrumentation overhead (fraction of engine time).
+NULL_OVERHEAD_CEILING = float(os.environ.get("REPRO_NULL_OVERHEAD_CEILING", "0.02"))
+
+
+def measure_null_overhead(spnn_task) -> dict:
+    """Cost of the *disabled* observability path on the acceptance workload.
+
+    A direct traced-vs-untraced A/B measures noise, not overhead — the
+    disabled path is a few hundred no-op calls against seconds of mesh
+    math.  So measure it deterministically instead:
+
+    1. one traced run counts exactly how many instrumented-seam visits the
+       workload performs (spans opened, ``map_chunks`` reads, frames that
+       would not be built, kernel-dispatch collector reads) — counts are
+       deterministic for a deterministic workload;
+    2. a microbenchmark prices one disabled-seam visit (module-global read
+       + no-op span context + collector read, attr kwargs included);
+    3. the product, against the measured untraced engine time, is the
+       structural overhead bound.
+    """
+    kwargs = {**_engine_dominated_scenario(spnn_task), "iterations": 50}
+    with observe() as recorder:
+        traced = monte_carlo_accuracy(**kwargs)
+    dispatch_calls = recorder.dispatches.total_calls + sum(
+        entry.calls for frame in recorder.frames for entry in frame.dispatches
+    )
+    # Seam visits of the disabled path: every span site, every map_chunks
+    # enablement check (one per frame's chunk), every sweep-dispatch
+    # collector read.
+    seam_visits = len(recorder.spans) + len(recorder.frames) + dispatch_calls
+
+    repeats = 50_000
+    null_recorder = active()  # the NullRecorder — observe() has exited
+    assert not null_recorder.enabled
+    watch = Stopwatch()
+    for _ in range(repeats):
+        with active().span("bench", label="mc", iterations=50):
+            pass
+        active_collector()
+    per_visit_seconds = watch.seconds / repeats
+
+    engine_seconds, untraced = _best_of(2, lambda: monte_carlo_accuracy(**kwargs))
+    assert np.array_equal(traced, untraced), "tracing must not change samples"
+    overhead_seconds = seam_visits * per_visit_seconds
+    return {
+        "seam_visits": seam_visits,
+        "per_visit_seconds": per_visit_seconds,
+        "overhead_seconds": overhead_seconds,
+        "engine_seconds": engine_seconds,
+        "overhead_fraction": overhead_seconds / engine_seconds,
+    }
+
+
+def test_null_recorder_overhead_within_ceiling(spnn_task):
+    """Disabled observability must cost < 2% of engine time, structurally."""
+    measured = measure_null_overhead(spnn_task)
+    print(
+        f"\nnull-path overhead: {measured['seam_visits']} seam visits x "
+        f"{1e9 * measured['per_visit_seconds']:.0f} ns = "
+        f"{1e3 * measured['overhead_seconds']:.3f} ms over "
+        f"{measured['engine_seconds']:.2f}s engine time "
+        f"({100 * measured['overhead_fraction']:.4f}%)"
+    )
+    assert measured["overhead_fraction"] <= NULL_OVERHEAD_CEILING
 
 
 def _best_of(repeats, fn):

@@ -38,6 +38,8 @@ import numpy as np
 from ..arrays import to_host
 from ..exceptions import ShapeError
 from ..execution import Backend, BackendLike, pool_scope, resolve_backend
+from ..observability import map_chunks
+from ..observability.recorder import active as _active_recorder
 from ..utils.rng import RNGLike, StreamSlice, StreamsLike, materialize_streams, spawn_rngs
 from .statistics import SummaryStatistics, summarize
 
@@ -243,8 +245,16 @@ class MonteCarloRunner:
             for start in range(0, self.iterations, chunk)
         ]
         samples = np.empty(self.iterations, dtype=np.float64)
-        for start, values in backend.map(evaluator, tasks):
-            samples[start : start + len(values)] = values
+        with _active_recorder().span(
+            "mc/run",
+            label=label,
+            iterations=self.iterations,
+            chunks=len(tasks),
+            chunk_size=chunk,
+            parallelism=backend.parallelism,
+        ):
+            for start, values in map_chunks(backend, evaluator, tasks, label="mc"):
+                samples[start : start + len(values)] = values
         return MonteCarloResult(samples=samples, summary=summarize(samples, self.confidence), label=label)
 
     # ------------------------------------------------------------------ #

@@ -27,13 +27,13 @@ event counts into a time budget.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..mesh.svd_layer import PhotonicLinearLayer
+from ..observability.recorder import Stopwatch
 from ..utils.serialization import format_table
 
 __all__ = [
@@ -140,7 +140,7 @@ def renull_network(layers: Sequence[PhotonicLinearLayer]) -> Tuple[List[Photonic
     """
     renulled: List[PhotonicLinearLayer] = []
     warm = exact = 0
-    started = time.perf_counter()
+    watch = Stopwatch()
     for layer in layers:
         if layer.retune_from_weight(layer.weight):
             renulled.append(layer)
@@ -148,8 +148,7 @@ def renull_network(layers: Sequence[PhotonicLinearLayer]) -> Tuple[List[Photonic
         else:
             renulled.append(PhotonicLinearLayer(layer.weight, scheme=layer.scheme))
             exact += 1
-    seconds = time.perf_counter() - started
-    return renulled, RenullReport(warm_retunes=warm, exact_recompiles=exact, seconds=seconds)
+    return renulled, RenullReport(warm_retunes=warm, exact_recompiles=exact, seconds=watch.seconds)
 
 
 @dataclass
@@ -193,21 +192,22 @@ def measure_renull_cost(layers: Sequence[PhotonicLinearLayer], repeats: int = 3)
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     layers = list(layers)
     weights = [np.array(layer.weight, copy=True) for layer in layers]
+    watch = Stopwatch()
     warm_seconds = float("inf")
     for _ in range(repeats):
-        started = time.perf_counter()
+        watch.restart()
         for layer, weight in zip(layers, weights):
             if not layer.retune_from_weight(weight):
                 # A same-weight warm start should never diverge; rebuild so
                 # the layer stays usable and time the honest total anyway.
                 layer = PhotonicLinearLayer(weight, scheme=layer.scheme)
-        warm_seconds = min(warm_seconds, time.perf_counter() - started)
+        warm_seconds = min(warm_seconds, watch.seconds)
     exact_seconds = float("inf")
     for _ in range(repeats):
-        started = time.perf_counter()
+        watch.restart()
         for layer, weight in zip(layers, weights):
             PhotonicLinearLayer(weight, scheme=layer.scheme)
-        exact_seconds = min(exact_seconds, time.perf_counter() - started)
+        exact_seconds = min(exact_seconds, watch.seconds)
     return RenullCost(
         warm_seconds=warm_seconds,
         exact_seconds=exact_seconds,

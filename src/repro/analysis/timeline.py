@@ -32,6 +32,8 @@ from contextlib import nullcontext
 
 from ..arrays import active_array_backend, to_host
 from ..execution import BackendLike, pool_scope, resolve_backend
+from ..observability import map_chunks
+from ..observability.recorder import active as _active_recorder
 from ..execution.shared import (
     ArrayLike,
     SharedArray,
@@ -335,10 +337,20 @@ def timeline_sweep(
             (start, trial, chunk_stream_payload(generators[start : start + chunk], resolved))
             for start in range(0, timelines, chunk)
         ]
-        for start, (chunk_accuracy, chunk_events) in resolved.map(evaluate_timeline_chunk, tasks):
-            stop = start + chunk_accuracy.shape[0]
-            accuracy[start:stop] = chunk_accuracy
-            events[start:stop] = chunk_events
+        with _active_recorder().span(
+            "timeline/sweep",
+            timelines=timelines,
+            steps=num_steps,
+            chunks=len(tasks),
+            chunk_size=chunk,
+            parallelism=resolved.parallelism,
+        ):
+            for start, (chunk_accuracy, chunk_events) in map_chunks(
+                resolved, evaluate_timeline_chunk, tasks, label="timeline"
+            ):
+                stop = start + chunk_accuracy.shape[0]
+                accuracy[start:stop] = chunk_accuracy
+                events[start:stop] = chunk_events
     return TimelineSweepResult(
         accuracy=accuracy,
         recalibrations=events,
@@ -436,10 +448,20 @@ def timeline_sweep_multi(
                 )
                 for start in range(0, timelines, chunk)
             )
-        for start, (chunk_accuracy, chunk_events) in resolved.map(evaluate_timeline_chunk, tasks):
-            stop = start + chunk_accuracy.shape[0]
-            accuracy[start:stop] = chunk_accuracy
-            events[start:stop] = chunk_events
+        with _active_recorder().span(
+            "timeline/sweep_multi",
+            models=len(models),
+            timelines=timelines,
+            steps=num_steps,
+            chunks=len(tasks),
+            parallelism=resolved.parallelism,
+        ):
+            for start, (chunk_accuracy, chunk_events) in map_chunks(
+                resolved, evaluate_timeline_chunk, tasks, label="timeline"
+            ):
+                stop = start + chunk_accuracy.shape[0]
+                accuracy[start:stop] = chunk_accuracy
+                events[start:stop] = chunk_events
     process_name = getattr(process, "name", "") or type(process).__name__
     return tuple(
         TimelineSweepResult(

@@ -23,6 +23,8 @@ import numpy as np
 from contextlib import nullcontext
 
 from ..execution import BackendLike, pool_scope, resolve_backend
+from ..observability import map_chunks
+from ..observability.recorder import active as _active_recorder
 from ..execution.shared import (
     SharedArray,
     SharedNetwork,
@@ -209,8 +211,15 @@ def _folded_sigma_samples(
             (start, chunk_trial, chunk_stream_payload(row_generators[start:stop], resolved))
         )
     folded = np.empty(offset, dtype=np.float64)
-    for start, values in resolved.map(evaluate_batch_chunk, tasks):
-        folded[start : start + len(values)] = values
+    with _active_recorder().span(
+        "yield/folded_mc",
+        rows=offset,
+        sigmas=len(row_slices),
+        chunks=len(tasks),
+        chunk_size=chunk,
+    ):
+        for start, values in map_chunks(resolved, evaluate_batch_chunk, tasks, label="yield"):
+            folded[start : start + len(values)] = values
     for sigma, rows in row_slices.items():
         samples_per_sigma[sigma] = folded[rows]
     return samples_per_sigma
@@ -406,7 +415,18 @@ def yield_sweep(
     network_hosting = (
         nullcontext(spnn) if isinstance(spnn, SharedNetwork) else shared_network(resolved, spnn)
     )
-    with pool_scope(resolved), hosting as (eval_features, eval_labels), network_hosting as network:
+    sweep_span = _active_recorder().span(
+        "yield/sweep",
+        sigmas=len(sigmas),
+        iterations=iterations,
+        case=case.lower(),
+        folded=bool(fold_sigmas),
+        parallelism=resolved.parallelism,
+    )
+    with sweep_span, pool_scope(resolved), hosting as (
+        eval_features,
+        eval_labels,
+    ), network_hosting as network:
         if fold_sigmas:
             samples_per_sigma = _folded_sigma_samples(
                 network,
@@ -584,7 +604,16 @@ def bisect_max_tolerable_sigma(
     network_hosting = (
         nullcontext(spnn) if isinstance(spnn, SharedNetwork) else shared_network(resolved, spnn)
     )
-    with pool_scope(resolved), hosting as (eval_features, eval_labels), network_hosting as network:
+    bisect_span = _active_recorder().span(
+        "yield/bisect",
+        iterations=iterations,
+        case=case.lower(),
+        parallelism=resolved.parallelism,
+    )
+    with bisect_span, pool_scope(resolved), hosting as (
+        eval_features,
+        eval_labels,
+    ), network_hosting as network:
 
         def probe(sigma: float) -> bool:
             model = UncertaintyModel.for_case(case, sigma, perturb_sigma_stage=perturb_sigma_stage)

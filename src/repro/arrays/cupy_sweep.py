@@ -92,6 +92,11 @@ class CupyRawSweepKernel(SweepKernel):
     def available(self) -> bool:
         return _device_usable()
 
+    def unavailable_reason(self):
+        if _device_usable():
+            return None
+        return "cupy is not installed" if _cupy is None else "no usable CUDA device"
+
     def supports(self, backend) -> bool:
         return backend.name == "cupy"
 

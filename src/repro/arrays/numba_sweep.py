@@ -78,6 +78,9 @@ class NumbaSweepKernel(SweepKernel):
     def available(self) -> bool:
         return HAVE_NUMBA
 
+    def unavailable_reason(self):
+        return None if HAVE_NUMBA else "numba is not installed"
+
     def supports(self, backend) -> bool:
         return bool(backend.is_host)
 

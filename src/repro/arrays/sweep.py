@@ -50,6 +50,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 from ..exceptions import ConfigurationError
+from ..observability.dispatch import active_collector
+from ..observability.recorder import perf_seconds
 
 __all__ = [
     "ColumnProgram",
@@ -193,6 +195,14 @@ class SweepKernel:
     def available(self) -> bool:
         """Whether the kernel can run in this process (deps importable)."""
         return True
+
+    def unavailable_reason(self) -> Optional[str]:
+        """Why :meth:`available` is ``False``, or ``None`` when it is not.
+
+        Diagnostics (``spnn-repro info``) surface this so a user can tell
+        a missing dependency from a broken one without reading source.
+        """
+        return None if self.available() else "unavailable"
 
     def supports(self, backend) -> bool:
         """Whether the kernel can serve ``backend``'s arrays."""
@@ -516,6 +526,13 @@ def apply_column_sweep(
     and per backend respectively.  ``kernel`` optionally pins a registry
     name (or passes a :class:`SweepKernel` instance through), otherwise
     :func:`select_sweep_kernel` decides.
+
+    When a dispatch collector is installed
+    (:mod:`repro.observability.dispatch`), each call records
+    ``(kernel, backend, n, batch, columns, seconds)`` — shapes and wall
+    time only, never the array contents, so recording cannot perturb
+    results.  With no collector the instrumentation is one module-global
+    read per call.
     """
     if kernel is None:
         selected = select_sweep_kernel(backend)
@@ -523,7 +540,23 @@ def apply_column_sweep(
         selected = kernel
     else:
         selected = get_sweep_kernel(kernel)
+    collector = active_collector()
+    if collector is None:
+        selected(backend, matrices, components, program)
+        return
+    batch = 1
+    for extent in matrices.shape[:-2]:
+        batch *= int(extent)
+    started = perf_seconds()
     selected(backend, matrices, components, program)
+    collector.record(
+        selected.name,
+        backend.name,
+        program.n,
+        batch,
+        program.num_columns,
+        perf_seconds() - started,
+    )
 
 
 register_sweep_kernel(LoopedSweepKernel())

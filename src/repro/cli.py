@@ -27,11 +27,13 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
-import time
+from contextlib import nullcontext
 from typing import Optional, Sequence
 
 from .experiments.registry import build_registry, get_experiment, list_experiments
+from .observability import PrintProgressSink, Stopwatch, observe, use_progress_sink
 from .onn.builder import SPNNTrainingConfig, build_trained_spnn
 from .utils.serialization import format_table, save_json, to_jsonable
 
@@ -53,6 +55,94 @@ def _run_summary(smoke: bool) -> dict:
     return summary
 
 
+def _run_info() -> dict:
+    """Print (and return) the environment diagnostics behind a run.
+
+    Answers the usual "why is my run slow / which kernel ran / why is the
+    GPU path unavailable" questions without a debugger: platform, CPU
+    budget, array-backend availability, which sweep kernels can serve each
+    backend (with the reason when one cannot run at all), and the
+    ``REPRO_*`` environment overrides currently in force.
+    """
+    import platform
+
+    from .arrays.namespace import array_backend_names, available_array_backends, get_array_backend
+    from .arrays.sweep import SWEEP_KERNEL_ENV, available_sweep_kernels, get_sweep_kernel, sweep_kernel_names
+    from .execution.backends import GPU_ARRAY_BACKEND_ENV, available_workers
+    from .observability import TRACE_ENV
+
+    info: dict = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus_available": available_workers(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    usable = available_array_backends()
+    backends: dict = {}
+    for name in array_backend_names():
+        entry: dict = {"available": name in usable}
+        if entry["available"]:
+            entry["sweep_kernels"] = list(available_sweep_kernels(get_array_backend(name)))
+        backends[name] = entry
+    info["array_backends"] = backends
+    kernels: dict = {}
+    for name in sweep_kernel_names():
+        kernel = get_sweep_kernel(name)
+        kernels[name] = {
+            "available": kernel.available(),
+            "reason": kernel.unavailable_reason(),
+        }
+    info["sweep_kernels"] = kernels
+    overrides = (SWEEP_KERNEL_ENV, TRACE_ENV, GPU_ARRAY_BACKEND_ENV)
+    info["env_overrides"] = {
+        variable: os.environ[variable] for variable in overrides if os.environ.get(variable)
+    }
+
+    print("spnn-repro environment diagnostics")
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["platform", info["platform"]],
+                ["python", info["python"]],
+                ["cpus available", info["cpus_available"]],
+                ["cpu count", info["cpu_count"]],
+            ],
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["array backend", "available", "sweep kernels"],
+            [
+                [name, "yes" if entry["available"] else "no", ", ".join(entry.get("sweep_kernels", [])) or "-"]
+                for name, entry in backends.items()
+            ],
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["sweep kernel", "available", "unavailable reason"],
+            [
+                [name, "yes" if entry["available"] else "no", entry["reason"] or "-"]
+                for name, entry in kernels.items()
+            ],
+        )
+    )
+    print()
+    if info["env_overrides"]:
+        print(
+            format_table(
+                ["env override", "value"],
+                [[variable, value] for variable, value in info["env_overrides"].items()],
+            )
+        )
+    else:
+        print("no REPRO_* environment overrides active")
+    return info
+
+
 def _positive_int(value: str) -> int:
     parsed = int(value)
     if parsed < 1:
@@ -69,7 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (fig2, fig3, exp1, exp2, exp3/robust, yield, "
-            "drift/exp4, baseline), 'summary' or 'list'"
+            "drift/exp4, baseline), 'summary', 'info' or 'list'"
         ),
     )
     parser.add_argument(
@@ -118,6 +208,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the result (JSON) to this path",
     )
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "record an observability trace of the run (spans, worker chunk "
+            "frames, kernel dispatches) and write it to PATH as JSONL; "
+            "bit-identical results, timing-only overhead"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the aggregated metrics report (JSON) of the traced run to PATH",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a heartbeat line as each scheduled chunk group completes",
+    )
     return parser
 
 
@@ -127,12 +240,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     identifier = args.experiment.lower()
-    if identifier in ("list", "summary") and args.workers is not None:
+    if identifier in ("list", "summary", "info") and args.workers is not None:
         parser.error(f"{identifier!r} does not support --workers")
-    if identifier in ("list", "summary") and args.bisect:
+    if identifier in ("list", "summary", "info") and args.bisect:
         parser.error(f"{identifier!r} does not support --bisect")
-    if identifier in ("list", "summary") and args.device is not None:
+    if identifier in ("list", "summary", "info") and args.device is not None:
         parser.error(f"{identifier!r} does not support --device")
+    if identifier in ("list", "info") and (args.trace or args.metrics_out or args.progress):
+        parser.error(f"{identifier!r} does not support --trace/--metrics-out/--progress")
     if args.device == "gpu" and args.workers is not None and args.workers > 1:
         parser.error(
             "--device gpu cannot be combined with --workers > 1 "
@@ -141,8 +256,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if identifier == "list":
         _print_experiment_list()
         return 0
+    if identifier == "info":
+        info = _run_info()
+        if args.output:
+            save_json(info, args.output)
+        return 0
     if identifier == "summary":
-        summary = _run_summary(args.smoke)
+        tracing = (
+            observe(trace_path=args.trace, metrics_path=args.metrics_out)
+            if (args.trace or args.metrics_out)
+            else nullcontext()
+        )
+        progress = use_progress_sink(PrintProgressSink()) if args.progress else nullcontext()
+        with tracing, progress:
+            summary = _run_summary(args.smoke)
         if args.output:
             save_json(summary, args.output)
         return 0
@@ -164,9 +291,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(f"experiment {spec.identifier!r} does not support --bisect")
         config = dataclasses.replace(config, bisect=True)
 
-    start = time.time()
-    result = spec.runner(config)
-    elapsed = time.time() - start
+    tracing = (
+        observe(trace_path=args.trace, metrics_path=args.metrics_out)
+        if (args.trace or args.metrics_out)
+        else nullcontext()
+    )
+    progress = use_progress_sink(PrintProgressSink()) if args.progress else nullcontext()
+    watch = Stopwatch()
+    with tracing, progress:
+        result = spec.runner(config)
+    elapsed = watch.seconds
 
     if hasattr(result, "report"):
         print(result.report())
@@ -177,6 +311,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.output:
         save_json(to_jsonable(result), args.output)
         print(f"result written to {args.output}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if args.metrics_out:
+        print(f"metrics report written to {args.metrics_out}")
     return 0
 
 

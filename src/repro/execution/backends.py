@@ -38,6 +38,34 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, List, Optional, Protocol, Sequence, Union, runtime_checkable
 
 from ..arrays import available_array_backends, get_array_backend, use_array_backend
+from ..observability.progress import emit_progress, progress_sink
+from ..observability.recorder import Stopwatch
+
+
+def _map_with_heartbeat(label: str, results: Iterator[Any], total: int) -> List[Any]:
+    """Gather ``results`` in order, emitting a progress record per task.
+
+    Backends call this only when a progress sink is installed (the
+    disabled path is the untouched list comprehension); ``results`` is a
+    lazy iterator, so each heartbeat fires as its task completes.
+    """
+    watch = Stopwatch()
+    gathered: List[Any] = []
+    for result in results:
+        gathered.append(result)
+        emit_progress(
+            "chunk", label=label, done=len(gathered), total=total, seconds=watch.seconds
+        )
+    return gathered
+
+
+def _gather_futures(futures: List[Any]) -> List[Any]:
+    """Collect futures in submission order (with heartbeats when sunk)."""
+    if progress_sink() is None:
+        return [future.result() for future in futures]
+    return _map_with_heartbeat(
+        "multiprocess", (future.result() for future in futures), len(futures)
+    )
 
 
 @runtime_checkable
@@ -67,7 +95,10 @@ class SerialBackend:
         return 1
 
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
-        return [fn(task) for task in tasks]
+        if progress_sink() is None:
+            return [fn(task) for task in tasks]
+        tasks = list(tasks)
+        return _map_with_heartbeat("serial", (fn(task) for task in tasks), len(tasks))
 
 
 def available_workers() -> int:
@@ -159,13 +190,15 @@ class MultiprocessBackend:
         tasks = list(tasks)
         max_workers = min(self.parallelism, len(tasks))
         if max_workers <= 1:
-            return [fn(task) for task in tasks]
+            if progress_sink() is None:
+                return [fn(task) for task in tasks]
+            return _map_with_heartbeat("multiprocess", (fn(task) for task in tasks), len(tasks))
         if self._executor is not None:
             futures = [self._executor.submit(fn, task) for task in tasks]
-            return [future.result() for future in futures]
+            return _gather_futures(futures)
         with ProcessPoolExecutor(max_workers=max_workers) as executor:
             futures = [executor.submit(fn, task) for task in tasks]
-            return [future.result() for future in futures]
+            return _gather_futures(futures)
 
 
 #: Environment knob selecting the array backend behind ``--device gpu``.
@@ -227,7 +260,10 @@ class GpuBackend:
 
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
         with use_array_backend(self.resolved_array_backend()):
-            return [fn(task) for task in tasks]
+            if progress_sink() is None:
+                return [fn(task) for task in tasks]
+            tasks = list(tasks)
+            return _map_with_heartbeat("gpu", (fn(task) for task in tasks), len(tasks))
 
 
 @contextmanager

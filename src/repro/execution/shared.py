@@ -27,6 +27,8 @@ from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
+from ..observability.recorder import active as _active_recorder
+
 try:  # pragma: no cover - import guard exercised only on exotic platforms
     from multiprocessing import shared_memory as _shared_memory
 except ImportError:  # pragma: no cover
@@ -360,7 +362,11 @@ def shared_network(backend, spnn) -> Iterator[object]:
     if not shared_memory_available() or not _backend_shards(backend):
         yield spnn
         return
-    handle = SharedNetwork.create(spnn)
+    with _active_recorder().span("shared/host_network") as span:
+        handle = SharedNetwork.create(spnn)
+        span.set("layers", len(handle.layer_states))
+        span.set("segments", len(tuple(handle.payload_arrays())))
+        span.set("bytes", sum(array.nbytes for array in handle.payload_arrays()))
     try:
         yield handle
     finally:
@@ -397,7 +403,9 @@ def shared_eval_arrays(backend, *arrays: np.ndarray) -> Iterator[Tuple[ArrayLike
     if not shared_memory_available() or not _backend_shards(backend):
         yield tuple(np.asarray(array) for array in arrays)
         return
-    handles = [SharedArray.create(np.asarray(array)) for array in arrays]
+    with _active_recorder().span("shared/host_arrays", segments=len(arrays)) as span:
+        handles = [SharedArray.create(np.asarray(array)) for array in arrays]
+        span.set("bytes", sum(handle.nbytes for handle in handles))
     try:
         yield tuple(handles)
     finally:

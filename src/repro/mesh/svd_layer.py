@@ -18,6 +18,7 @@ import numpy as np
 
 from ..arrays import active_array_backend
 from ..exceptions import ConfigurationError, DecompositionError, ShapeError
+from ..observability.recorder import active as _active_recorder
 from ..utils.linalg import svd_decompose
 from ..utils.validation import as_complex_array
 from .clements import clements_decompose, clements_phases
@@ -288,32 +289,40 @@ class PhotonicLinearLayer:
         is precisely the fallback :class:`repro.training.injector.NoiseInjector`
         implements.
         """
-        if self.scheme != "clements" or self._svd is None:
-            return False
-        weight = as_complex_array(weight, "weight")
-        if weight.shape != (self.out_features, self.in_features):
-            raise ShapeError(
-                f"weight must have shape {(self.out_features, self.in_features)}, got {weight.shape}"
-            )
-        u_prev, _, vh_prev = self._svd
-        core = u_prev.conj().T @ weight @ vh_prev.conj().T
-        try:
-            p, s, qh = np.linalg.svd(core, full_matrices=True)
-        except np.linalg.LinAlgError:  # pragma: no cover - LAPACK non-convergence
-            return False
-        u = u_prev @ p
-        vh = qh @ vh_prev
-        try:
-            self.mesh_u.retune(*clements_phases(u))
-            self.mesh_v.retune(*clements_phases(vh))
-            self.diagonal.retune(s)
-        except (DecompositionError, ConfigurationError):
-            return False
-        self.weight = weight.copy()
-        self._svd = (u, s, vh)
-        if self.reconstruction_error() > max_error:
-            return False
-        return True
+        with _active_recorder().span(
+            "mesh/retune", rows=self.out_features, cols=self.in_features
+        ) as span:
+            if self.scheme != "clements" or self._svd is None:
+                span.set("outcome", "not-warm-startable")
+                return False
+            weight = as_complex_array(weight, "weight")
+            if weight.shape != (self.out_features, self.in_features):
+                raise ShapeError(
+                    f"weight must have shape {(self.out_features, self.in_features)}, got {weight.shape}"
+                )
+            u_prev, _, vh_prev = self._svd
+            core = u_prev.conj().T @ weight @ vh_prev.conj().T
+            try:
+                p, s, qh = np.linalg.svd(core, full_matrices=True)
+            except np.linalg.LinAlgError:  # pragma: no cover - LAPACK non-convergence
+                span.set("outcome", "svd-failed")
+                return False
+            u = u_prev @ p
+            vh = qh @ vh_prev
+            try:
+                self.mesh_u.retune(*clements_phases(u))
+                self.mesh_v.retune(*clements_phases(vh))
+                self.diagonal.retune(s)
+            except (DecompositionError, ConfigurationError):
+                span.set("outcome", "retune-failed")
+                return False
+            self.weight = weight.copy()
+            self._svd = (u, s, vh)
+            if self.reconstruction_error() > max_error:
+                span.set("outcome", "validation-failed")
+                return False
+            span.set("outcome", "warm")
+            return True
 
     # ------------------------------------------------------------------ #
     # matrix evaluation

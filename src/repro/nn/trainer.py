@@ -14,6 +14,7 @@ import numpy as np
 
 from ..autograd.tensor import Tensor
 from ..exceptions import TrainingError
+from ..observability.progress import emit_epoch
 from ..utils.rng import RNGLike, ensure_rng
 from .losses import CrossEntropyLoss
 from .metrics import RunningAverage, TrainingHistory, top1_accuracy
@@ -118,6 +119,14 @@ class Trainer:
             for param in self.optimizer.parameters:
                 if param.grad is not None:
                     param.grad = param.grad * scale
+
+    def _progress_extra(self) -> dict:
+        """Extra fields for the structured per-epoch progress record.
+
+        Subclasses append what only they know — the noise-aware trainer
+        reports injector recompile counters and the scheduled sigma scale.
+        """
+        return {}
 
     def training_step(self, batch_x: np.ndarray, batch_y: np.ndarray) -> Tuple[Tensor, Tensor, np.ndarray]:
         """Forward pass + loss for one minibatch.
@@ -226,7 +235,19 @@ class Trainer:
                 message = f"epoch {epoch + 1:3d}: train loss {train_loss:.4f}, train acc {train_acc:.3f}"
                 if val_acc is not None:
                     message += f", val acc {val_acc:.3f}"
-                print(message)
+                # Without a progress sink this prints ``message`` verbatim
+                # (the historical behavior); with one, the structured record
+                # goes to the sink instead.
+                emit_epoch(
+                    message,
+                    epoch=epoch + 1,
+                    train_loss=float(train_loss),
+                    train_acc=float(train_acc),
+                    val_loss=None if val_loss is None else float(val_loss),
+                    val_acc=None if val_acc is None else float(val_acc),
+                    lr=getattr(self.optimizer, "lr", None),
+                    **self._progress_extra(),
+                )
             if not np.isfinite(train_loss):
                 raise TrainingError(f"training diverged at epoch {epoch + 1} (loss={train_loss})")
             if early_stop is not None and early_stop(self.history):

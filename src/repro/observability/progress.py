@@ -1,0 +1,113 @@
+"""Progress heartbeats: per-chunk completion lines and structured epochs.
+
+Long sweeps (thousands of Monte-Carlo chunks, hour-scale timeline sweeps)
+are silent by default.  This module adds an optional *sink*: when one is
+installed, execution backends emit a record per completed chunk and the
+trainer emits a structured record per logged epoch; when none is installed
+(the default) the only cost at each call site is one module-global read
+and a ``None`` check, and the trainer's legacy ``print`` behavior is
+preserved verbatim by :func:`emit_epoch`.
+
+Sinks receive plain dicts — keep them cheap; they run on the hot path of
+whatever they observe.  :class:`PrintProgressSink` renders human-oriented
+one-liners and backs the CLI ``--progress`` flag.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "ProgressSink",
+    "PrintProgressSink",
+    "progress_sink",
+    "set_progress_sink",
+    "use_progress_sink",
+    "emit_progress",
+    "emit_epoch",
+]
+
+
+class ProgressSink:
+    """Receives progress records; subclass and override :meth:`emit`."""
+
+    def emit(self, record: Dict[str, object]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class PrintProgressSink(ProgressSink):
+    """Renders progress records as single stdout lines (CLI ``--progress``)."""
+
+    def emit(self, record: Dict[str, object]) -> None:
+        kind = record.get("kind", "progress")
+        if kind == "chunk":
+            label = record.get("label") or "chunks"
+            print(
+                f"[progress] {label}: chunk {record.get('done', '?')}/{record.get('total', '?')}"
+                f" done ({float(record.get('seconds', 0.0)):.2f}s elapsed)"
+            )
+        elif kind == "epoch" and "message" in record:
+            print(f"[progress] {record['message']}")
+        else:
+            fields = " ".join(f"{key}={record[key]}" for key in sorted(record) if key != "kind")
+            print(f"[progress] {kind} {fields}".rstrip())
+
+
+#: The process's progress sink; ``None`` (default) disables heartbeats.
+_SINK: Optional[ProgressSink] = None
+
+
+def progress_sink() -> Optional[ProgressSink]:
+    """The installed sink, or ``None`` when progress reporting is off.
+
+    Hot-path call sites guard on this before building a record, so the
+    disabled path never allocates.
+    """
+    return _SINK
+
+
+def set_progress_sink(sink: Optional[ProgressSink]) -> None:
+    """Install ``sink`` process-wide (``None`` disables)."""
+    global _SINK
+    _SINK = sink
+
+
+@contextmanager
+def use_progress_sink(sink: Optional[ProgressSink]) -> Iterator[Optional[ProgressSink]]:
+    """Install ``sink`` for the duration of the block, then restore."""
+    global _SINK
+    previous = _SINK
+    _SINK = sink
+    try:
+        yield sink
+    finally:
+        _SINK = previous
+
+
+def emit_progress(kind: str, **fields) -> None:
+    """Send one progress record to the sink, if any."""
+    sink = _SINK
+    if sink is None:
+        return
+    record: Dict[str, object] = {"kind": kind}
+    record.update(fields)
+    sink.emit(record)
+
+
+def emit_epoch(message: str, **fields) -> None:
+    """Route a training-epoch log line through the sink.
+
+    Without a sink this prints ``message`` exactly as the trainer always
+    has — the default training output is byte-identical to the
+    pre-observability behavior.  With a sink installed, the structured
+    record (loss, accuracy, lr, recompile counters, ...) goes to the sink
+    instead and nothing is printed here.
+    """
+    sink = _SINK
+    if sink is None:
+        print(message)
+        return
+    record: Dict[str, object] = {"kind": "epoch", "message": message}
+    record.update(fields)
+    sink.emit(record)

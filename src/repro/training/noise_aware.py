@@ -40,6 +40,7 @@ from ..nn.losses import CrossEntropyLoss
 from ..nn.module import Module, Sequential
 from ..nn.optim import Optimizer
 from ..nn.trainer import Trainer, TrainerConfig
+from ..observability.recorder import active as _active_recorder
 from ..utils.rng import RNGLike
 from .injector import NoiseInjector
 from .schedule import PerturbationSchedule
@@ -193,23 +194,35 @@ class NoiseAwareTrainer(Trainer):
     def _weights(self) -> List[np.ndarray]:
         return [module.weight.data for module in self._linears]
 
+    def _progress_extra(self) -> dict:
+        return {
+            "sigma_scale": self.current_sigma_scale,
+            "exact_recompiles": self.injector.exact_recompiles,
+            "incremental_recompiles": self.injector.incremental_recompiles,
+        }
+
     def training_step(self, batch_x: np.ndarray, batch_y: np.ndarray):
         """Expected loss over ``K`` hardware-noise draws of this minibatch."""
-        offsets = self.injector.weight_offsets(self._weights(), self.current_sigma_scale)
-        if offsets is None:
-            # Scheduled-off epochs (e.g. the start of a ramp) fall back to
-            # the ordinary noise-free step.
-            return super().training_step(batch_x, batch_y)
-        outputs = forward_with_weight_offsets(self.model, batch_x, offsets)
-        draws, batch = outputs.shape[0], outputs.shape[1]
-        flat = outputs.reshape(draws * batch, outputs.shape[-1])
-        if self.workspace is not None:
-            tiled_targets = self.workspace.buffer("noise-aware/targets", (draws * batch,), np.int64)
-            tiled_targets.reshape(draws, batch)[:] = np.asarray(batch_y, dtype=np.int64)
-        else:
-            tiled_targets = np.tile(np.asarray(batch_y, dtype=np.int64), draws)
-        loss = self.loss_fn(flat, tiled_targets)
-        return loss, flat, tiled_targets
+        with _active_recorder().span(
+            "train/noise_step", epoch=self.epoch, batch=len(batch_y)
+        ) as span:
+            offsets = self.injector.weight_offsets(self._weights(), self.current_sigma_scale)
+            if offsets is None:
+                # Scheduled-off epochs (e.g. the start of a ramp) fall back to
+                # the ordinary noise-free step.
+                span.set("draws", 0)
+                return super().training_step(batch_x, batch_y)
+            outputs = forward_with_weight_offsets(self.model, batch_x, offsets)
+            draws, batch = outputs.shape[0], outputs.shape[1]
+            span.set("draws", int(draws))
+            flat = outputs.reshape(draws * batch, outputs.shape[-1])
+            if self.workspace is not None:
+                tiled_targets = self.workspace.buffer("noise-aware/targets", (draws * batch,), np.int64)
+                tiled_targets.reshape(draws, batch)[:] = np.asarray(batch_y, dtype=np.int64)
+            else:
+                tiled_targets = np.tile(np.asarray(batch_y, dtype=np.int64), draws)
+            loss = self.loss_fn(flat, tiled_targets)
+            return loss, flat, tiled_targets
 
 
 def make_noise_aware_trainer(

@@ -73,3 +73,100 @@ def test_yield_smoke_runs_with_workers(tmp_path, capsys):
     assert "max tolerable sigma" in out
     payload = json.loads(output.read_text())
     assert "estimates" in payload and "nominal_accuracy" in payload
+
+
+def test_info_command(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "spnn-repro environment diagnostics" in out
+    assert "platform" in out
+    assert "cpus available" in out
+    assert "array backend" in out
+    assert "sweep kernel" in out
+    assert "numpy" in out
+
+
+def test_info_writes_json(tmp_path, capsys):
+    output = tmp_path / "info.json"
+    assert main(["info", "--output", str(output)]) == 0
+    capsys.readouterr()
+    payload = json.loads(output.read_text())
+    assert payload["cpus_available"] >= 1
+    assert payload["array_backends"]["numpy"]["available"] is True
+    assert "looped" in payload["sweep_kernels"]
+    for entry in payload["sweep_kernels"].values():
+        assert entry["available"] == (entry["reason"] is None)
+
+
+def test_info_rejects_run_only_flags(capsys):
+    with pytest.raises(SystemExit):
+        main(["info", "--workers", "2"])
+    assert "does not support --workers" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["info", "--trace", "t.jsonl"])
+    assert "does not support --trace" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["list", "--progress"])
+    assert "does not support --trace" in capsys.readouterr().err
+
+
+def test_yield_smoke_with_trace_and_metrics(tmp_path, capsys):
+    """End-to-end: traced sharded yield sweep writes trace + metrics files."""
+    from repro.observability import MetricsReport, read_trace
+
+    trace = tmp_path / "trace.jsonl"
+    metrics = tmp_path / "metrics.json"
+    assert (
+        main(
+            [
+                "yield", "--smoke", "--iterations", "4", "--workers", "2",
+                "--trace", str(trace), "--metrics-out", str(metrics),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Yield sweep" in out
+    assert f"trace written to {trace}" in out
+    assert f"metrics report written to {metrics}" in out
+
+    records = read_trace(str(trace))
+    kinds = {record["type"] for record in records}
+    assert {"meta", "span", "frame"} <= kinds
+    span_names = {r["name"] for r in records if r["type"] == "span"}
+    assert "yield/sweep" in span_names
+
+    report = MetricsReport.load(str(metrics))
+    assert any(entry["name"] == "yield/sweep" for entry in report.spans)
+    schedule = report.chunk_schedule(label="yield")
+    assert schedule, "the traced sweep must record its chunk frames"
+    # The frames reconstruct the planned contiguous chunking exactly.
+    position = 0
+    for start, count in schedule:
+        assert start == position and count >= 1
+        position += count
+
+
+def test_progress_flag_prints_heartbeats(capsys):
+    assert main(["exp1", "--smoke", "--iterations", "4", "--progress"]) == 0
+    out = capsys.readouterr().out
+    assert "[progress]" in out
+    assert "chunk" in out
+
+
+def test_trace_does_not_change_results(tmp_path, capsys):
+    """ISSUE invariant at the CLI surface: --trace output == untraced output."""
+    plain = tmp_path / "plain.json"
+    traced = tmp_path / "traced.json"
+    assert main(["exp1", "--smoke", "--iterations", "4", "--output", str(plain)]) == 0
+    assert (
+        main(
+            [
+                "exp1", "--smoke", "--iterations", "4",
+                "--output", str(traced), "--trace", str(tmp_path / "t.jsonl"),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert json.loads(plain.read_text()) == json.loads(traced.read_text())

@@ -1,0 +1,206 @@
+"""Progress heartbeats: sinks, backend chunk records, trainer epoch routing."""
+
+import numpy as np
+import pytest
+
+from repro.execution.backends import MultiprocessBackend, SerialBackend
+from repro.observability.progress import (
+    PrintProgressSink,
+    ProgressSink,
+    emit_epoch,
+    emit_progress,
+    progress_sink,
+    set_progress_sink,
+    use_progress_sink,
+)
+
+
+class RecordingSink(ProgressSink):
+    def __init__(self):
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(record)
+
+
+def _double(value):
+    return value * 2
+
+
+class TestSinkManagement:
+    def test_no_sink_by_default(self):
+        assert progress_sink() is None
+
+    def test_use_progress_sink_installs_and_restores(self):
+        sink = RecordingSink()
+        with use_progress_sink(sink) as installed:
+            assert installed is sink
+            assert progress_sink() is sink
+        assert progress_sink() is None
+
+    def test_set_progress_sink_process_wide(self):
+        sink = RecordingSink()
+        set_progress_sink(sink)
+        try:
+            assert progress_sink() is sink
+        finally:
+            set_progress_sink(None)
+        assert progress_sink() is None
+
+    def test_emit_progress_without_sink_is_silent(self, capsys):
+        emit_progress("chunk", done=1, total=2)
+        assert capsys.readouterr().out == ""
+
+    def test_emit_progress_builds_record(self):
+        sink = RecordingSink()
+        with use_progress_sink(sink):
+            emit_progress("chunk", label="mc", done=1, total=4, seconds=0.5)
+        assert sink.records == [
+            {"kind": "chunk", "label": "mc", "done": 1, "total": 4, "seconds": 0.5}
+        ]
+
+
+class TestEmitEpoch:
+    def test_without_sink_prints_message_verbatim(self, capsys):
+        """The trainer's historical log line is byte-identical without a sink."""
+        emit_epoch("epoch   3: train loss 0.1234, train acc 0.900", epoch=3)
+        assert capsys.readouterr().out == "epoch   3: train loss 0.1234, train acc 0.900\n"
+
+    def test_with_sink_routes_structured_record_and_prints_nothing(self, capsys):
+        sink = RecordingSink()
+        with use_progress_sink(sink):
+            emit_epoch("epoch 1: ...", epoch=1, train_loss=0.5)
+        assert capsys.readouterr().out == ""
+        (record,) = sink.records
+        assert record["kind"] == "epoch"
+        assert record["message"] == "epoch 1: ..."
+        assert record["train_loss"] == 0.5
+
+
+class TestPrintProgressSink:
+    def test_chunk_record_renders_one_line(self, capsys):
+        PrintProgressSink().emit(
+            {"kind": "chunk", "label": "yield", "done": 2, "total": 8, "seconds": 1.234}
+        )
+        assert capsys.readouterr().out == "[progress] yield: chunk 2/8 done (1.23s elapsed)\n"
+
+    def test_epoch_record_renders_message(self, capsys):
+        PrintProgressSink().emit({"kind": "epoch", "message": "epoch 1: loss 0.5"})
+        assert capsys.readouterr().out == "[progress] epoch 1: loss 0.5\n"
+
+    def test_unknown_record_renders_sorted_fields(self, capsys):
+        PrintProgressSink().emit({"kind": "custom", "b": 2, "a": 1})
+        assert capsys.readouterr().out == "[progress] custom a=1 b=2\n"
+
+
+class TestBackendHeartbeats:
+    def test_serial_backend_emits_one_record_per_task(self):
+        sink = RecordingSink()
+        with use_progress_sink(sink):
+            results = SerialBackend().map(_double, [1, 2, 3])
+        assert results == [2, 4, 6]
+        assert [record["done"] for record in sink.records] == [1, 2, 3]
+        assert all(record["kind"] == "chunk" for record in sink.records)
+        assert all(record["total"] == 3 for record in sink.records)
+        assert all(record["label"] == "serial" for record in sink.records)
+
+    def test_serial_backend_silent_without_sink(self, capsys):
+        assert SerialBackend().map(_double, [1, 2]) == [2, 4]
+        assert capsys.readouterr().out == ""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_multiprocess_backend_emits_heartbeats(self, workers):
+        sink = RecordingSink()
+        with use_progress_sink(sink):
+            results = MultiprocessBackend(workers=workers).map(_double, [1, 2, 3, 4])
+        assert results == [2, 4, 6, 8]
+        assert [record["done"] for record in sink.records] == [1, 2, 3, 4]
+        assert all(record["label"] == "multiprocess" for record in sink.records)
+
+    def test_persistent_pool_emits_heartbeats(self):
+        sink = RecordingSink()
+        with MultiprocessBackend(workers=2) as backend:
+            with use_progress_sink(sink):
+                results = backend.map(_double, [5, 6])
+        assert results == [10, 12]
+        assert [record["done"] for record in sink.records] == [1, 2]
+
+    def test_heartbeats_do_not_change_results(self):
+        sink = RecordingSink()
+        plain = SerialBackend().map(_double, list(range(10)))
+        with use_progress_sink(sink):
+            sunk = SerialBackend().map(_double, list(range(10)))
+        assert plain == sunk
+
+
+class TestTrainerEpochRouting:
+    def _fit(self, log_every):
+        from repro.nn.activations import LogSoftmax, Modulus
+        from repro.nn.layers import ComplexLinear
+        from repro.nn.module import Sequential
+        from repro.nn.optim import SGD
+        from repro.nn.trainer import Trainer, TrainerConfig
+
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((32, 4))
+        targets = rng.integers(0, 3, size=32)
+        model = Sequential(ComplexLinear(4, 3, rng=1), Modulus(), LogSoftmax())
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=0.01),
+            config=TrainerConfig(epochs=2, batch_size=16, log_every=log_every),
+            rng=0,
+        )
+        trainer.fit(features, targets)
+
+    def test_default_logging_prints_legacy_lines(self, capsys):
+        self._fit(log_every=1)
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("epoch   1: train loss ")
+        assert ", train acc " in lines[0]
+
+    def test_sink_receives_structured_epoch_records(self, capsys):
+        sink = RecordingSink()
+        with use_progress_sink(sink):
+            self._fit(log_every=1)
+        assert capsys.readouterr().out == ""
+        assert [record["epoch"] for record in sink.records] == [1, 2]
+        for record in sink.records:
+            assert record["kind"] == "epoch"
+            assert isinstance(record["train_loss"], float)
+            assert isinstance(record["train_acc"], float)
+            assert record["val_loss"] is None
+
+    def test_noise_aware_trainer_reports_progress_extra(self):
+        from repro.nn.activations import LogSoftmax, Modulus
+        from repro.nn.layers import ComplexLinear
+        from repro.nn.losses import CrossEntropyLoss
+        from repro.nn.module import Sequential
+        from repro.nn.optim import Adam
+        from repro.nn.trainer import TrainerConfig
+        from repro.training.injector import NoiseInjector
+        from repro.training.noise_aware import NoiseAwareTrainer
+        from repro.variation import UncertaintyModel
+
+        rng = np.random.default_rng(1)
+        features = rng.standard_normal((32, 4))
+        targets = rng.integers(0, 3, size=32)
+        model = Sequential(ComplexLinear(4, 3, rng=2), Modulus(), LogSoftmax())
+        trainer = NoiseAwareTrainer(
+            model,
+            Adam(model.parameters(), lr=0.01),
+            NoiseInjector(UncertaintyModel.both(0.01), draws=2, recompile_every=2, rng=3),
+            loss_fn=CrossEntropyLoss(from_log_probs=True),
+            config=TrainerConfig(epochs=2, batch_size=16, log_every=1),
+            rng=0,
+        )
+        sink = RecordingSink()
+        with use_progress_sink(sink):
+            trainer.fit(features, targets)
+        assert len(sink.records) == 2
+        for record in sink.records:
+            assert record["sigma_scale"] == 1.0
+            assert record["exact_recompiles"] >= 1
+            assert "incremental_recompiles" in record

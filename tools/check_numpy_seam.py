@@ -42,6 +42,16 @@ NUMPY_FREE_MODULES: Tuple[str, ...] = (
     # host-only accelerator glue that legitimately imports numpy and is
     # deliberately outside both lists.
     "repro/arrays/sweep.py",
+    # The observability package: imported by the numpy-free kernel
+    # registry (dispatch metrics) and by worker processes (chunk frames);
+    # telemetry must never drag a host array library in, and only ever
+    # touches array metadata (nbytes), never contents.
+    "repro/observability/__init__.py",
+    "repro/observability/dispatch.py",
+    "repro/observability/frames.py",
+    "repro/observability/progress.py",
+    "repro/observability/recorder.py",
+    "repro/observability/report.py",
 )
 
 #: Core numerics modules riding on the array seam (rule 2).
