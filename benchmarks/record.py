@@ -1,4 +1,4 @@
-"""Record the performance trajectory: run key scenarios, write ``BENCH_pr7.json``.
+"""Record the performance trajectory: run key scenarios, write ``BENCH_pr9.json``.
 
 The benchmark suite asserts floors; this script *records* the measured
 numbers so the repo carries its own perf history.  It times the load-bearing
@@ -7,15 +7,17 @@ scenarios of the current optimization work — the noise-aware training step
 vs. looped Monte Carlo engine, the per-chunk payload of the shared-memory
 network hosting and of the compact stream recipes, the drift timeline sweep
 with its warm re-null price, the device-resident engine behind
-``--device gpu``, and the fused mesh column-sweep megakernel against the
-looped reference — and writes one JSON artifact with per-scenario timings
+``--device gpu``, the fused mesh column-sweep megakernel against the looped
+reference, and the distributed fleet — a full round trip over a localhost
+2-worker fleet plus the cold-vs-warm transfer bytes of its spec-hash
+artifact cache — and writes one JSON artifact with per-scenario timings
 and ratios at the repo root.  CI uploads the file so every run of the
 pipeline leaves a comparable data point; compare artifacts across PRs with
 ``python benchmarks/trajectory.py`` (and gate them with ``--check``).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr7.json]
+    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr9.json]
 """
 
 from __future__ import annotations
@@ -43,7 +45,7 @@ from repro.onn.inference import monte_carlo_accuracy  # noqa: E402
 from repro.variation.models import UncertaintyModel  # noqa: E402
 
 #: Artifact label — bump per PR so the trajectory files line up with history.
-LABEL = "pr7"
+LABEL = "pr9"
 
 
 def _time(fn, repeats: int = 3) -> float:
@@ -263,6 +265,107 @@ def record_mesh_megakernel() -> dict:
     }
 
 
+def record_fleet_round_trip(config) -> dict:
+    """A Monte Carlo accuracy sweep over a localhost 2-worker fleet vs serial.
+
+    The number that matters here is not a speedup (a localhost fleet adds
+    socket hops to the same two cores ``--workers 2`` would use) but the
+    bit-identity flag and the absolute round-trip price of the distributed
+    path: coordinator bind, worker dial-in, dehydrated chunks out, samples
+    back in task order.
+    """
+    from repro.execution.fleet import local_fleet
+
+    task = build_trained_spnn(config.training)
+    features = task.test_features[:64]
+    labels = task.test_labels[:64]
+    model = UncertaintyModel.both(0.01)
+    kwargs = dict(iterations=200, rng=7)
+    start = time.perf_counter()
+    serial_samples = monte_carlo_accuracy(task.spnn, features, labels, model, **kwargs)
+    serial_seconds = time.perf_counter() - start
+    with local_fleet(workers=2) as fleet:
+        start = time.perf_counter()
+        fleet_samples = monte_carlo_accuracy(
+            task.spnn, features, labels, model, backend=fleet, **kwargs
+        )
+        fleet_seconds = time.perf_counter() - start
+        workers = fleet.server.worker_count
+    return {
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "seconds": fleet_seconds,
+        "bit_identical_to_serial": bool(np.array_equal(fleet_samples, serial_samples)),
+    }
+
+
+def record_artifact_cache_hit(config) -> dict:
+    """Cold vs. warm transfer bytes for a repeat request on one fleet.
+
+    The cold request pushes the content-addressed blobs (the pickled trial
+    with its compiled network parameters and eval arrays) to each worker
+    link; a warm repeat of the same spec ships only digests and seed
+    recipes.  ``reduction`` is total cold wire bytes over warm wire bytes
+    — the headline the trajectory gate holds at >= 3x.
+    ``stream_floor_headroom`` checks the ISSUE's payload bound the same
+    way the tests do: warm per-chunk task bytes must stay within 2x of
+    what a bare ``(start, TrialRef, StreamSlice)`` chunk task pickles to,
+    so the ratio ``2 * floor / per_chunk`` must stay >= 1.
+    """
+    import pickle
+
+    from repro.execution.fleet import TrialRef, local_fleet
+    from repro.utils.rng import StreamSlice, spawn_rngs
+
+    task = build_trained_spnn(config.training)
+    features = task.test_features[:64]
+    labels = task.test_labels[:64]
+    model = UncertaintyModel.both(0.01)
+    kwargs = dict(iterations=200, rng=7)
+
+    def wire_bytes(entry: dict) -> int:
+        return entry["task_bytes"] + entry["fn_bytes"] + entry["artifact_bytes"]
+
+    with local_fleet(workers=2) as fleet:
+        cold_samples = monte_carlo_accuracy(
+            task.spnn, features, labels, model, backend=fleet, **kwargs
+        )
+        cold_bytes = sum(wire_bytes(entry) for entry in fleet.request_log)
+        cold_artifact_bytes = sum(
+            entry["artifact_bytes"] for entry in fleet.request_log
+        )
+        warm = fleet.request_log[-1]
+        for _ in range(4):  # links warm lazily; a couple of repeats saturate
+            warm_samples = monte_carlo_accuracy(
+                task.spnn, features, labels, model, backend=fleet, **kwargs
+            )
+            warm = fleet.request_log[-1]
+            if warm["artifact_bytes"] == 0:
+                break
+        matches = bool(np.array_equal(cold_samples, warm_samples))
+    warm_bytes = wire_bytes(warm)
+    per_chunk = warm["task_bytes"] / warm["tasks"]
+    recipe = StreamSlice.from_generators(
+        tuple(spawn_rngs(np.random.default_rng(0), kwargs["iterations"])),
+        trust_fresh=True,
+    )
+    floor = len(
+        pickle.dumps((0, TrialRef("0" * 32), recipe), protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    return {
+        "workers": 2,
+        "cold_bytes": cold_bytes,
+        "cold_artifact_bytes": cold_artifact_bytes,
+        "warm_bytes": warm_bytes,
+        "warm_artifact_bytes": warm["artifact_bytes"],
+        "reduction": cold_bytes / warm_bytes,
+        "stream_slice_floor_bytes": floor,
+        "warm_task_bytes_per_chunk": per_chunk,
+        "stream_floor_headroom": (2 * floor) / per_chunk,
+        "cold_and_warm_match": matches,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -304,6 +407,10 @@ def main(argv=None) -> int:
     scenarios["device_engine"] = record_device_engine(config)
     print("recording mesh megakernel sweep ...")
     scenarios["mesh_megakernel"] = record_mesh_megakernel()
+    print("recording fleet round trip ...")
+    scenarios["fleet_round_trip"] = record_fleet_round_trip(config)
+    print("recording artifact cache hit ...")
+    scenarios["artifact_cache_hit"] = record_artifact_cache_hit(config)
 
     report = {
         "schema": 1,

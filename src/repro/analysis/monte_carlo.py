@@ -144,11 +144,14 @@ def chunk_stream_payload(
     the pickled task no longer carries one generator per realization; the
     worker rebuilds bit-identical generators from the seed material.
     Inline backends keep the materialized generators — nothing is pickled,
-    so rebuilding them would be pure waste.  Either way the evaluated
-    streams are exactly the spawned children.
+    so rebuilding them would be pure waste.  A backend marked ``remote``
+    (the fleet) always compresses, whatever its parallelism: even a
+    one-worker fleet crosses a socket, so the recipe is the payload that
+    should travel.  Either way the evaluated streams are exactly the
+    spawned children.
     """
     generators = tuple(generators)
-    if backend.parallelism <= 1:
+    if backend.parallelism <= 1 and not getattr(backend, "remote", False):
         return generators
     compact = StreamSlice.from_generators(generators, trust_fresh=True)
     return compact if compact is not None else generators

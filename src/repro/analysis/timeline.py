@@ -36,8 +36,8 @@ from ..observability import map_chunks
 from ..observability.recorder import active as _active_recorder
 from ..execution.shared import (
     ArrayLike,
-    SharedArray,
-    SharedNetwork,
+    is_hosted_array,
+    is_hosted_network,
     resolve_array,
     resolve_network,
     shared_eval_arrays,
@@ -309,14 +309,14 @@ def timeline_sweep(
     )
     generators = spawn_rngs(rng, timelines)
     resolved = resolve_backend(backend, workers, device)
-    already_shared = isinstance(features, SharedArray) or isinstance(labels, SharedArray)
+    already_hosted = is_hosted_array(features) or is_hosted_array(labels)
     hosting = (
         nullcontext((features, labels))
-        if already_shared
+        if already_hosted
         else shared_eval_arrays(resolved, features, labels)
     )
     network_hosting = (
-        nullcontext(spnn) if isinstance(spnn, SharedNetwork) else shared_network(resolved, spnn)
+        nullcontext(spnn) if is_hosted_network(spnn) else shared_network(resolved, spnn)
     )
     accuracy = np.empty((timelines, num_steps), dtype=np.float64)
     events = np.zeros((timelines, num_steps), dtype=bool)
@@ -410,14 +410,14 @@ def timeline_sweep_multi(
     )
     model_streams = spawn_rngs(rng, len(models))
     resolved = resolve_backend(backend, workers, device)
-    already_shared = isinstance(features, SharedArray) or isinstance(labels, SharedArray)
+    already_hosted = is_hosted_array(features) or is_hosted_array(labels)
     hosting = (
         nullcontext((features, labels))
-        if already_shared
+        if already_hosted
         else shared_eval_arrays(resolved, features, labels)
     )
     network_hosting = (
-        nullcontext(spnn) if isinstance(spnn, SharedNetwork) else shared_network(resolved, spnn)
+        nullcontext(spnn) if is_hosted_network(spnn) else shared_network(resolved, spnn)
     )
     accuracy = np.empty((len(models) * timelines, num_steps), dtype=np.float64)
     events = np.zeros((len(models) * timelines, num_steps), dtype=bool)

@@ -26,8 +26,8 @@ from ..execution import BackendLike, pool_scope, resolve_backend
 from ..observability import map_chunks
 from ..observability.recorder import active as _active_recorder
 from ..execution.shared import (
-    SharedArray,
-    SharedNetwork,
+    is_hosted_array,
+    is_hosted_network,
     resolve_array,
     resolve_network,
     shared_eval_arrays,
@@ -406,14 +406,14 @@ def yield_sweep(
     # per worker, not once per chunk — the per-chunk payload shrinks to the
     # perturbation draws.
     resolved = resolve_backend(backend, workers, device)
-    already_shared = isinstance(features, SharedArray) or isinstance(labels, SharedArray)
+    already_hosted = is_hosted_array(features) or is_hosted_array(labels)
     hosting = (
         nullcontext((features, labels))
-        if already_shared
+        if already_hosted
         else shared_eval_arrays(resolved, features, labels)
     )
     network_hosting = (
-        nullcontext(spnn) if isinstance(spnn, SharedNetwork) else shared_network(resolved, spnn)
+        nullcontext(spnn) if is_hosted_network(spnn) else shared_network(resolved, spnn)
     )
     sweep_span = _active_recorder().span(
         "yield/sweep",
@@ -595,14 +595,14 @@ def bisect_max_tolerable_sigma(
     )
 
     resolved = resolve_backend(backend, workers, device)
-    already_shared = isinstance(features, SharedArray) or isinstance(labels, SharedArray)
+    already_hosted = is_hosted_array(features) or is_hosted_array(labels)
     hosting = (
         nullcontext((features, labels))
-        if already_shared
+        if already_hosted
         else shared_eval_arrays(resolved, features, labels)
     )
     network_hosting = (
-        nullcontext(spnn) if isinstance(spnn, SharedNetwork) else shared_network(resolved, spnn)
+        nullcontext(spnn) if is_hosted_network(spnn) else shared_network(resolved, spnn)
     )
     bisect_span = _active_recorder().span(
         "yield/bisect",

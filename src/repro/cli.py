@@ -16,11 +16,18 @@ Examples
     spnn-repro robust --smoke     # noise-aware training vs baseline (EXP 3)
     spnn-repro drift --smoke      # temporal drift + recalibration (EXP 4)
     spnn-repro summary            # hardware inventory (1374 phase shifters)
+    spnn-repro worker --connect HOST:PORT   # join a sweep fleet as a worker
+    spnn-repro yield --smoke --backend fleet --workers 2   # run on the fleet
 
 ``--workers N`` shards the Monte Carlo realizations of the supporting
 experiments across N worker processes; the samples are bit-identical to the
 serial run at the same seed (the child RNG streams are spawned before any
 scheduling), so the flag only changes wall-clock time, never results.
+
+``--backend fleet`` (optionally with ``--fleet HOST:PORT`` to pick the
+coordinator's bind address) schedules the same chunks over persistent
+network workers started with ``spnn-repro worker --connect``; results stay
+bit-identical for any fleet size and cache state.
 """
 
 from __future__ import annotations
@@ -66,9 +73,12 @@ def _run_info() -> dict:
     """
     import platform
 
+    import socket
+
     from .arrays.namespace import array_backend_names, available_array_backends, get_array_backend
     from .arrays.sweep import SWEEP_KERNEL_ENV, available_sweep_kernels, get_sweep_kernel, sweep_kernel_names
     from .execution.backends import GPU_ARRAY_BACKEND_ENV, available_workers
+    from .execution.fleet import FLEET_ADDRESS_ENV, artifact_store, default_fleet_address, parse_address
     from .observability import TRACE_ENV
 
     info: dict = {
@@ -93,7 +103,25 @@ def _run_info() -> dict:
             "reason": kernel.unavailable_reason(),
         }
     info["sweep_kernels"] = kernels
-    overrides = (SWEEP_KERNEL_ENV, TRACE_ENV, GPU_ARRAY_BACKEND_ENV)
+    # Fleet diagnostics: can the coordinator's transport actually bind the
+    # configured address, and what does the process artifact cache hold?
+    fleet_address = default_fleet_address()
+    try:
+        host, port = parse_address(fleet_address)
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+            probe.bind((host, port))
+        bindable, bind_error = True, None
+    except OSError as error:
+        bindable, bind_error = False, f"{type(error).__name__}: {error}"
+    except ValueError as error:
+        bindable, bind_error = False, str(error)
+    info["fleet"] = {
+        "coordinator_address": fleet_address,
+        "transport_bindable": bindable,
+        "transport_error": bind_error,
+        "artifact_cache": artifact_store().stats(),
+    }
+    overrides = (SWEEP_KERNEL_ENV, TRACE_ENV, GPU_ARRAY_BACKEND_ENV, FLEET_ADDRESS_ENV)
     info["env_overrides"] = {
         variable: os.environ[variable] for variable in overrides if os.environ.get(variable)
     }
@@ -130,6 +158,24 @@ def _run_info() -> dict:
             ],
         )
     )
+    cache = info["fleet"]["artifact_cache"]
+    print(
+        format_table(
+            ["fleet", "value"],
+            [
+                ["coordinator address", info["fleet"]["coordinator_address"]],
+                [
+                    "transport bindable",
+                    "yes" if bindable else f"no ({bind_error})",
+                ],
+                [
+                    "artifact cache",
+                    f"{cache['entries']} entries, {cache['bytes']} bytes "
+                    f"({cache['hits']} hits, {cache['misses']} misses)",
+                ],
+            ],
+        )
+    )
     print()
     if info["env_overrides"]:
         print(
@@ -159,7 +205,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (fig2, fig3, exp1, exp2, exp3/robust, yield, "
-            "drift/exp4, baseline), 'summary', 'info' or 'list'"
+            "drift/exp4, baseline), 'summary', 'info', 'list' or 'worker' "
+            "(join a sweep fleet; requires --connect)"
         ),
     )
     parser.add_argument(
@@ -231,7 +278,71 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a heartbeat line as each scheduled chunk group completes",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "multiprocess", "gpu", "fleet"],
+        default=None,
+        help=(
+            "execution backend for the Monte Carlo chunks; 'fleet' schedules "
+            "over persistent network workers (started with "
+            "'spnn-repro worker --connect'), with --workers as the minimum "
+            "fleet size to wait for"
+        ),
+    )
+    parser.add_argument(
+        "--fleet",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "bind the fleet coordinator at this address (implies "
+            "--backend fleet; default: REPRO_FLEET_ADDRESS or 127.0.0.1:0)"
+        ),
+    )
+    parser.add_argument(
+        "--connect",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="('worker' only) the fleet coordinator address to serve chunks for",
+    )
     return parser
+
+
+def _run_worker(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """``spnn-repro worker --connect HOST:PORT`` — serve a fleet until EOF."""
+    if not args.connect:
+        parser.error("'worker' requires --connect HOST:PORT (the coordinator address)")
+    for flag, name in (
+        (args.workers, "--workers"), (args.device, "--device"),
+        (args.bisect, "--bisect"), (args.iterations, "--iterations"),
+        (args.backend, "--backend"), (args.fleet, "--fleet"),
+        (args.trace, "--trace"), (args.metrics_out, "--metrics-out"),
+    ):
+        if flag:
+            parser.error(f"'worker' does not support {name}")
+    from .execution.fleet import run_worker
+
+    print(f"[worker] pid {os.getpid()} connecting to {args.connect}", flush=True)
+    chunks = run_worker(args.connect)
+    print(f"[worker] coordinator gone; served {chunks} chunk(s)")
+    return 0
+
+
+def _fleet_backend(args: argparse.Namespace):
+    """Build the :class:`FleetBackend` behind ``--backend fleet``/``--fleet``."""
+    from .execution.fleet import FleetBackend
+
+    backend = FleetBackend(
+        address=args.fleet,  # None falls back to REPRO_FLEET_ADDRESS / 127.0.0.1:0
+        min_workers=args.workers if args.workers is not None else 1,
+    )
+    print(
+        f"[fleet] coordinator listening at {backend.address} — start workers "
+        f"with: spnn-repro worker --connect {backend.address}",
+        flush=True,
+    )
+    return backend
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -240,12 +351,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     identifier = args.experiment.lower()
+    if identifier == "worker":
+        return _run_worker(parser, args)
+    if args.connect is not None:
+        parser.error("--connect only applies to the 'worker' command")
+    if args.fleet is not None and args.backend is None:
+        args.backend = "fleet"
+    if args.fleet is not None and args.backend != "fleet":
+        parser.error("--fleet only applies to --backend fleet")
     if identifier in ("list", "summary", "info") and args.workers is not None:
         parser.error(f"{identifier!r} does not support --workers")
     if identifier in ("list", "summary", "info") and args.bisect:
         parser.error(f"{identifier!r} does not support --bisect")
     if identifier in ("list", "summary", "info") and args.device is not None:
         parser.error(f"{identifier!r} does not support --device")
+    if identifier in ("list", "summary", "info") and args.backend is not None:
+        parser.error(f"{identifier!r} does not support --backend/--fleet")
     if identifier in ("list", "info") and (args.trace or args.metrics_out or args.progress):
         parser.error(f"{identifier!r} does not support --trace/--metrics-out/--progress")
     if args.device == "gpu" and args.workers is not None and args.workers > 1:
@@ -278,6 +399,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     config = spec.smoke_config if args.smoke else spec.default_config
     if args.iterations is not None and hasattr(config, "iterations"):
         config = dataclasses.replace(config, iterations=args.iterations)
+    if args.backend is not None:
+        if not hasattr(config, "backend"):
+            parser.error(f"experiment {spec.identifier!r} does not support --backend")
+        if args.device is not None:
+            parser.error("--backend cannot be combined with --device (the backend already decided)")
+        if args.backend == "fleet":
+            # --workers becomes the minimum fleet size (inside the backend
+            # instance) rather than a config knob: resolve_backend forbids
+            # combining a Backend instance with a separate workers count.
+            config = dataclasses.replace(config, backend=_fleet_backend(args))
+            args.workers = None
+        else:
+            config = dataclasses.replace(config, backend=args.backend)
     if args.workers is not None:
         if not hasattr(config, "workers"):
             parser.error(f"experiment {spec.identifier!r} does not support --workers")

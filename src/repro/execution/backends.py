@@ -7,11 +7,13 @@ still ran on a single NumPy thread.  This module factors the *scheduling* of
 that work out of :class:`~repro.analysis.monte_carlo.MonteCarloRunner` into
 a small backend protocol so the same experiment code can run
 
-* inline on the calling thread (:class:`SerialBackend`, the default), or
+* inline on the calling thread (:class:`SerialBackend`, the default),
 * sharded across worker processes (:class:`MultiprocessBackend`, stdlib
   :mod:`concurrent.futures`, no extra dependencies),
-
-with a GPU/drjit-style backend as the natural next implementation.
+* device-resident (:class:`GpuBackend`), or
+* across a persistent socket-connected worker fleet
+  (:class:`~repro.execution.fleet.FleetBackend`, stdlib sockets — see
+  :mod:`repro.execution.fleet`).
 
 **Determinism contract.**  A backend never creates randomness and never
 reorders results: it receives a list of self-contained task payloads (for
@@ -59,11 +61,23 @@ def _map_with_heartbeat(label: str, results: Iterator[Any], total: int) -> List[
     return gathered
 
 
+def gather_with_heartbeat(label: str, results: Iterator[Any], total: int) -> List[Any]:
+    """Drain a lazy result iterator in order, heartbeating when a sink is set.
+
+    The one gather loop every backend shares: with no progress sink the
+    results are drained as a plain list (zero overhead), with one a
+    ``chunk``-kind progress record fires per completed task under
+    ``label``.  ``results`` must already yield in task order — heartbeats
+    never reorder anything.
+    """
+    if progress_sink() is None:
+        return list(results)
+    return _map_with_heartbeat(label, results, total)
+
+
 def _gather_futures(futures: List[Any]) -> List[Any]:
     """Collect futures in submission order (with heartbeats when sunk)."""
-    if progress_sink() is None:
-        return [future.result() for future in futures]
-    return _map_with_heartbeat(
+    return gather_with_heartbeat(
         "multiprocess", (future.result() for future in futures), len(futures)
     )
 
@@ -95,10 +109,8 @@ class SerialBackend:
         return 1
 
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
-        if progress_sink() is None:
-            return [fn(task) for task in tasks]
         tasks = list(tasks)
-        return _map_with_heartbeat("serial", (fn(task) for task in tasks), len(tasks))
+        return gather_with_heartbeat("serial", (fn(task) for task in tasks), len(tasks))
 
 
 def available_workers() -> int:
@@ -190,9 +202,9 @@ class MultiprocessBackend:
         tasks = list(tasks)
         max_workers = min(self.parallelism, len(tasks))
         if max_workers <= 1:
-            if progress_sink() is None:
-                return [fn(task) for task in tasks]
-            return _map_with_heartbeat("multiprocess", (fn(task) for task in tasks), len(tasks))
+            return gather_with_heartbeat(
+                "multiprocess", (fn(task) for task in tasks), len(tasks)
+            )
         if self._executor is not None:
             futures = [self._executor.submit(fn, task) for task in tasks]
             return _gather_futures(futures)
@@ -260,10 +272,8 @@ class GpuBackend:
 
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
         with use_array_backend(self.resolved_array_backend()):
-            if progress_sink() is None:
-                return [fn(task) for task in tasks]
             tasks = list(tasks)
-            return _map_with_heartbeat("gpu", (fn(task) for task in tasks), len(tasks))
+            return gather_with_heartbeat("gpu", (fn(task) for task in tasks), len(tasks))
 
 
 @contextmanager
@@ -289,7 +299,7 @@ def pool_scope(backend: Backend) -> Iterator[Backend]:
 BackendLike = Union[None, str, Backend]
 
 #: Registered backend names (the strings accepted by :func:`resolve_backend`).
-BACKEND_NAMES = ("serial", "multiprocess", "gpu")
+BACKEND_NAMES = ("serial", "multiprocess", "gpu", "fleet")
 
 #: Devices accepted by the ``device`` knob (experiment configs and the CLI).
 DEVICE_NAMES = ("cpu", "gpu")
@@ -314,9 +324,11 @@ def resolve_backend(
     * ``None`` auto-selects: ``workers`` of ``None``/1 gives the serial
       backend, anything larger a multiprocess backend with that many
       workers,
-    * ``"serial"`` / ``"multiprocess"`` / ``"gpu"`` select explicitly;
-      ``workers`` is honored by the multiprocess backend and must be unset
-      or 1 otherwise.
+    * ``"serial"`` / ``"multiprocess"`` / ``"gpu"`` / ``"fleet"`` select
+      explicitly; ``workers`` is honored by the multiprocess backend (pool
+      size) and the fleet backend (minimum connected workers) and must be
+      unset or 1 otherwise.  The fleet coordinator binds the address in
+      ``REPRO_FLEET_ADDRESS`` (default ``127.0.0.1:0``).
     """
     if device is not None:
         name = str(device).lower()
@@ -354,4 +366,10 @@ def resolve_backend(
         if workers is not None and workers > 1:
             raise ValueError(f"the gpu backend cannot use {workers} workers")
         return GpuBackend()
+    if name == "fleet":
+        # Imported lazily: the fleet package imports observability (spans)
+        # and would otherwise create an import cycle through this module.
+        from .fleet import FleetBackend
+
+        return FleetBackend(min_workers=workers if workers is not None else 1)
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}")

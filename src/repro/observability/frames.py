@@ -29,11 +29,17 @@ from __future__ import annotations
 
 import os
 import pickle
+import platform
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
 from . import dispatch as _dispatch
 from . import recorder as _recorder
+
+#: The machine identity stamped on frames produced by this process.  With
+#: the fleet backend chunks evaluate on other machines, so ``worker`` (a
+#: pid) stopped being a unique identity — ``(host, pid)`` is.
+_HOST = platform.node() or "localhost"
 
 __all__ = [
     "ChunkFrame",
@@ -98,6 +104,7 @@ class ChunkFrame:
     result_bytes: int
     dispatches: List[KernelDispatch] = field(default_factory=list)
     index: int = -1
+    host: str = _HOST
 
     def to_record(self) -> dict:
         return {
@@ -108,6 +115,7 @@ class ChunkFrame:
             "count": self.count,
             "seconds": self.seconds,
             "worker": self.worker,
+            "host": self.host,
             "task_bytes": self.task_bytes,
             "result_bytes": self.result_bytes,
             "dispatches": [entry.to_record() for entry in self.dispatches],
@@ -125,6 +133,7 @@ class ChunkFrame:
             result_bytes=int(record.get("result_bytes", 0)),
             dispatches=[KernelDispatch.from_entry(entry) for entry in record.get("dispatches", ())],
             index=int(record.get("index", -1)),
+            host=str(record.get("host", "")),
         )
 
 

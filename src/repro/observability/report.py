@@ -33,11 +33,14 @@ class MetricsReport:
     ``kernels``  — per-``(kernel, backend, n, batch, columns)`` dispatch
     totals, parent-side and worker-side merged.
     ``chunks``   — the chunk schedule in merge (task) order:
-    ``{"label", "index", "start", "count", "worker", "seconds",
+    ``{"label", "index", "start", "count", "worker", "host", "seconds",
     "task_bytes", "result_bytes"}``.
-    ``workers``  — per-worker chunk counts and busy seconds.
+    ``workers``  — per-``(host, pid)`` chunk counts and busy seconds (with
+    the fleet backend chunks evaluate on other machines, so a pid alone is
+    not an identity).
     ``imbalance`` — max/mean worker busy time (1.0 = perfectly balanced),
-    ``None`` when no worker was busy.
+    ``None`` when no worker was busy.  :attr:`worker_imbalance` breaks the
+    same ratio out per host.
     """
 
     spans: List[dict] = field(default_factory=list)
@@ -81,6 +84,7 @@ class MetricsReport:
                         "start": int(record.get("start", -1)),
                         "count": int(record.get("count", 0)),
                         "worker": int(record.get("worker", -1)),
+                        "host": str(record.get("host", "")),
                         "seconds": float(record.get("seconds", 0.0)),
                         "task_bytes": int(record.get("task_bytes", 0)),
                         "result_bytes": int(record.get("result_bytes", 0)),
@@ -103,6 +107,19 @@ class MetricsReport:
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
+    @property
+    def worker_imbalance(self) -> Dict[str, Optional[float]]:
+        """Per-host max/mean busy-time ratio across that host's workers.
+
+        The fleet-era refinement of :attr:`imbalance`: with workers spread
+        over machines, a single global ratio conflates "one slow host" with
+        "one slow worker".  Hosts with no busy worker map to ``None``.
+        """
+        by_host: Dict[str, List[dict]] = {}
+        for entry in self.workers:
+            by_host.setdefault(str(entry.get("host", "")), []).append(entry)
+        return {host: _imbalance(entries) for host, entries in sorted(by_host.items())}
+
     def chunk_schedule(self, label: Optional[str] = None) -> List[tuple]:
         """``(start, count)`` pairs in merge order, optionally one label's.
 
@@ -186,25 +203,36 @@ class MetricsReport:
         if self.workers:
             lines.append("workers (chunks, busy seconds):")
             for entry in self.workers:
+                host = str(entry.get("host", "")) or "?"
                 lines.append(
-                    f"  pid {entry['worker']}: {entry['chunks']} chunks, {entry['seconds']:9.4f}s"
+                    f"  {host}/pid {entry['worker']}: "
+                    f"{entry['chunks']} chunks, {entry['seconds']:9.4f}s"
                 )
             if self.imbalance is not None:
                 lines.append(f"  imbalance (max/mean busy): {self.imbalance:.3f}")
+            per_host = {
+                host: ratio
+                for host, ratio in self.worker_imbalance.items()
+                if ratio is not None
+            }
+            if len(per_host) > 1 or (per_host and len(self.worker_imbalance) > 1):
+                for host, ratio in per_host.items():
+                    lines.append(f"    {host or '?'}: imbalance {ratio:.3f}")
         if not lines:
             lines.append("(empty trace)")
         return "\n".join(lines)
 
 
 def _worker_table(chunks: List[dict]) -> List[dict]:
-    totals: Dict[int, List[float]] = {}
+    totals: Dict[tuple, List[float]] = {}
     for chunk in chunks:
-        entry = totals.setdefault(int(chunk["worker"]), [0, 0.0])
+        key = (str(chunk.get("host", "")), int(chunk["worker"]))
+        entry = totals.setdefault(key, [0, 0.0])
         entry[0] += 1
         entry[1] += float(chunk["seconds"])
     return [
-        {"worker": worker, "chunks": int(count), "seconds": float(seconds)}
-        for worker, (count, seconds) in sorted(totals.items())
+        {"host": host, "worker": worker, "chunks": int(count), "seconds": float(seconds)}
+        for (host, worker), (count, seconds) in sorted(totals.items())
     ]
 
 

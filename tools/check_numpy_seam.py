@@ -52,6 +52,16 @@ NUMPY_FREE_MODULES: Tuple[str, ...] = (
     "repro/observability/progress.py",
     "repro/observability/recorder.py",
     "repro/observability/report.py",
+    # The fleet transport/coordination layer moves opaque pickled payloads
+    # between processes; it reads array metadata (nbytes, dtype.str) for
+    # hashing and accounting but must never compute on contents — the
+    # numerics always arrive via the pickled evaluator.
+    "repro/execution/fleet/__init__.py",
+    "repro/execution/fleet/backend.py",
+    "repro/execution/fleet/cache.py",
+    "repro/execution/fleet/protocol.py",
+    "repro/execution/fleet/server.py",
+    "repro/execution/fleet/worker.py",
 )
 
 #: Core numerics modules riding on the array seam (rule 2).
