@@ -53,11 +53,20 @@ HEADLINE_METRICS: Tuple[Tuple[str, str], ...] = (
     ("fleet_round_trip", "seconds"),
     ("artifact_cache_hit", "reduction"),
     ("artifact_cache_hit", "stream_floor_headroom"),
+    ("adaptive_dispatch", "speedup"),
+    ("adaptive_dispatch", "small_shape_speedup"),
+    ("weighted_fleet", "speedup"),
 )
 
 #: Metric keys the --check gate enforces: dimensionless ratios only.  Raw
 #: seconds depend on the runner and are recorded for context, never gated.
-RATIO_KEYS = ("speedup", "reduction", "renull_speedup", "stream_floor_headroom")
+RATIO_KEYS = (
+    "speedup",
+    "reduction",
+    "renull_speedup",
+    "stream_floor_headroom",
+    "small_shape_speedup",
+)
 
 #: Absolute floors the newest artifact must clear whenever it records the
 #: metric — hard acceptance criteria, independent of earlier artifacts and
@@ -71,7 +80,24 @@ ABSOLUTE_FLOORS: Dict[Tuple[str, str], float] = {
     ("mesh_megakernel", "speedup"): 2.0,
     ("artifact_cache_hit", "reduction"): 3.0,
     ("artifact_cache_hit", "stream_floor_headroom"): 1.0,
+    # PR 10 bar: on a skewed 2-worker fleet (one link ~4x slower) the
+    # weighted scheduler must beat FIFO-uniform by at least 1.3x.
+    ("weighted_fleet", "speedup"): 1.3,
 }
+
+#: Parity floors gated at the *run tolerance* rather than a fixed value:
+#: these ratios compare calibrated dispatch against the static order on
+#: the same run, so 1.0 means "never slower"; the tolerance absorbs timer
+#: noise exactly as it does for cross-artifact comparisons.  The PR 10
+#: acceptance bar: autotuned kernel choice must not lose to the static
+#: order anywhere on the recorded grid, and the small (n=8, batch=1)
+#: shape must not pay the fused kernel when the looped one wins.
+TOLERANCE_FLOORS: frozenset = frozenset(
+    {
+        ("adaptive_dispatch", "speedup"),
+        ("adaptive_dispatch", "small_shape_speedup"),
+    }
+)
 
 #: Fraction of the best earlier value the newest artifact must reach.
 DEFAULT_TOLERANCE = float(os.environ.get("REPRO_TRAJECTORY_TOLERANCE", "0.6"))
@@ -94,6 +120,30 @@ def load_artifacts(directory: Path) -> Dict[str, dict]:
         label = report.get("label") or path.stem.replace("BENCH_", "")
         artifacts[label] = report
     return dict(sorted(artifacts.items(), key=lambda item: _label_sort_key(item[0])))
+
+
+def missing_labels(artifacts: Dict[str, dict]) -> List[str]:
+    """PR labels absent from an otherwise contiguous ``prN`` sequence.
+
+    The trajectory is built from one artifact per PR, but not every PR
+    records one (PR 8's refactor shipped no benchmark run, so there is no
+    ``BENCH_pr8.json``).  A gap is expected history, not an error — the
+    comparison simply has fewer columns — but it should be *visible*, or a
+    missing upload silently weakens the regression gate's reference set.
+    """
+    numbers = []
+    for label in artifacts:
+        match = re.fullmatch(r"pr(\d+)", label)
+        if match:
+            numbers.append(int(match.group(1)))
+    if len(numbers) < 2:
+        return []
+    present = set(numbers)
+    return [
+        f"pr{number}"
+        for number in range(min(present), max(present) + 1)
+        if number not in present
+    ]
 
 
 def metric_rows(artifacts: Dict[str, dict]) -> List[Tuple[str, Dict[str, float]]]:
@@ -154,6 +204,12 @@ def check_regressions(
             failures.append(
                 f"{name}: {newest} measured {values[newest]:.2f}, below the "
                 f"absolute floor {absolute:.2f}"
+            )
+        if (scenario, key) in TOLERANCE_FLOORS and values[newest] < tolerance:
+            failures.append(
+                f"{name}: {newest} measured {values[newest]:.2f}, below the "
+                f"parity floor {tolerance:.2f} (calibrated dispatch must not "
+                f"lose to the static order beyond the run tolerance)"
             )
         earlier = [value for label, value in values.items() if label != newest]
         if not earlier:
@@ -259,6 +315,13 @@ def main(argv=None) -> int:
         return 0
     if args.plot is not None:
         plot_trajectory(artifacts, args.plot)
+    gaps = missing_labels(artifacts)
+    if gaps:
+        print(
+            f"warning: no BENCH artifact for {', '.join(gaps)} — that PR "
+            f"recorded no benchmark run; comparing across the gap",
+            file=sys.stderr,
+        )
     print(f"perf trajectory across {len(artifacts)} artifact(s): {', '.join(artifacts)}")
     print()
     print(format_table(artifacts))

@@ -18,6 +18,7 @@ from .sweep import (
     FusedSweepKernel,
     LoopedSweepKernel,
     SweepKernel,
+    SweepShape,
     apply_column_sweep,
     available_sweep_kernels,
     get_sweep_kernel,
@@ -49,6 +50,7 @@ __all__ = [
     "kernels",
     "ColumnProgram",
     "SweepKernel",
+    "SweepShape",
     "LoopedSweepKernel",
     "FusedSweepKernel",
     "SWEEP_KERNEL_ENV",

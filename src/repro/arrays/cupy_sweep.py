@@ -89,13 +89,11 @@ class CupyRawSweepKernel(SweepKernel):
         self._compile_failed = False
         self._fallback = FusedSweepKernel()
 
-    def available(self) -> bool:
-        return _device_usable()
-
-    def unavailable_reason(self):
+    def _probe(self):
         if _device_usable():
-            return None
-        return "cupy is not installed" if _cupy is None else "no usable CUDA device"
+            return True, None
+        reason = "cupy is not installed" if _cupy is None else "no usable CUDA device"
+        return False, reason
 
     def supports(self, backend) -> bool:
         return backend.name == "cupy"

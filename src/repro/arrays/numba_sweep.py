@@ -75,11 +75,8 @@ class NumbaSweepKernel(SweepKernel):
     #: would only shrink the parallel grain, so callers hand it everything.
     blocks_internally = True
 
-    def available(self) -> bool:
-        return HAVE_NUMBA
-
-    def unavailable_reason(self):
-        return None if HAVE_NUMBA else "numba is not installed"
+    def _probe(self):
+        return HAVE_NUMBA, None if HAVE_NUMBA else "numba is not installed"
 
     def supports(self, backend) -> bool:
         return bool(backend.is_host)

@@ -47,15 +47,16 @@ from __future__ import annotations
 import os
 import weakref
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, NamedTuple, Optional, Tuple
 
 from ..exceptions import ConfigurationError
-from ..observability.dispatch import active_collector
+from ..observability.dispatch import active_collector, active_feedback
 from ..observability.recorder import perf_seconds
 
 __all__ = [
     "ColumnProgram",
     "SweepKernel",
+    "SweepShape",
     "LoopedSweepKernel",
     "FusedSweepKernel",
     "SWEEP_KERNEL_ENV",
@@ -171,6 +172,23 @@ class ColumnProgram:
         )
 
 
+class SweepShape(NamedTuple):
+    """Shape hint for kernel selection: one sweep call's problem size.
+
+    Callers that know their shape (``MZIMesh.matrix_batch`` knows ``n``,
+    the realization batch, the column count and the mesh scheme) pass
+    this to :func:`select_sweep_kernel` so the autotuned cost model
+    (:mod:`repro.tuning`) can pick the cheapest kernel for *this* shape
+    instead of the static preference order.  ``scheme`` is optional —
+    it only narrows which calibration points the model interpolates.
+    """
+
+    n: int
+    batch: int
+    columns: int
+    scheme: Optional[str] = None
+
+
 class SweepKernel:
     """One strategy for executing a packed column sweep.
 
@@ -192,9 +210,35 @@ class SweepKernel:
     #: kernel blocks (or launches) however suits its execution model.
     blocks_internally: bool = False
 
+    #: Memoized ``(available, reason)`` probe result; availability cannot
+    #: change mid-process (deps don't materialize after import), so the
+    #: probe — which may import numba or touch the CUDA driver — runs at
+    #: most once per kernel instance.
+    _availability: Optional[Tuple[bool, Optional[str]]] = None
+
+    def _probe(self) -> Tuple[bool, Optional[str]]:
+        """One-shot availability probe: ``(available, unavailable_reason)``.
+
+        Subclasses with real dependencies override *this* (not
+        :meth:`available`) so the memoization in :meth:`availability`
+        covers every probe path uniformly.
+        """
+        return True, None
+
+    def availability(self) -> Tuple[bool, Optional[str]]:
+        """Cached ``(available, reason)`` — the probe runs at most once."""
+        if self._availability is None:
+            ok, reason = self._probe()
+            self._availability = (ok, reason if not ok else None)
+        return self._availability
+
+    def refresh_availability(self) -> None:
+        """Drop the memoized probe (tests simulating changed environments)."""
+        self._availability = None
+
     def available(self) -> bool:
         """Whether the kernel can run in this process (deps importable)."""
-        return True
+        return self.availability()[0]
 
     def unavailable_reason(self) -> Optional[str]:
         """Why :meth:`available` is ``False``, or ``None`` when it is not.
@@ -202,7 +246,7 @@ class SweepKernel:
         Diagnostics (``spnn-repro info``) surface this so a user can tell
         a missing dependency from a broken one without reading source.
         """
-        return None if self.available() else "unavailable"
+        return self.availability()[1]
 
     def supports(self, backend) -> bool:
         """Whether the kernel can serve ``backend``'s arrays."""
@@ -477,7 +521,7 @@ def available_sweep_kernels(backend=None) -> Tuple[str, ...]:
     )
 
 
-def select_sweep_kernel(backend) -> SweepKernel:
+def select_sweep_kernel(backend, shape: Optional[SweepShape] = None) -> SweepKernel:
     """The kernel serving ``backend``: env override or best available.
 
     ``REPRO_SWEEP_KERNEL`` names a registered kernel and fails loudly when
@@ -486,6 +530,15 @@ def select_sweep_kernel(backend) -> SweepKernel:
     Without the override, the first available kernel in the preference
     order ``cupy_raw > numba > fused > looped`` that supports the backend
     wins; ``fused`` is the universal default, ``looped`` the safety net.
+
+    With a :class:`SweepShape` hint the autotuned cost model
+    (:mod:`repro.tuning.policy`) may reorder *within* the available set
+    — it picks the kernel its per-machine calibration predicts cheapest
+    for this shape.  The hint never widens the candidate set (only
+    available+supported kernels compete), the env pin always wins over
+    it, and ``REPRO_AUTOTUNE=off`` restores the static order exactly.
+    Every candidate is conformant with the ``looped`` reference, so the
+    choice affects time, never results.
     """
     override = os.environ.get(SWEEP_KERNEL_ENV)
     if override:
@@ -502,13 +555,24 @@ def select_sweep_kernel(backend) -> SweepKernel:
                 f"available here: {available_sweep_kernels(backend)}"
             )
         return kernel
-    for name in _DEFAULT_ORDER:
-        kernel = _KERNELS.get(name)
-        if kernel is not None and kernel.available() and kernel.supports(backend):
-            return kernel
-    raise ConfigurationError(
-        f"no sweep kernel supports array backend {backend.name!r}"
-    )  # pragma: no cover - looped supports everything
+    candidates = tuple(
+        name
+        for name in _DEFAULT_ORDER
+        if name in _KERNELS
+        and _KERNELS[name].available()
+        and _KERNELS[name].supports(backend)
+    )
+    if not candidates:
+        raise ConfigurationError(
+            f"no sweep kernel supports array backend {backend.name!r}"
+        )  # pragma: no cover - looped supports everything
+    if shape is not None and len(candidates) > 1:
+        from ..tuning.policy import choose_kernel_name
+
+        chosen = choose_kernel_name(backend, shape, candidates)
+        if chosen is not None:
+            return _KERNELS[chosen]
+    return _KERNELS[candidates[0]]
 
 
 def apply_column_sweep(
@@ -531,32 +595,36 @@ def apply_column_sweep(
     (:mod:`repro.observability.dispatch`), each call records
     ``(kernel, backend, n, batch, columns, seconds)`` — shapes and wall
     time only, never the array contents, so recording cannot perturb
-    results.  With no collector the instrumentation is one module-global
-    read per call.
+    results.  The same timing feeds the autotune feedback sink when a
+    cost table is active, refining its observed layer online.  With
+    neither installed the instrumentation is two module-global reads per
+    call.
     """
+    batch = 1
+    for extent in matrices.shape[:-2]:
+        batch *= int(extent)
     if kernel is None:
-        selected = select_sweep_kernel(backend)
+        selected = select_sweep_kernel(
+            backend, SweepShape(program.n, batch, program.num_columns)
+        )
     elif isinstance(kernel, SweepKernel):
         selected = kernel
     else:
         selected = get_sweep_kernel(kernel)
     collector = active_collector()
-    if collector is None:
+    sink = active_feedback()
+    if collector is None and sink is None:
         selected(backend, matrices, components, program)
         return
-    batch = 1
-    for extent in matrices.shape[:-2]:
-        batch *= int(extent)
     started = perf_seconds()
     selected(backend, matrices, components, program)
-    collector.record(
-        selected.name,
-        backend.name,
-        program.n,
-        batch,
-        program.num_columns,
-        perf_seconds() - started,
-    )
+    elapsed = perf_seconds() - started
+    if collector is not None:
+        collector.record(
+            selected.name, backend.name, program.n, batch, program.num_columns, elapsed
+        )
+    if sink is not None:
+        sink(backend.name, selected.name, program.n, batch, program.num_columns, elapsed)
 
 
 register_sweep_kernel(LoopedSweepKernel())

@@ -35,9 +35,11 @@ class MetricsReport:
     ``chunks``   — the chunk schedule in merge (task) order:
     ``{"label", "index", "start", "count", "worker", "host", "seconds",
     "task_bytes", "result_bytes"}``.
-    ``workers``  — per-``(host, pid)`` chunk counts and busy seconds (with
-    the fleet backend chunks evaluate on other machines, so a pid alone is
-    not an identity).
+    ``workers``  — per-``(host, pid)`` chunk counts, busy seconds, row
+    totals and measured ``rows_per_second`` throughput (with the fleet
+    backend chunks evaluate on other machines, so a pid alone is not an
+    identity; the throughput column is what the weighted fleet scheduler
+    estimates link-side).
     ``imbalance`` — max/mean worker busy time (1.0 = perfectly balanced),
     ``None`` when no worker was busy.  :attr:`worker_imbalance` breaks the
     same ratio out per host.
@@ -201,12 +203,14 @@ class MetricsReport:
                 f"{total_bytes} payload bytes"
             )
         if self.workers:
-            lines.append("workers (chunks, busy seconds):")
+            lines.append("workers (chunks, busy seconds, rows/s):")
             for entry in self.workers:
                 host = str(entry.get("host", "")) or "?"
+                rate = entry.get("rows_per_second")
+                rate_text = f", {rate:10.1f} rows/s" if rate else ""
                 lines.append(
                     f"  {host}/pid {entry['worker']}: "
-                    f"{entry['chunks']} chunks, {entry['seconds']:9.4f}s"
+                    f"{entry['chunks']} chunks, {entry['seconds']:9.4f}s{rate_text}"
                 )
             if self.imbalance is not None:
                 lines.append(f"  imbalance (max/mean busy): {self.imbalance:.3f}")
@@ -227,12 +231,22 @@ def _worker_table(chunks: List[dict]) -> List[dict]:
     totals: Dict[tuple, List[float]] = {}
     for chunk in chunks:
         key = (str(chunk.get("host", "")), int(chunk["worker"]))
-        entry = totals.setdefault(key, [0, 0.0])
+        entry = totals.setdefault(key, [0, 0.0, 0])
         entry[0] += 1
         entry[1] += float(chunk["seconds"])
+        entry[2] += int(chunk.get("count", 0))
     return [
-        {"host": host, "worker": worker, "chunks": int(count), "seconds": float(seconds)}
-        for (host, worker), (count, seconds) in sorted(totals.items())
+        {
+            "host": host,
+            "worker": worker,
+            "chunks": int(count),
+            "seconds": float(seconds),
+            "rows": int(rows),
+            # Measured throughput — the quantity the weighted fleet
+            # scheduler estimates link-side; ``None`` when never busy.
+            "rows_per_second": (float(rows) / seconds) if seconds > 0.0 else None,
+        }
+        for (host, worker), (count, seconds, rows) in sorted(totals.items())
     ]
 
 

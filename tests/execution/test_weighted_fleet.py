@@ -1,0 +1,115 @@
+"""Throughput-weighted fleet scheduling: bit-identity and dedup guarantees.
+
+The weighted scheduler may assign chunks unevenly and even dispatch a
+straggler's tail chunk twice, but reassembly stays task-ordered with
+first-result-wins dedup — so results must be *exactly* what the serial
+backend produces, for any fleet size and any skew.  These tests slow
+workers artificially via per-worker ``REPRO_SYNTH_SLEEP`` overlays
+(``local_fleet(worker_env=...)``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.execution import FleetServer, local_fleet
+from repro.execution.fleet.server import FLEET_SCHEDULING_ENV
+from repro.execution.fleet.synthetic import SYNTH_SLEEP_ENV, SleepChunkEvaluator
+
+_FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+pytestmark = pytest.mark.skipif(
+    not _FORK_AVAILABLE,
+    reason="fleet tests fork local workers (test-module evaluators must resolve)",
+)
+
+
+def env_slow_square(task):
+    """Deterministic per-task result, per-worker sleep from the overlay env."""
+    time.sleep(float(os.environ.get(SYNTH_SLEEP_ENV, "0") or "0"))
+    index, values = task
+    return index, [v * v for v in values]
+
+
+def _square_tasks(count: int):
+    return [(i, list(range(i, i + 4))) for i in range(count)]
+
+
+class TestWeightedBitIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_serial_with_a_slowed_worker(self, workers):
+        tasks = _square_tasks(10)
+        expected = [env_slow_square(task) for task in tasks]
+        overlay = [None] * workers
+        overlay[0] = {SYNTH_SLEEP_ENV: "0.05"}
+        with local_fleet(workers=workers, worker_env=overlay) as fleet:
+            assert fleet.server.scheduling == "weighted"
+            # Twice: once cold (unmeasured links), once with learned rates.
+            assert fleet.map(env_slow_square, tasks) == expected
+            assert fleet.map(env_slow_square, tasks) == expected
+
+    def test_fifo_mode_matches_serial(self):
+        tasks = _square_tasks(8)
+        expected = [env_slow_square(task) for task in tasks]
+        with local_fleet(workers=2, scheduling="fifo") as fleet:
+            assert fleet.server.scheduling == "fifo"
+            assert fleet.map(env_slow_square, tasks) == expected
+            assert fleet.request_log[-1]["duplicates"] == 0
+
+    def test_scheduling_env_sets_the_default(self, monkeypatch):
+        monkeypatch.setenv(FLEET_SCHEDULING_ENV, "fifo")
+        with local_fleet(workers=1) as fleet:
+            assert fleet.server.scheduling == "fifo"
+
+    def test_invalid_scheduling_is_rejected(self):
+        with pytest.raises(ValueError, match=FLEET_SCHEDULING_ENV):
+            FleetServer(scheduling="fastest")
+
+    def test_worker_env_length_must_match_workers(self):
+        with pytest.raises(ValueError, match="worker_env"):
+            with local_fleet(workers=2, worker_env=[{SYNTH_SLEEP_ENV: "1"}]):
+                pass  # pragma: no cover
+
+
+class TestDuplicateDispatch:
+    def test_straggler_tail_chunk_is_duplicated_and_deduped(self):
+        """On a cold fleet both (unmeasured) links claim a chunk; the fast
+        link drains the queue, then re-dispatches the straggler's overdue
+        in-flight chunk — first result wins, reassembly stays exact.
+
+        With *accurately* learned rates the slow link would abstain and
+        never hold a chunk; duplication is precisely the safety net for
+        the cold/misestimated case, so that is what we stage."""
+        evaluator = SleepChunkEvaluator(default_seconds=0.05)
+        tasks = [("chunk", i) for i in range(6)]
+        expected = [("synth", task) for task in tasks]
+        overlay = [{SYNTH_SLEEP_ENV: "1.5"}, {SYNTH_SLEEP_ENV: "0.05"}]
+        with local_fleet(workers=2, worker_env=overlay) as fleet:
+            start = time.monotonic()
+            assert fleet.map(evaluator, tasks) == expected
+            elapsed = time.monotonic() - start
+            stats = fleet.request_log[-1]
+            assert stats["duplicates"] >= 1, (
+                f"fast link never re-dispatched the straggler's chunk: {stats}"
+            )
+            # The duplicate is what keeps the request from waiting out the
+            # straggler's full 1.5s sleep.
+            assert elapsed < 1.4, elapsed
+            measured = [
+                rate for rate in fleet.server.worker_rates().values() if rate is not None
+            ]
+            assert measured, "the fast link must have a measured rate"
+
+    def test_duplicate_results_do_not_corrupt_order(self):
+        """Even when duplicates land, results come back in task order."""
+        evaluator = SleepChunkEvaluator(default_seconds=0.02)
+        overlay = [{SYNTH_SLEEP_ENV: "0.5"}, {SYNTH_SLEEP_ENV: "0.02"}]
+        tasks = [("ordered", i) for i in range(9)]
+        with local_fleet(workers=2, worker_env=overlay) as fleet:
+            fleet.map(evaluator, [("warm", 0), ("warm", 1)])
+            results = fleet.map(evaluator, tasks)
+        assert results == [("synth", task) for task in tasks]

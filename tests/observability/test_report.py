@@ -125,7 +125,7 @@ class TestRendering:
         assert "kernel dispatches" in text
         assert "fused/numpy" in text
         assert "chunks: 4 evaluated, 12 realizations" in text
-        assert "workers (chunks, busy seconds):" in text
+        assert "workers (chunks, busy seconds, rows/s):" in text
 
     def test_render_empty_trace(self):
         assert MetricsReport.from_records([]).render() == "(empty trace)"
